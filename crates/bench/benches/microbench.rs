@@ -1,0 +1,134 @@
+//! Criterion micro-benchmarks of the reproduction's hot paths: the
+//! discrete-event executor, the paged KV allocator, the re-sharding
+//! planner, the roofline evaluation, and end-to-end engine runs at
+//! small scale.
+//!
+//! These guard the *simulator's* performance (a full Figure 10 panel
+//! executes hundreds of engine runs), not the modeled GPU times.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use seesaw_engine::seesaw::{SeesawEngine, SeesawSpec};
+use seesaw_engine::vllm::VllmEngine;
+use seesaw_engine::SchedulingPolicy;
+use seesaw_hw::ClusterSpec;
+use seesaw_kv::PagedKvCache;
+use seesaw_model::presets;
+use seesaw_parallel::{ParallelConfig, ReshardPlan};
+use seesaw_roofline::{BatchShape, Roofline, Stage};
+use seesaw_sim::{Simulator, TaskKind, TaskSpec};
+use seesaw_workload::WorkloadGen;
+use std::hint::black_box;
+
+fn bench_sim_executor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_executor");
+    const TASKS: usize = 10_000;
+    g.throughput(Throughput::Elements(TASKS as u64));
+    g.bench_function("fifo_chain_10k_tasks", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::without_trace();
+            let res: Vec<_> = (0..8).map(|i| sim.add_resource(format!("r{i}"))).collect();
+            let mut prev = None;
+            for i in 0..TASKS {
+                let mut spec = TaskSpec::new(res[i % 8], 0.001, TaskKind::Compute);
+                if let Some(p) = prev {
+                    if i % 3 == 0 {
+                        spec = spec.after(p);
+                    }
+                }
+                prev = Some(sim.submit(spec));
+            }
+            black_box(sim.run_until_idle())
+        })
+    });
+    g.finish();
+}
+
+fn bench_paged_kv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paged_kv");
+    g.bench_function("alloc_append_free_cycle", |b| {
+        b.iter_batched(
+            || PagedKvCache::new(1 << 20, 16),
+            |mut kv| {
+                for id in 0..256u64 {
+                    kv.allocate(id, 512).unwrap();
+                }
+                for id in 0..256u64 {
+                    for _ in 0..32 {
+                        kv.append_token(id).unwrap();
+                    }
+                }
+                for id in 0..256u64 {
+                    black_box(kv.free(id).unwrap());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_reshard_planner(c: &mut Criterion) {
+    let m = presets::llama2_70b();
+    c.bench_function("reshard_plan_p8_to_t4p2_70b", |b| {
+        b.iter(|| {
+            black_box(ReshardPlan::plan(
+                &m,
+                ParallelConfig::pp(8),
+                ParallelConfig::new(1, 4, 2),
+            ))
+        })
+    });
+}
+
+fn bench_roofline(c: &mut Criterion) {
+    let rl = Roofline::new(ClusterSpec::a10x8(), presets::codellama_34b());
+    let shape = BatchShape::decode_uniform(128, 2048);
+    c.bench_function("roofline_layer_cost_decode", |b| {
+        b.iter(|| black_box(rl.layer_cost(Stage::Decode, &shape, 4)))
+    });
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let cluster = ClusterSpec::a10x4();
+    let model = presets::llama2_13b();
+    let reqs = WorkloadGen::constant(1024, 64).generate(32);
+    let mut g = c.benchmark_group("engine_e2e_32reqs");
+    g.sample_size(20);
+    g.bench_function("vllm_t2p2", |b| {
+        let eng = VllmEngine::new(
+            cluster.clone(),
+            model.clone(),
+            ParallelConfig::new(1, 2, 2),
+            SchedulingPolicy::PrefillPrioritized,
+        )
+        .unwrap();
+        b.iter(|| black_box(eng.run(&reqs)))
+    });
+    g.bench_function("seesaw_p4_t4", |b| {
+        let eng = SeesawEngine::new(
+            cluster.clone(),
+            model.clone(),
+            SeesawSpec::new(ParallelConfig::pp(4), ParallelConfig::tp(4)),
+        )
+        .unwrap();
+        b.iter(|| black_box(eng.run(&reqs)))
+    });
+    g.finish();
+}
+
+fn bench_workload_gen(c: &mut Criterion) {
+    c.bench_function("workload_gen_sharegpt_2000", |b| {
+        b.iter(|| black_box(WorkloadGen::sharegpt(1).generate(2000)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sim_executor,
+    bench_paged_kv,
+    bench_reshard_planner,
+    bench_roofline,
+    bench_engines,
+    bench_workload_gen
+);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! All ablation studies (DESIGN.md D1-D5). Usage: ablations [n_requests]
+use seesaw_bench::figs::ablations as a;
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    println!("{}", a::abl_sched(n));
+    println!("{}", a::abl_buffer(n));
+    println!("{}", a::abl_overlap(n));
+    println!("{}", a::abl_layout(n));
+    println!("{}", a::abl_reshard());
+    println!("{}", a::abl_chunk(n));
+}

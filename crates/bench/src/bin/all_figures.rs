@@ -1,0 +1,27 @@
+//! Regenerate every table and figure in one run (the output quoted in
+//! EXPERIMENTS.md). Usage: all_figures [subsample]
+//!
+//! `subsample` divides the paper's request counts for quicker runs
+//! (1 = full fidelity).
+use seesaw_bench::figs;
+fn main() {
+    let sub: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let n = |full: usize| (full / sub).max(8);
+    println!("{}", figs::table1::run());
+    println!("{}", figs::fig1::run());
+    println!("{}", figs::fig4::run());
+    println!("{}", figs::fig9::run());
+    println!("{}", figs::fig10::run("a10", sub));
+    println!("{}", figs::fig10::run("l4", sub));
+    println!("{}", figs::fig11::run(sub));
+    println!("{}", figs::fig12::run(n(500)));
+    println!("{}", figs::fig13::run(n(64)));
+    println!("{}", figs::fig14::run(n(150)));
+    println!("{}", figs::fig15::run());
+    println!("{}", figs::ablations::abl_sched(n(200)));
+    println!("{}", figs::ablations::abl_buffer(n(200)));
+    println!("{}", figs::ablations::abl_overlap(n(200)));
+    println!("{}", figs::ablations::abl_layout(n(200)));
+    println!("{}", figs::ablations::abl_reshard());
+    println!("{}", figs::ablations::abl_chunk(n(200)));
+}

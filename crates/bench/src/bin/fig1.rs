@@ -1,0 +1,4 @@
+//! Regenerate the paper's fig1 output. Usage: cargo run --release -p seesaw-bench --bin fig1
+fn main() {
+    println!("{}", seesaw_bench::figs::fig1::run());
+}

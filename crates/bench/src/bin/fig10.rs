@@ -1,0 +1,8 @@
+//! Figure 10: end-to-end throughput panels. Usage:
+//! `cargo run --release -p seesaw-bench --bin fig10 [a10|l4] [subsample]`
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let gpu = args.get(1).map(String::as_str).unwrap_or("a10");
+    let sub: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    println!("{}", seesaw_bench::figs::fig10::run(gpu, sub));
+}

@@ -1,0 +1,5 @@
+//! Figure 11: A100 PCIe vs NVLink. Usage: fig11 [subsample]
+fn main() {
+    let sub: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    println!("{}", seesaw_bench::figs::fig11::run(sub));
+}

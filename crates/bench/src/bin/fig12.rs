@@ -1,0 +1,5 @@
+//! Figure 12: speedup breakdown. Usage: fig12 [n_requests]
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(500);
+    println!("{}", seesaw_bench::figs::fig12::run(n));
+}

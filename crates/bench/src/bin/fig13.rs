@@ -1,0 +1,5 @@
+//! Figure 13: D:P ratio sensitivity. Usage: fig13 [n_requests_per_point]
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(64);
+    println!("{}", seesaw_bench::figs::fig13::run(n));
+}

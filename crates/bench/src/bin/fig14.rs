@@ -1,0 +1,5 @@
+//! Figure 14: bandwidth sensitivity. Usage: fig14 [n_requests_per_point]
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(150);
+    println!("{}", seesaw_bench::figs::fig14::run(n));
+}

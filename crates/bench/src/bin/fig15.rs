@@ -1,0 +1,4 @@
+//! Regenerate the paper's fig15 output. Usage: cargo run --release -p seesaw-bench --bin fig15
+fn main() {
+    println!("{}", seesaw_bench::figs::fig15::run());
+}

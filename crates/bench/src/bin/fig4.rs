@@ -1,0 +1,4 @@
+//! Regenerate the paper's fig4 output. Usage: cargo run --release -p seesaw-bench --bin fig4
+fn main() {
+    println!("{}", seesaw_bench::figs::fig4::run());
+}

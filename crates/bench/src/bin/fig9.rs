@@ -1,0 +1,4 @@
+//! Regenerate the paper's fig9 output. Usage: cargo run --release -p seesaw-bench --bin fig9
+fn main() {
+    println!("{}", seesaw_bench::figs::fig9::run());
+}

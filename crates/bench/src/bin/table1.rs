@@ -1,0 +1,4 @@
+//! Regenerate the paper's table1 output. Usage: cargo run --release -p seesaw-bench --bin table1
+fn main() {
+    println!("{}", seesaw_bench::figs::table1::run());
+}

@@ -1,0 +1,133 @@
+//! Figure 1: prefill/decode execution-time breakdown across TP×PP
+//! combinations — LLaMA2-13B on 8× L4, global batch 16. Pipeline
+//! parallelism divides the batch into micro-batches of `16/PP`.
+//!
+//! The stacked components are produced by the roofline's breakdown
+//! attribution (compute / communication / weight transfer), with the
+//! wall-clock estimate assuming fully pipelined stages (busy time
+//! divided by PP). Values are normalized to the slowest configuration
+//! of each stage, matching the paper's presentation.
+
+use crate::table::{f3, Table};
+use seesaw_hw::ClusterSpec;
+use seesaw_model::presets;
+use seesaw_parallel::ParallelConfig;
+use seesaw_roofline::{BatchShape, Roofline, Stage, StageBreakdown};
+
+/// Prompt length used for the prefill bars (the paper does not state
+/// it; 512 is representative of its workloads' mid-range).
+const PROMPT: usize = 512;
+/// Context length for the decode bars.
+const CTX: usize = 640;
+/// Global batch size (from the figure caption).
+const BATCH: usize = 16;
+
+/// Per-config wall-clock breakdown for one stage.
+pub fn breakdown(rl: &Roofline, cfg: ParallelConfig, stage: Stage) -> StageBreakdown {
+    let micro = BATCH / cfg.pp;
+    let shape = match stage {
+        Stage::Prefill => BatchShape::prefill(&vec![PROMPT; micro]),
+        Stage::Decode => BatchShape::decode_uniform(micro, CTX),
+    };
+    // Wall estimate under full pipelining: PP micro-batches × one
+    // micro-batch's whole-pipeline busy time, spread over PP
+    // concurrently-working stages — i.e. one micro-batch's busy time.
+    rl.pass_breakdown(cfg, stage, &shape)
+}
+
+/// The configurations swept in the figure.
+pub fn configs() -> Vec<ParallelConfig> {
+    vec![
+        ParallelConfig::new(1, 1, 8),
+        ParallelConfig::new(1, 2, 4),
+        ParallelConfig::new(1, 4, 2),
+        ParallelConfig::new(1, 8, 1),
+    ]
+}
+
+/// Regenerate Figure 1.
+pub fn run() -> String {
+    let rl = Roofline::new(ClusterSpec::l4x8(), presets::llama2_13b());
+    let mut out = super::banner(
+        "Figure 1",
+        "prefill/decode time breakdown, LLaMA2-13B on 8xL4, batch 16",
+    );
+    for stage in [Stage::Prefill, Stage::Decode] {
+        let rows: Vec<(ParallelConfig, StageBreakdown)> = configs()
+            .into_iter()
+            .map(|c| (c, breakdown(&rl, c, stage)))
+            .collect();
+        let max_total = rows
+            .iter()
+            .map(|(_, b)| b.total())
+            .fold(0.0_f64, f64::max);
+        let mut t = Table::new(&[
+            "config",
+            "compute",
+            "communication",
+            "weight_transfer",
+            "total(norm)",
+        ]);
+        for (c, b) in rows {
+            t.row(&[
+                format!("TP{}PP{}", c.tp, c.pp),
+                f3(b.compute / max_total),
+                f3(b.communication / max_total),
+                f3(b.weight_transfer / max_total),
+                f3(b.total() / max_total),
+            ]);
+        }
+        let name = match stage {
+            Stage::Prefill => "(a) Prefill",
+            Stage::Decode => "(b) Decode",
+        };
+        out.push_str(&format!("\n{name}\n{}", t.render()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rl() -> Roofline {
+        Roofline::new(ClusterSpec::l4x8(), presets::llama2_13b())
+    }
+
+    /// The figure's headline: prefill communication share escalates
+    /// with TP, making TP8 the slowest prefill config.
+    #[test]
+    fn prefill_tp8_slowest_due_to_communication() {
+        let r = rl();
+        let totals: Vec<f64> = configs()
+            .into_iter()
+            .map(|c| breakdown(&r, c, Stage::Prefill).total())
+            .collect();
+        let tp8 = totals[3];
+        assert!(totals.iter().all(|&t| t <= tp8 + 1e-12), "{totals:?}");
+        let b8 = breakdown(&r, ParallelConfig::tp(8), Stage::Prefill);
+        assert!(b8.communication > b8.compute, "TP8 prefill comm-bound");
+    }
+
+    /// Decode: PP8 (TP1) pays the most weight transfer; TP8 the least.
+    #[test]
+    fn decode_weight_transfer_shrinks_with_tp() {
+        let r = rl();
+        let pp8 = breakdown(&r, ParallelConfig::pp(8), Stage::Decode);
+        let tp8 = breakdown(&r, ParallelConfig::tp(8), Stage::Decode);
+        assert!(pp8.weight_transfer > 3.0 * tp8.weight_transfer);
+        assert!(
+            pp8.weight_transfer > pp8.compute,
+            "decode at batch 2/GPU is weight-bound"
+        );
+    }
+
+    #[test]
+    fn output_has_both_panels() {
+        let s = run();
+        assert!(s.contains("(a) Prefill"));
+        assert!(s.contains("(b) Decode"));
+        assert!(s.contains("TP1PP8"));
+        assert!(s.contains("TP8PP1"));
+    }
+}

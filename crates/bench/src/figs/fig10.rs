@@ -1,0 +1,108 @@
+//! Figure 10: end-to-end throughput on PCIe systems (A10 and L4
+//! nodes), three models × two datasets, tuned-vLLM baseline vs Seesaw.
+//!
+//! The paper's protocol: sweep every single-parallelism configuration
+//! for vLLM (chunk size tuned), report the best; run Seesaw with its
+//! chosen `(c_p, c_d)`; plot throughput normalized to the vLLM bar.
+
+use crate::harness::{best_vllm, seesaw_auto};
+use crate::table::{f2, f3, Table};
+use crate::{ARXIV_REQUESTS, SEED, SHAREGPT_REQUESTS};
+use seesaw_hw::ClusterSpec;
+use seesaw_model::{presets, ModelConfig};
+use seesaw_workload::{metrics::geo_mean, Request, WorkloadGen};
+
+/// The per-GPU-type experiment grid: (model, #GPUs).
+fn grid() -> Vec<(ModelConfig, usize)> {
+    vec![
+        (presets::llama3_15b(), 4),
+        (presets::codellama_34b(), 8),
+        (presets::llama2_70b(), 8),
+    ]
+}
+
+fn dataset(name: &str, n_div: usize) -> (String, Vec<Request>) {
+    match name {
+        "arxiv" => (
+            "arxiv".into(),
+            WorkloadGen::arxiv_summarization(SEED).generate(ARXIV_REQUESTS / n_div),
+        ),
+        _ => (
+            "sharegpt".into(),
+            WorkloadGen::sharegpt(SEED).generate(SHAREGPT_REQUESTS / n_div),
+        ),
+    }
+}
+
+/// Regenerate one panel of Figure 10 for `gpu` ∈ {"a10", "l4"}.
+/// `subsample` divides the request counts (1 = the paper's counts).
+pub fn run(gpu: &str, subsample: usize) -> String {
+    let mut out = super::banner(
+        "Figure 10",
+        &format!("end-to-end throughput on {} (PCIe)", gpu.to_uppercase()),
+    );
+    let mut t = Table::new(&[
+        "model",
+        "dataset",
+        "vllm(best)",
+        "vllm rps",
+        "seesaw",
+        "seesaw rps",
+        "speedup",
+    ]);
+    let mut speedups = Vec::new();
+    for (model, n) in grid() {
+        let cluster = match (gpu, n) {
+            ("a10", 4) => ClusterSpec::a10x4(),
+            ("a10", _) => ClusterSpec::a10x8(),
+            (_, 4) => ClusterSpec::l4x4(),
+            _ => ClusterSpec::l4x8(),
+        };
+        for ds in ["arxiv", "sharegpt"] {
+            let (ds_name, reqs) = dataset(ds, subsample.max(1));
+            let base = best_vllm(&cluster, &model, &reqs);
+            let ours = seesaw_auto(&cluster, &model, &reqs);
+            let speedup = ours.throughput_rps() / base.throughput_rps();
+            speedups.push(speedup);
+            t.row(&[
+                model.name.clone(),
+                ds_name,
+                base.label.clone(),
+                f3(base.throughput_rps()),
+                ours.label.clone(),
+                f3(ours.throughput_rps()),
+                f2(speedup),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\ngeo-mean speedup on {}: {:.2}x   max: {:.2}x\n",
+        gpu.to_uppercase(),
+        geo_mean(&speedups),
+        speedups.iter().cloned().fold(0.0_f64, f64::max),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    /// Subsampled smoke run of the 15B row only (full panels run in
+    /// the binary); asserts Seesaw is competitive.
+    #[test]
+    fn fifteen_b_row_shows_speedup() {
+        use super::*;
+        let cluster = ClusterSpec::a10x4();
+        let model = presets::llama3_15b();
+        let reqs = WorkloadGen::arxiv_summarization(SEED).generate(60);
+        let base = best_vllm(&cluster, &model, &reqs);
+        let ours = seesaw_auto(&cluster, &model, &reqs);
+        assert!(
+            ours.throughput_rps() > base.throughput_rps(),
+            "seesaw {} vs vllm {} ({})",
+            ours.throughput_rps(),
+            base.throughput_rps(),
+            base.label
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Figure 11: throughput on A100 — PCIe vs NVLink interconnects,
+//! LLaMA2-70B, both datasets, normalized to vLLM on NVLink.
+
+use crate::harness::{best_vllm, seesaw_auto};
+use crate::table::{f3, Table};
+use crate::{ARXIV_REQUESTS, SEED, SHAREGPT_REQUESTS};
+use seesaw_hw::ClusterSpec;
+use seesaw_model::presets;
+use seesaw_workload::WorkloadGen;
+
+/// Regenerate Figure 11. `subsample` divides request counts.
+pub fn run(subsample: usize) -> String {
+    let model = presets::llama2_70b();
+    let pcie = ClusterSpec::a100x8_pcie();
+    let nvl = ClusterSpec::a100x8_nvlink();
+    let mut out = super::banner("Figure 11", "throughput comparison on A100 (70B)");
+    let mut t = Table::new(&[
+        "dataset",
+        "system",
+        "config",
+        "rps",
+        "normalized(vllm+nvlink=1)",
+    ]);
+    for ds in ["arxiv", "sharegpt"] {
+        let reqs = match ds {
+            "arxiv" => WorkloadGen::arxiv_summarization(SEED)
+                .generate(ARXIV_REQUESTS / subsample.max(1)),
+            _ => WorkloadGen::sharegpt(SEED).generate(SHAREGPT_REQUESTS / subsample.max(1)),
+        };
+        let vllm_nvl = best_vllm(&nvl, &model, &reqs);
+        let base = vllm_nvl.throughput_rps();
+        let rows = [
+            ("vllm+pcie", best_vllm(&pcie, &model, &reqs)),
+            ("seesaw+pcie", seesaw_auto(&pcie, &model, &reqs)),
+            ("vllm+nvlink", vllm_nvl),
+            ("seesaw+nvlink", seesaw_auto(&nvl, &model, &reqs)),
+        ];
+        for (name, rep) in rows {
+            t.row(&[
+                ds.to_string(),
+                name.to_string(),
+                rep.label.clone(),
+                f3(rep.throughput_rps()),
+                f3(rep.throughput_rps() / base),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The figure's core claims at small scale: NVLink lifts vLLM, and
+    /// Seesaw narrows the PCIe/NVLink gap.
+    #[test]
+    fn seesaw_narrows_the_pcie_gap() {
+        let model = presets::llama2_70b();
+        let pcie = ClusterSpec::a100x8_pcie();
+        let nvl = ClusterSpec::a100x8_nvlink();
+        let reqs = WorkloadGen::arxiv_summarization(SEED).generate(80);
+        let v_nvl = best_vllm(&nvl, &model, &reqs).throughput_rps();
+        let v_pcie = best_vllm(&pcie, &model, &reqs).throughput_rps();
+        let s_pcie = seesaw_auto(&pcie, &model, &reqs).throughput_rps();
+        assert!(v_nvl > v_pcie, "NVLink must beat PCIe for vLLM");
+        assert!(
+            s_pcie / v_nvl > v_pcie / v_nvl,
+            "Seesaw must lift PCIe closer to NVLink: {:.2} vs {:.2}",
+            s_pcie / v_nvl,
+            v_pcie / v_nvl
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Figure 15 (Appendix A): how data parallelism affects decode —
+//! per-request runtime breakdown and maximum batch size across
+//! TP×DP splits of 8 GPUs, including the OOM case.
+//!
+//! Uses LLaMA2-13B on 8× L4 (the motivation-section testbed): at
+//! TP1DP8 the 26 GiB of fp16 weights exceed one 24 GiB GPU → OOM,
+//! exactly the greyed-out bar in the paper.
+
+use crate::table::{f3, Table};
+use seesaw_hw::ClusterSpec;
+use seesaw_model::presets;
+use seesaw_parallel::{MemoryPlan, ParallelConfig};
+use seesaw_roofline::{BatchShape, Roofline, Stage};
+
+/// Decode context length used for the analysis.
+const CTX: usize = 1024;
+
+/// The TP×DP splits on the x-axis.
+pub fn configs() -> Vec<ParallelConfig> {
+    vec![
+        ParallelConfig::new(8, 1, 1),
+        ParallelConfig::new(4, 2, 1),
+        ParallelConfig::new(2, 4, 1),
+        ParallelConfig::new(1, 8, 1),
+    ]
+}
+
+/// Regenerate Figure 15.
+pub fn run() -> String {
+    let cluster = ClusterSpec::l4x8();
+    let model = presets::llama2_13b();
+    let rl = Roofline::new(cluster.clone(), model.clone());
+    let mut out = super::banner(
+        "Figure 15",
+        "DP vs TP decode trade-off, 13B on 8xL4 (per-request runtime and max batch)",
+    );
+    let mut t = Table::new(&[
+        "config",
+        "max batch",
+        "load weight",
+        "compute",
+        "allreduce",
+        "runtime/req (norm)",
+    ]);
+
+    // First pass: compute per-request times to find the normalizer.
+    let mut rows = Vec::new();
+    for cfg in configs() {
+        match MemoryPlan::new(&model, &cluster, cfg) {
+            Err(_) => rows.push((cfg, None)),
+            Ok(plan) => {
+                let b = plan.max_batch(CTX).max(1);
+                let micro = (b / (cfg.dp * cfg.pp)).max(1);
+                let shape = BatchShape::decode_uniform(micro, CTX);
+                let cost = rl.layer_cost(Stage::Decode, &shape, cfg.tp);
+                let bd = cost.breakdown();
+                // Per-request-step time: one decode round retires
+                // micro·DP sequence-steps across the cluster.
+                let per_req = model.num_layers as f64 / (micro * cfg.dp) as f64;
+                rows.push((
+                    cfg,
+                    Some((
+                        b,
+                        bd.weight_transfer * per_req,
+                        bd.compute * per_req,
+                        bd.communication * per_req,
+                    )),
+                ));
+            }
+        }
+    }
+    let peak = rows
+        .iter()
+        .filter_map(|(_, r)| r.map(|(_, w, c, a)| w + c + a))
+        .fold(0.0_f64, f64::max);
+    for (cfg, r) in rows {
+        match r {
+            None => {
+                t.row(&[
+                    format!("TP{}DP{}", cfg.tp, cfg.dp),
+                    "OOM".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "OOM".into(),
+                ]);
+            }
+            Some((b, w, c, a)) => {
+                t.row(&[
+                    format!("TP{}DP{}", cfg.tp, cfg.dp),
+                    format!("{b}"),
+                    f3(w / peak),
+                    f3(c / peak),
+                    f3(a / peak),
+                    f3((w + c + a) / peak),
+                ]);
+            }
+        }
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tp1dp8_is_oom_on_l4() {
+        let s = run();
+        assert!(s.contains("OOM"), "13B fp16 cannot fit one 24GiB L4");
+    }
+
+    /// More DP => smaller batches and more weight-loading per request
+    /// (the figure's message).
+    #[test]
+    fn dp_hurts_batch_size() {
+        let cluster = ClusterSpec::l4x8();
+        let model = presets::llama2_13b();
+        let b_dp4 = MemoryPlan::new(&model, &cluster, ParallelConfig::new(4, 2, 1))
+            .unwrap()
+            .max_batch(CTX);
+        let b_tp8 = MemoryPlan::new(&model, &cluster, ParallelConfig::tp(8))
+            .unwrap()
+            .max_batch(CTX);
+        assert!(b_tp8 > b_dp4, "TP8 batch {b_tp8} vs TP2DP4 {b_dp4}");
+    }
+
+    #[test]
+    fn renders_all_configs() {
+        let s = run();
+        for c in ["TP1DP8", "TP2DP4", "TP4DP2", "TP8DP1"] {
+            assert!(s.contains(c), "missing {c}");
+        }
+    }
+}

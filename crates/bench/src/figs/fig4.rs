@@ -1,0 +1,69 @@
+//! Figure 4: why spatial prefill/decode disaggregation has a
+//! restricted search space — LLaMA2-70B on eight 40 GiB GPUs admits
+//! only the 4+4 split, which is throughput-mismatched.
+
+use crate::table::{f3, Table};
+use seesaw_engine::disagg::{whole_cluster_decode_rps, DisaggEngine};
+use seesaw_hw::ClusterSpec;
+use seesaw_model::presets;
+
+/// Workload averages used in the analysis (arxiv-like: long prompts).
+const AVG_IN: usize = 3000;
+/// See [`AVG_IN`].
+const AVG_OUT: usize = 250;
+
+/// Regenerate Figure 4.
+pub fn run() -> String {
+    let cluster = ClusterSpec::a100x8_pcie();
+    let model = presets::llama2_70b();
+    let eng = DisaggEngine::new(cluster.clone(), model.clone());
+    let splits = eng.evaluate_all_splits(AVG_IN, AVG_OUT);
+    let whole = whole_cluster_decode_rps(&cluster, &model, AVG_IN, AVG_OUT)
+        .expect("70B fits 8x40GiB");
+
+    let mut out = super::banner(
+        "Figure 4",
+        "disaggregation search space, 70B on 8x 40GiB GPUs",
+    );
+    out.push_str(&format!(
+        "feasible splits: {} (paper: only 4 prefill + 4 decode)\n\n",
+        splits.len()
+    ));
+    let mut t = Table::new(&["bar", "throughput (reqs/sec)", "vs Decode(8 GPUs)"]);
+    t.row(&[
+        "Decode (8 GPUs)".to_string(),
+        f3(whole),
+        f3(1.0),
+    ]);
+    if let Some(s) = splits.first() {
+        t.row(&[
+            format!("Decode ({} GPUs, {})", s.decode_gpus, s.decode_config),
+            f3(s.decode_rps),
+            f3(s.decode_rps / whole),
+        ]);
+        t.row(&[
+            format!("Prefill ({} GPUs, {})", s.prefill_gpus, s.prefill_config),
+            f3(s.prefill_rps),
+            f3(s.prefill_rps / whole),
+        ]);
+        out.push_str(&t.render());
+        out.push_str(&format!(
+            "\nthroughput mismatch (prefill/decode): {:.2}x; combined pipeline: {:.3} reqs/sec\n",
+            s.mismatch(),
+            s.combined_rps()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reports_single_split_and_mismatch() {
+        let s = super::run();
+        assert!(s.contains("feasible splits: 1"));
+        assert!(s.contains("Decode (8 GPUs)"));
+        assert!(s.contains("Prefill (4 GPUs"));
+        assert!(s.contains("mismatch"));
+    }
+}

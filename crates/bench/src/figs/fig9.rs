@@ -1,0 +1,69 @@
+//! Figure 9: input/output length distributions of the two workloads.
+
+use crate::table::Table;
+use crate::{ARXIV_REQUESTS, SEED, SHAREGPT_REQUESTS};
+use seesaw_workload::{LengthStats, Request, WorkloadGen};
+
+/// Bucketed histogram (token-count buckets of 500) rendered as ASCII.
+fn histogram(lens: &[usize], label: &str) -> String {
+    const BUCKET: usize = 500;
+    const MAX_BUCKETS: usize = 12;
+    let mut counts = [0usize; MAX_BUCKETS];
+    for &l in lens {
+        let b = (l / BUCKET).min(MAX_BUCKETS - 1);
+        counts[b] += 1;
+    }
+    let peak = *counts.iter().max().expect("non-empty").max(&1);
+    let mut out = format!("  {label}:\n");
+    for (i, &c) in counts.iter().enumerate() {
+        let bar = "#".repeat(c * 40 / peak);
+        let hi = if i == MAX_BUCKETS - 1 {
+            "+".to_string()
+        } else {
+            format!("{}", (i + 1) * BUCKET)
+        };
+        out.push_str(&format!("  {:>5}-{:<5} {:>5} {bar}\n", i * BUCKET, hi, c));
+    }
+    out
+}
+
+fn describe(name: &str, reqs: &[Request]) -> String {
+    let st = LengthStats::of(reqs);
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(&["requests".into(), format!("{}", st.count)]);
+    t.row(&["mean input tokens".into(), format!("{:.0}", st.mean_input)]);
+    t.row(&["mean output tokens".into(), format!("{:.0}", st.mean_output)]);
+    t.row(&["max total tokens".into(), format!("{}", st.max_total)]);
+    let inputs: Vec<usize> = reqs.iter().map(|r| r.input_len).collect();
+    let outputs: Vec<usize> = reqs.iter().map(|r| r.output_len).collect();
+    format!(
+        "\n[{name}]\n{}\n{}{}",
+        t.render(),
+        histogram(&inputs, "input tokens"),
+        histogram(&outputs, "output tokens"),
+    )
+}
+
+/// Regenerate Figure 9.
+pub fn run() -> String {
+    let arxiv = WorkloadGen::arxiv_summarization(SEED).generate(ARXIV_REQUESTS);
+    let sharegpt = WorkloadGen::sharegpt(SEED).generate(SHAREGPT_REQUESTS);
+    format!(
+        "{}{}{}",
+        super::banner("Figure 9", "dataset length distributions"),
+        describe("arxiv-summarization", &arxiv),
+        describe("sharegpt", &sharegpt),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn shows_both_datasets_with_histograms() {
+        let s = super::run();
+        assert!(s.contains("arxiv-summarization"));
+        assert!(s.contains("sharegpt"));
+        assert!(s.contains("input tokens"));
+        assert!(s.matches('#').count() > 20, "histograms must render");
+    }
+}

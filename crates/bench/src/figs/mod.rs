@@ -1,0 +1,20 @@
+//! One module per paper table/figure. Each `run` function returns the
+//! rendered experiment output (binaries print it; tests assert on its
+//! shape).
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig4;
+pub mod fig9;
+pub mod table1;
+
+/// Render a figure header banner.
+pub fn banner(id: &str, title: &str) -> String {
+    format!("\n=== {id}: {title} ===\n")
+}

@@ -1,0 +1,37 @@
+//! Table 1: GPU hardware specifications.
+
+use crate::table::Table;
+use seesaw_hw::GpuSpec;
+
+/// Regenerate Table 1.
+pub fn run() -> String {
+    let mut t = Table::new(&["GPU Model", "Memory Size", "Memory Bandwidth", "FLOPS", "NVLink"]);
+    for g in [
+        GpuSpec::a10(),
+        GpuSpec::l4(),
+        GpuSpec::a100_40g_sxm(),
+        GpuSpec::a100_40g_pcie(),
+    ] {
+        t.row(&[
+            g.name.clone(),
+            format!("{}", g.mem()),
+            format!("{:.0} GB/s", g.hbm_bw / 1e9),
+            format!("{:.0}T", g.peak_flops / 1e12),
+            if g.has_nvlink { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    format!("{}{}", super::banner("Table 1", "GPU hardware specification"), t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn contains_all_gpus() {
+        let s = super::run();
+        for name in ["A10", "L4", "A100-40G-SXM", "A100-40G-PCIE"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+        assert!(s.contains("600 GB/s"));
+        assert!(s.contains("1555 GB/s"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Sweep harness: the tuned-vLLM baseline and the auto-probed Seesaw
+//! run used by the end-to-end figures.
+
+use seesaw_engine::seesaw::{SeesawEngine, SeesawSpec};
+use seesaw_engine::vllm::VllmEngine;
+use seesaw_engine::{EngineReport, SchedulingPolicy};
+use seesaw_hw::ClusterSpec;
+use seesaw_model::ModelConfig;
+use seesaw_parallel::feasible;
+use seesaw_workload::Request;
+
+/// Policies included in the baseline sweep. The paper enables chunked
+/// prefill for vLLM and tunes the chunk size (§6.1), so the sweep
+/// covers plain prefill-prioritizing plus two chunk sizes.
+pub fn baseline_policies() -> Vec<SchedulingPolicy> {
+    vec![
+        SchedulingPolicy::PrefillPrioritized,
+        SchedulingPolicy::ChunkedPrefill { chunk_tokens: 512 },
+        SchedulingPolicy::ChunkedPrefill { chunk_tokens: 2048 },
+    ]
+}
+
+/// Run every feasible static configuration × baseline policy and
+/// return all reports (used by figures that show the whole sweep).
+pub fn vllm_sweep(
+    cluster: &ClusterSpec,
+    model: &ModelConfig,
+    reqs: &[Request],
+) -> Vec<EngineReport> {
+    let mut out = Vec::new();
+    for cfg in feasible::feasible_configs(model, cluster) {
+        for policy in baseline_policies() {
+            if let Ok(engine) = VllmEngine::new(cluster.clone(), model.clone(), cfg, policy) {
+                out.push(engine.run(reqs));
+            }
+        }
+    }
+    out
+}
+
+/// The tuned baseline: best throughput across the sweep (what the
+/// paper reports as the vLLM bar after sweeping parallelisms and
+/// tuning the chunk size).
+pub fn best_vllm(cluster: &ClusterSpec, model: &ModelConfig, reqs: &[Request]) -> EngineReport {
+    vllm_sweep(cluster, model, reqs)
+        .into_iter()
+        .max_by(|a, b| {
+            a.throughput_rps()
+                .partial_cmp(&b.throughput_rps())
+                .expect("finite throughput")
+        })
+        .expect("at least one feasible configuration")
+}
+
+/// Seesaw with its configuration pair auto-probed on a sample of the
+/// workload.
+pub fn seesaw_auto(cluster: &ClusterSpec, model: &ModelConfig, reqs: &[Request]) -> EngineReport {
+    let probe = &reqs[..reqs.len().min(32)];
+    let spec = SeesawSpec::auto_probed(cluster, model, probe).expect("feasible Seesaw pair");
+    SeesawEngine::new(cluster.clone(), model.clone(), spec)
+        .expect("spec validated")
+        .run(reqs)
+}
+
+/// A Seesaw run with an explicit spec.
+pub fn seesaw_with(
+    cluster: &ClusterSpec,
+    model: &ModelConfig,
+    spec: SeesawSpec,
+    reqs: &[Request],
+) -> EngineReport {
+    SeesawEngine::new(cluster.clone(), model.clone(), spec)
+        .expect("valid spec")
+        .run(reqs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seesaw_model::presets;
+    use seesaw_workload::WorkloadGen;
+
+    #[test]
+    fn best_vllm_is_max_of_sweep() {
+        let cluster = ClusterSpec::a10x4();
+        let m = presets::llama2_13b();
+        let reqs = WorkloadGen::constant(512, 32).generate(16);
+        let sweep = vllm_sweep(&cluster, &m, &reqs);
+        let best = best_vllm(&cluster, &m, &reqs);
+        assert!(sweep
+            .iter()
+            .all(|r| r.throughput_rps() <= best.throughput_rps() + 1e-12));
+        assert!(sweep.len() >= 3, "sweep should cover several configs");
+    }
+
+    #[test]
+    fn seesaw_auto_completes() {
+        let cluster = ClusterSpec::a10x4();
+        let m = presets::llama2_13b();
+        let reqs = WorkloadGen::constant(1024, 64).generate(24);
+        let rep = seesaw_auto(&cluster, &m, &reqs);
+        assert_eq!(rep.stats.requests, 24);
+    }
+}

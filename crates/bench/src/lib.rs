@@ -1,0 +1,25 @@
+//! Experiment harness for the Seesaw reproduction.
+//!
+//! Every table and figure in the paper's evaluation has a module under
+//! [`figs`] with a `run(...)` function that regenerates its rows, and
+//! a thin binary wrapper in `src/bin/`. The `all_figures` binary runs
+//! everything in sequence (that output is what EXPERIMENTS.md quotes).
+//!
+//! Shared infrastructure:
+//! * [`table::Table`] — aligned markdown table printer.
+//! * [`harness`] — the vLLM configuration/policy sweep ("best static
+//!   baseline", as the paper tunes it) and the Seesaw auto-probed run.
+
+pub mod figs;
+pub mod harness;
+pub mod table;
+
+/// Default request counts per dataset, matching §6.1 ("we sample 2000
+/// requests from sharegpt and 500 from arxiv-summarization").
+/// Heavy sweeps subsample; each figure documents its count.
+pub const ARXIV_REQUESTS: usize = 500;
+/// See [`ARXIV_REQUESTS`].
+pub const SHAREGPT_REQUESTS: usize = 2000;
+
+/// Workload seed used by every figure, so reruns are identical.
+pub const SEED: u64 = 42;

@@ -1,0 +1,243 @@
+//! Adapter that instantiates a [`ClusterSpec`] as simulator resources
+//! and offers typed task submission for the engines.
+//!
+//! Per GPU, four resources mirror the hardware's independent engines:
+//!
+//! * `gpu{i}.compute` — the SMs (forward passes; collectives are
+//!   folded into pass durations by the roofline, which models the TP
+//!   group in lockstep),
+//! * `gpu{i}.h2d` / `gpu{i}.d2h` — the two DMA directions of the PCIe
+//!   host link (weight reloads, KV swaps),
+//! * `gpu{i}.staging` — the worker's host-side staging thread
+//!   (pinned ↔ shared-memory copies, §5.2).
+//!
+//! Because these are distinct resources, computation/communication
+//! overlap (the paper's asynchronous pipeline) falls out of the task
+//! graph naturally.
+
+use seesaw_hw::ClusterSpec;
+use seesaw_parallel::ParallelConfig;
+use seesaw_sim::{ResourceId, SimTime, Simulator, TaskHandle, TaskKind, TaskSpec};
+
+/// The simulated cluster: resources plus the underlying simulator.
+#[derive(Debug)]
+pub struct ClusterSim {
+    /// The discrete-event simulator.
+    pub sim: Simulator,
+    /// Hardware description.
+    pub cluster: ClusterSpec,
+    compute: Vec<ResourceId>,
+    h2d: Vec<ResourceId>,
+    d2h: Vec<ResourceId>,
+    staging: Vec<ResourceId>,
+}
+
+impl ClusterSim {
+    /// Instantiate resources for every GPU of `cluster`.
+    pub fn new(cluster: ClusterSpec) -> Self {
+        let mut sim = Simulator::without_trace();
+        let n = cluster.num_gpus;
+        let compute = (0..n).map(|i| sim.add_resource(format!("gpu{i}.compute"))).collect();
+        let h2d = (0..n).map(|i| sim.add_resource(format!("gpu{i}.h2d"))).collect();
+        let d2h = (0..n).map(|i| sim.add_resource(format!("gpu{i}.d2h"))).collect();
+        let staging = (0..n).map(|i| sim.add_resource(format!("gpu{i}.staging"))).collect();
+        ClusterSim {
+            sim,
+            cluster,
+            compute,
+            h2d,
+            d2h,
+            staging,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// GPUs forming pipeline stage `pp_rank` of replica `dp_rank`
+    /// under `cfg` (its TP group), as flat indices.
+    pub fn stage_gpus(&self, cfg: ParallelConfig, dp_rank: usize, pp_rank: usize) -> Vec<usize> {
+        (0..cfg.tp)
+            .map(|t| cfg.gpu_index(dp_rank, pp_rank, t))
+            .collect()
+    }
+
+    /// Submit one micro-batch's traversal of all pipeline stages of
+    /// replica `dp_rank`: stage `s` occupies every GPU of its TP group
+    /// for `stage_durations[s]` seconds, after stage `s-1` finishes
+    /// (and after `dep`, the micro-batch slot's previous-round tail).
+    /// Returns a handle that completes when the last stage does.
+    pub fn submit_pass(
+        &mut self,
+        cfg: ParallelConfig,
+        dp_rank: usize,
+        stage_durations: &[f64],
+        dep: Option<TaskHandle>,
+        kind: TaskKind,
+    ) -> TaskHandle {
+        assert_eq!(stage_durations.len(), cfg.pp, "one duration per stage");
+        let mut prev = dep;
+        for (s, &dur) in stage_durations.iter().enumerate() {
+            let gpus = self.stage_gpus(cfg, dp_rank, s);
+            let mut parts = Vec::with_capacity(gpus.len());
+            for g in gpus {
+                let mut spec = TaskSpec::new(self.compute[g], dur, kind).tag(g as u64);
+                if let Some(p) = prev {
+                    spec = spec.after(p);
+                }
+                parts.push(self.sim.submit(spec));
+            }
+            prev = Some(if parts.len() == 1 {
+                parts[0]
+            } else {
+                self.sim.submit(TaskSpec::sync(parts))
+            });
+        }
+        prev.expect("pp >= 1 guarantees at least one stage")
+    }
+
+    /// Submit a device-to-host transfer on GPU `gpu`'s D2H DMA engine.
+    pub fn submit_d2h(
+        &mut self,
+        gpu: usize,
+        duration: f64,
+        dep: Option<TaskHandle>,
+        kind: TaskKind,
+    ) -> TaskHandle {
+        let mut spec = TaskSpec::new(self.d2h[gpu], duration, kind).tag(gpu as u64);
+        if let Some(d) = dep {
+            spec = spec.after(d);
+        }
+        self.sim.submit(spec)
+    }
+
+    /// Submit a host-to-device transfer on GPU `gpu`'s H2D DMA engine.
+    pub fn submit_h2d(
+        &mut self,
+        gpu: usize,
+        duration: f64,
+        dep: Option<TaskHandle>,
+        kind: TaskKind,
+    ) -> TaskHandle {
+        let mut spec = TaskSpec::new(self.h2d[gpu], duration, kind).tag(gpu as u64);
+        if let Some(d) = dep {
+            spec = spec.after(d);
+        }
+        self.sim.submit(spec)
+    }
+
+    /// Submit a host-side staging copy on GPU `gpu`'s staging thread.
+    pub fn submit_staging(
+        &mut self,
+        gpu: usize,
+        duration: f64,
+        dep: Option<TaskHandle>,
+    ) -> TaskHandle {
+        let mut spec = TaskSpec::new(self.staging[gpu], duration, TaskKind::StagingCopy)
+            .tag(gpu as u64);
+        if let Some(d) = dep {
+            spec = spec.after(d);
+        }
+        self.sim.submit(spec)
+    }
+
+    /// Submit a fixed-duration overhead task on a GPU's compute engine
+    /// (communicator teardown/setup during re-sharding).
+    pub fn submit_compute_overhead(
+        &mut self,
+        gpu: usize,
+        duration: f64,
+        dep: Option<TaskHandle>,
+    ) -> TaskHandle {
+        let mut spec =
+            TaskSpec::new(self.compute[gpu], duration, TaskKind::Overhead).tag(gpu as u64);
+        if let Some(d) = dep {
+            spec = spec.after(d);
+        }
+        self.sim.submit(spec)
+    }
+
+    /// Mean busy fraction of the GPUs' compute engines over the run so
+    /// far — the utilization figure engines report.
+    pub fn mean_compute_utilization(&self) -> f64 {
+        if self.compute.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.compute.iter().map(|&r| self.sim.utilization(r)).sum();
+        sum / self.compute.len() as f64
+    }
+
+    /// Join several handles into one.
+    pub fn join(&mut self, handles: Vec<TaskHandle>) -> TaskHandle {
+        match handles.len() {
+            1 => handles[0],
+            _ => self.sim.submit(TaskSpec::sync(handles)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seesaw_hw::ClusterSpec;
+
+    #[test]
+    fn pass_occupies_tp_group_in_lockstep() {
+        let mut cs = ClusterSim::new(ClusterSpec::a10x4());
+        let cfg = ParallelConfig::new(1, 2, 2);
+        let h = cs.submit_pass(cfg, 0, &[1.0, 2.0], None, TaskKind::Compute);
+        let end = cs.sim.run_until(h);
+        assert_eq!(end.as_secs(), 3.0);
+    }
+
+    #[test]
+    fn micro_batches_pipeline_across_stages() {
+        // Two micro-batches, two stages of 1s each: second ubatch's
+        // stage0 overlaps first ubatch's stage1 -> finish at 3s.
+        let mut cs = ClusterSim::new(ClusterSpec::a10x4());
+        let cfg = ParallelConfig::pp(2);
+        let a = cs.submit_pass(cfg, 0, &[1.0, 1.0], None, TaskKind::Compute);
+        let b = cs.submit_pass(cfg, 0, &[1.0, 1.0], None, TaskKind::Compute);
+        cs.sim.run_until(a);
+        let end = cs.sim.run_until(b);
+        assert_eq!(end.as_secs(), 3.0);
+    }
+
+    #[test]
+    fn transfers_overlap_compute() {
+        let mut cs = ClusterSim::new(ClusterSpec::a10x4());
+        let cfg = ParallelConfig::new(1, 1, 1);
+        let pass = cs.submit_pass(cfg, 0, &[2.0], None, TaskKind::Compute);
+        // An independent H2D transfer runs concurrently.
+        let xfer = cs.submit_h2d(0, 2.0, None, TaskKind::SwapIn);
+        cs.sim.run_until(pass);
+        let end = cs.sim.run_until(xfer);
+        assert_eq!(end.as_secs(), 2.0, "DMA must overlap compute");
+    }
+
+    #[test]
+    fn chained_rounds_have_no_drain_bubble() {
+        // Round 2 of a 2-stage pipeline starts its stage0 immediately
+        // after round 1's stage0 vacates the resource, not after the
+        // whole round 1 drains.
+        let mut cs = ClusterSim::new(ClusterSpec::a10x4());
+        let cfg = ParallelConfig::pp(2);
+        let r1 = cs.submit_pass(cfg, 0, &[1.0, 1.0], None, TaskKind::Compute);
+        let r2 = cs.submit_pass(cfg, 0, &[1.0, 1.0], Some(r1), TaskKind::Compute);
+        // With dep on r1's completion, stage0 of r2 starts at 2.0 and
+        // r2 completes at 4.0. (The per-slot tail chaining in the
+        // driver avoids even this by keying on slots, tested there.)
+        assert_eq!(cs.sim.run_until(r2).as_secs(), 4.0);
+    }
+
+    #[test]
+    fn stage_gpus_are_tp_group() {
+        let cs = ClusterSim::new(ClusterSpec::a10x8());
+        let cfg = ParallelConfig::new(2, 2, 2);
+        assert_eq!(cs.stage_gpus(cfg, 0, 0), vec![0, 1]);
+        assert_eq!(cs.stage_gpus(cfg, 0, 1), vec![2, 3]);
+        assert_eq!(cs.stage_gpus(cfg, 1, 0), vec![4, 5]);
+    }
+}

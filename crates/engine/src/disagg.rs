@@ -1,0 +1,241 @@
+//! Spatial prefill/decode disaggregation (DistServe/Mooncake-style),
+//! used for the paper's §3.2 analysis and Figure 4.
+//!
+//! The node is split into a prefill instance of `n_p` GPUs and a
+//! decode instance of `n_d = N - n_p` GPUs, each with its own static
+//! parallelization. Prefilled KV flows from prefill to decode GPUs.
+//! In steady state the two instances form a two-stage pipeline, so
+//! sustained throughput is the *minimum* of the two instance rates —
+//! exactly the mismatch argument of Figure 4. Instance rates are
+//! measured with the analytic model at each instance's best feasible
+//! configuration; KV transfer between instances rides the host links
+//! and is accounted as a decode-side overhead.
+
+use crate::autotune;
+use seesaw_hw::ClusterSpec;
+use seesaw_model::ModelConfig;
+use seesaw_parallel::{FitError, ParallelConfig};
+use seesaw_roofline::{Roofline, ThroughputModel};
+use serde::{Deserialize, Serialize};
+
+/// One evaluated disaggregation split.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DisaggReport {
+    /// GPUs assigned to prefill.
+    pub prefill_gpus: usize,
+    /// GPUs assigned to decode.
+    pub decode_gpus: usize,
+    /// Best prefill-instance configuration.
+    pub prefill_config: ParallelConfig,
+    /// Best decode-instance configuration.
+    pub decode_config: ParallelConfig,
+    /// Prefill instance rate, requests/s.
+    pub prefill_rps: f64,
+    /// Decode instance rate, requests/s (including inter-instance KV
+    /// transfer overhead).
+    pub decode_rps: f64,
+}
+
+impl DisaggReport {
+    /// Steady-state pipeline throughput: the slower stage.
+    pub fn combined_rps(&self) -> f64 {
+        self.prefill_rps.min(self.decode_rps)
+    }
+
+    /// Ratio of the faster stage to the slower (the "mismatch" the
+    /// paper highlights; 1.0 = perfectly balanced).
+    pub fn mismatch(&self) -> f64 {
+        let hi = self.prefill_rps.max(self.decode_rps);
+        hi / self.combined_rps()
+    }
+}
+
+/// The disaggregated-deployment analyzer.
+#[derive(Debug)]
+pub struct DisaggEngine {
+    cluster: ClusterSpec,
+    model: ModelConfig,
+}
+
+impl DisaggEngine {
+    /// Build the analyzer for a cluster/model pair.
+    pub fn new(cluster: ClusterSpec, model: ModelConfig) -> Self {
+        DisaggEngine { cluster, model }
+    }
+
+    /// Evaluate a specific split (`n_p` prefill GPUs, rest decode) for
+    /// a workload of `avg_in`/`avg_out` tokens.
+    pub fn evaluate_split(
+        &self,
+        n_p: usize,
+        avg_in: usize,
+        avg_out: usize,
+    ) -> Result<DisaggReport, FitError> {
+        let n = self.cluster.num_gpus;
+        if n_p == 0 || n_p >= n {
+            return Err(FitError::Invalid(format!(
+                "split {n_p}/{} leaves an empty instance",
+                n - n_p
+            )));
+        }
+        let n_d = n - n_p;
+        let pre_cluster = self.cluster.subset(n_p);
+        let dec_cluster = self.cluster.subset(n_d);
+
+        // Best config per instance: prefill instance optimizes prompt
+        // rate, decode instance optimizes generation rate.
+        let (pcfg, _) = best_prefill_config(&pre_cluster, &self.model, avg_in)?;
+        let (dcfg, _) = best_decode_config(&dec_cluster, &self.model, avg_in + avg_out / 2)?;
+
+        let tm_p = ThroughputModel::new(Roofline::new(pre_cluster, self.model.clone()));
+        let prefill_rps = tm_p.prefill_tokens_per_sec(pcfg, avg_in.max(1), 4) / avg_in as f64;
+
+        let tm_d = ThroughputModel::new(Roofline::new(dec_cluster.clone(), self.model.clone()));
+        let step_rate = tm_d.decode_seq_steps_per_sec_max_batch(dcfg, avg_in + avg_out / 2)?;
+        // KV must cross from prefill to decode GPUs: one D2H + one H2D
+        // of the prompt KV per request, spread across the decode
+        // instance's host links.
+        let kv_bytes = self.model.kv_bytes_per_token() as f64 * avg_in as f64;
+        let xfer = 2.0 * dec_cluster.host_link.pinned_copy_time(kv_bytes) / n_d as f64;
+        let t_dec = avg_out as f64 / step_rate + xfer;
+        let decode_rps = 1.0 / t_dec;
+
+        Ok(DisaggReport {
+            prefill_gpus: n_p,
+            decode_gpus: n_d,
+            prefill_config: pcfg,
+            decode_config: dcfg,
+            prefill_rps,
+            decode_rps,
+        })
+    }
+
+    /// Evaluate every feasible split, best-combined first. Splits
+    /// where either instance cannot fit the model are skipped — the
+    /// Figure 4 constraint.
+    pub fn evaluate_all_splits(&self, avg_in: usize, avg_out: usize) -> Vec<DisaggReport> {
+        let mut out: Vec<DisaggReport> = (1..self.cluster.num_gpus)
+            .filter_map(|n_p| self.evaluate_split(n_p, avg_in, avg_out).ok())
+            .collect();
+        out.sort_by(|a, b| {
+            b.combined_rps()
+                .partial_cmp(&a.combined_rps())
+                .expect("finite rates")
+        });
+        out
+    }
+}
+
+/// Best feasible config of a sub-cluster for prefill throughput.
+fn best_prefill_config(
+    cluster: &ClusterSpec,
+    model: &ModelConfig,
+    avg_in: usize,
+) -> Result<(ParallelConfig, f64), FitError> {
+    let tm = ThroughputModel::new(Roofline::new(cluster.clone(), model.clone()));
+    seesaw_parallel::feasible::feasible_configs(model, cluster)
+        .into_iter()
+        .map(|c| (c, tm.prefill_tokens_per_sec(c, avg_in.max(1), 4)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .ok_or(FitError::Invalid("no feasible prefill config".into()))
+}
+
+/// Best feasible config of a sub-cluster for decode throughput.
+fn best_decode_config(
+    cluster: &ClusterSpec,
+    model: &ModelConfig,
+    avg_ctx: usize,
+) -> Result<(ParallelConfig, f64), FitError> {
+    let tm = ThroughputModel::new(Roofline::new(cluster.clone(), model.clone()));
+    seesaw_parallel::feasible::feasible_configs(model, cluster)
+        .into_iter()
+        .filter_map(|c| {
+            tm.decode_seq_steps_per_sec_max_batch(c, avg_ctx)
+                .ok()
+                .map(|r| (c, r))
+        })
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .ok_or(FitError::Invalid("no feasible decode config".into()))
+}
+
+/// Decode rate of the whole (un-split) cluster — Figure 4's
+/// "Decode (8 GPUs)" reference bar.
+pub fn whole_cluster_decode_rps(
+    cluster: &ClusterSpec,
+    model: &ModelConfig,
+    avg_in: usize,
+    avg_out: usize,
+) -> Result<f64, FitError> {
+    let (cfg, step_rate) = best_decode_config(cluster, model, avg_in + avg_out / 2)?;
+    let _ = autotune::best_static_config(cluster, model, avg_in, avg_out)?; // sanity: model fits
+    let _ = cfg;
+    Ok(step_rate / avg_out as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seesaw_model::presets;
+
+    /// Figure 4: 70B on 8x 40GiB admits exactly one split (4+4).
+    #[test]
+    fn seventy_b_admits_only_the_even_split() {
+        let eng = DisaggEngine::new(ClusterSpec::a100x8_pcie(), presets::llama2_70b());
+        let splits = eng.evaluate_all_splits(3000, 250);
+        assert_eq!(splits.len(), 1, "only 4+4 should be feasible");
+        assert_eq!(splits[0].prefill_gpus, 4);
+        assert_eq!(splits[0].decode_gpus, 4);
+    }
+
+    /// Figure 4: the feasible split is mismatched, with decode as the
+    /// bottleneck. (The paper measures a ~6x gap on real hardware; our
+    /// analytic model reproduces the direction and a >1.2x gap — see
+    /// EXPERIMENTS.md for the comparison.)
+    #[test]
+    fn even_split_is_mismatched_with_decode_bottleneck() {
+        let eng = DisaggEngine::new(ClusterSpec::a100x8_pcie(), presets::llama2_70b());
+        let r = eng.evaluate_split(4, 3000, 250).unwrap();
+        assert!(
+            r.prefill_rps > 1.2 * r.decode_rps,
+            "prefill {:.3} rps vs decode {:.3} rps",
+            r.prefill_rps,
+            r.decode_rps
+        );
+        assert!(r.mismatch() > 1.2);
+        assert!((r.combined_rps() - r.decode_rps).abs() < 1e-12);
+    }
+
+    /// Figure 4: 4-GPU decode is a small fraction of 8-GPU decode
+    /// (the paper reports ~15%).
+    #[test]
+    fn half_cluster_decode_is_small_fraction_of_whole() {
+        let cluster = ClusterSpec::a100x8_pcie();
+        let m = presets::llama2_70b();
+        let eng = DisaggEngine::new(cluster.clone(), m.clone());
+        let split = eng.evaluate_split(4, 3000, 250).unwrap();
+        let whole = whole_cluster_decode_rps(&cluster, &m, 3000, 250).unwrap();
+        let frac = split.decode_rps / whole;
+        assert!(
+            frac < 0.4,
+            "4-GPU decode should be a small fraction of 8-GPU, got {frac:.2}"
+        );
+    }
+
+    #[test]
+    fn smaller_models_admit_more_splits() {
+        let eng = DisaggEngine::new(ClusterSpec::a10x8(), presets::llama3_15b());
+        let splits = eng.evaluate_all_splits(500, 250);
+        assert!(splits.len() > 1);
+        // Sorted by combined throughput.
+        for w in splits.windows(2) {
+            assert!(w[0].combined_rps() >= w[1].combined_rps());
+        }
+    }
+
+    #[test]
+    fn degenerate_splits_rejected() {
+        let eng = DisaggEngine::new(ClusterSpec::a10x8(), presets::llama3_15b());
+        assert!(eng.evaluate_split(0, 500, 250).is_err());
+        assert!(eng.evaluate_split(8, 500, 250).is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! Inference engines running on the simulated cluster.
+//!
+//! Three engines share one substrate (`driver`):
+//!
+//! * [`vllm`] — the baseline: a static-parallelism engine with
+//!   continuous batching and a choice of prefill-prioritizing,
+//!   decode-prioritizing, or chunked-prefill scheduling (vLLM 0.5.4's
+//!   policy family, per the paper's §6.1 baseline setup).
+//! * [`seesaw`] — the paper's contribution: distinct prefill/decode
+//!   parallelizations with dynamic model re-sharding, tiered CPU KV
+//!   buffering, transition-minimizing scheduling, and the asynchronous
+//!   swap pipeline of §5.2.
+//! * [`disagg`] — a DistServe-style spatial prefill/decode
+//!   disaggregation model, used for the §3.2 / Figure 4 analysis.
+//!
+//! Every engine consumes a [`seesaw_workload::Request`] set and
+//! produces an [`EngineReport`] with end-to-end throughput (the
+//! paper's metric) plus phase wall-times and transfer accounting.
+//!
+//! # Simulation granularity
+//!
+//! Engines make scheduling decisions at *round* boundaries (one decode
+//! round = one token for every running sequence). Between decisions
+//! they submit task DAGs to the discrete-event simulator; pipeline
+//! micro-batches chain across rounds through per-slot tails, so
+//! pipeline-parallel configurations reach steady state without drain
+//! bubbles between rounds. DP replicas transition in lockstep
+//! (matching the paper's whole-cluster re-sharding).
+
+pub mod autotune;
+pub mod cluster_sim;
+pub mod disagg;
+pub mod driver;
+pub mod report;
+pub mod seesaw;
+pub mod vllm;
+
+pub use report::{EngineReport, Phase, PhaseSpan};
+
+use serde::{Deserialize, Serialize};
+
+/// Scheduling policy for the static-parallelism baseline engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulingPolicy {
+    /// Eagerly prefill whenever KV space allows (vLLM default;
+    /// maximizes batch size, pauses decodes during prefill passes).
+    PrefillPrioritized,
+    /// Finish every decode in the batch before prefilling the next
+    /// batch (FasterTransformer-style; minimizes stage interleaving).
+    DecodePrioritized,
+    /// Sarathi-style chunked prefill: split prompts into fixed-size
+    /// chunks and piggyback them on decode batches.
+    ChunkedPrefill {
+        /// Prefill tokens added to each mixed batch.
+        chunk_tokens: usize,
+    },
+}
+
+impl std::fmt::Display for SchedulingPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedulingPolicy::PrefillPrioritized => write!(f, "prefill-prio"),
+            SchedulingPolicy::DecodePrioritized => write!(f, "decode-prio"),
+            SchedulingPolicy::ChunkedPrefill { chunk_tokens } => {
+                write!(f, "chunked({chunk_tokens})")
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Run reports common to every engine.
+
+use seesaw_workload::RunStats;
+use serde::{Deserialize, Serialize};
+
+/// Engine phase, for the execution timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Prompt processing under `c_p`.
+    Prefill,
+    /// Generation under `c_d`.
+    Decode,
+    /// Model re-sharding between configurations.
+    Reshard,
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Phase::Prefill => write!(f, "prefill"),
+            Phase::Decode => write!(f, "decode"),
+            Phase::Reshard => write!(f, "reshard"),
+        }
+    }
+}
+
+/// One contiguous phase interval in an engine run's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSpan {
+    /// What the cluster was doing.
+    pub phase: Phase,
+    /// Interval start, seconds.
+    pub start_s: f64,
+    /// Interval end, seconds.
+    pub end_s: f64,
+}
+
+impl PhaseSpan {
+    /// Interval length in seconds.
+    pub fn duration(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// Outcome of one engine run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineReport {
+    /// Configuration label in the paper's notation (`"T4P2"`,
+    /// `"P4->T4"`).
+    pub label: String,
+    /// Request/token counts and end-to-end duration.
+    pub stats: RunStats,
+    /// Wall-clock spent in pure-prefill phases/passes, seconds.
+    pub prefill_wall_s: f64,
+    /// Wall-clock spent in pure-decode phases/passes, seconds.
+    pub decode_wall_s: f64,
+    /// Wall-clock spent in mixed (chunked) passes, seconds.
+    pub mixed_wall_s: f64,
+    /// Wall-clock spent re-sharding (weight reload + reconfiguration),
+    /// seconds.
+    pub reshard_wall_s: f64,
+    /// Prefill→decode + decode→prefill transitions performed.
+    pub transitions: usize,
+    /// KV bytes swapped out to the CPU buffer.
+    pub swap_out_bytes: u64,
+    /// KV bytes swapped in from the CPU buffer.
+    pub swap_in_bytes: u64,
+    /// Execution timeline (Seesaw fills this; static engines leave it
+    /// empty).
+    pub phases: Vec<PhaseSpan>,
+    /// Mean busy fraction of the GPUs' compute engines over the run.
+    pub gpu_utilization: f64,
+}
+
+impl EngineReport {
+    /// End-to-end throughput in requests/second (the paper's primary
+    /// metric).
+    pub fn throughput_rps(&self) -> f64 {
+        self.stats.throughput_rps()
+    }
+
+    /// Generated tokens/second.
+    pub fn output_tokens_per_sec(&self) -> f64 {
+        self.stats.output_tokens_per_sec()
+    }
+
+    /// Wall time not attributed to prefill/decode/mixed/reshard
+    /// (stage-transition drains, initial fills, etc.).
+    pub fn other_wall_s(&self) -> f64 {
+        (self.stats.duration_s
+            - self.prefill_wall_s
+            - self.decode_wall_s
+            - self.mixed_wall_s
+            - self.reshard_wall_s)
+            .max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn other_wall_is_residual_and_clamped() {
+        let mk = |dur: f64, p: f64, d: f64| EngineReport {
+            label: "x".into(),
+            stats: RunStats {
+                requests: 10,
+                input_tokens: 100,
+                output_tokens: 100,
+                duration_s: dur,
+            },
+            prefill_wall_s: p,
+            decode_wall_s: d,
+            mixed_wall_s: 0.0,
+            reshard_wall_s: 0.0,
+            transitions: 0,
+            swap_out_bytes: 0,
+            swap_in_bytes: 0,
+            phases: Vec::new(),
+            gpu_utilization: 0.5,
+        };
+        let r = mk(10.0, 4.0, 5.0);
+        assert!((r.other_wall_s() - 1.0).abs() < 1e-12);
+        assert!((r.throughput_rps() - 1.0).abs() < 1e-12);
+        let over = mk(8.0, 4.0, 5.0);
+        assert_eq!(over.other_wall_s(), 0.0);
+    }
+}

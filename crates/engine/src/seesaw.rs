@@ -1,0 +1,790 @@
+//! The Seesaw engine: dynamic model re-sharding between a prefill
+//! configuration `c_p` and a decode configuration `c_d`, tiered CPU KV
+//! buffering, transition-minimizing scheduling, and the asynchronous
+//! swap pipeline (paper §4–§5).
+//!
+//! # Phase machine
+//!
+//! ```text
+//!   PREFILL (c_p):  admit prompts -> pipelined prefill passes
+//!                   -> swap KV out (D2H overlapped with compute,
+//!                      then host staging copy into shared memory)
+//!                   until the CPU buffer is full or no prompts remain
+//!   RESHARD c_p -> c_d: drain, reload weight shards from host RAM
+//!   DECODE (c_d):   prefetcher swaps KV in (staging -> H2D, overlapped
+//!                   with decode compute); continuous batching at the
+//!                   decode config's max batch until buffer + GPUs drain
+//!   RESHARD c_d -> c_p, repeat while requests remain
+//! ```
+//!
+//! KV re-sharding needs no extra traffic: shards are pushed under
+//! `c_p`'s layout and pulled under `c_d`'s from the same shared host
+//! buffer (paper Figure 7).
+
+use crate::autotune;
+use crate::cluster_sim::ClusterSim;
+use crate::driver::{submit_decode_burst, submit_prefill_batch, Replica, RunSeq};
+use crate::report::{EngineReport, Phase, PhaseSpan};
+use seesaw_hw::{efficiency, ClusterSpec};
+use seesaw_kv::{BufferedSeq, CpuKvBuffer, KvLayout, PagedKvCache, SwapSizer};
+use seesaw_model::ModelConfig;
+use seesaw_parallel::{FitError, MemoryPlan, ParallelConfig, ReshardPlan};
+use seesaw_roofline::Roofline;
+use seesaw_sim::{TaskHandle, TaskKind};
+use seesaw_workload::{Request, RunStats};
+use std::collections::{HashMap, VecDeque};
+
+/// Decode rounds per burst while the prefetcher is idle.
+const BURST_CAP: usize = 64;
+/// Decode rounds per burst while swap-ins are in flight (shorter so
+/// arriving sequences join promptly).
+const BURST_CAP_INFLIGHT: usize = 4;
+/// Prompt-token budget per prefill pass.
+const MAX_PREFILL_TOKENS: usize = 16384;
+
+/// Full specification of a Seesaw deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeesawSpec {
+    /// Parallelization used while prefilling (`c_p`).
+    pub prefill: ParallelConfig,
+    /// Parallelization used while decoding (`c_d`).
+    pub decode: ParallelConfig,
+    /// Host KV layout (paper §5.2 recommends `HND`).
+    pub layout: KvLayout,
+    /// Enable the asynchronous swap pipeline (swap-out/in overlapped
+    /// with compute). Disable for the ablation in `abl_overlap`.
+    pub overlap: bool,
+    /// Override the CPU KV buffer capacity in tokens (total across
+    /// the cluster). `None` uses the cluster's full host budget.
+    pub buffer_tokens_override: Option<u64>,
+}
+
+impl SeesawSpec {
+    /// Spec with defaults (HND layout, overlap on, full host buffer).
+    pub fn new(prefill: ParallelConfig, decode: ParallelConfig) -> Self {
+        SeesawSpec {
+            prefill,
+            decode,
+            layout: KvLayout::Hnd,
+            overlap: true,
+            buffer_tokens_override: None,
+        }
+    }
+
+    /// Auto-tuned spec for a generic workload (2000-token prompts,
+    /// 250-token outputs). Use [`SeesawSpec::auto_for`] when workload
+    /// statistics are known.
+    pub fn auto(cluster: &ClusterSpec, model: &ModelConfig) -> Result<Self, FitError> {
+        Self::auto_for(cluster, model, 2000, 250)
+    }
+
+    /// Auto-tuned spec for a workload averaging `avg_in` prompt and
+    /// `avg_out` generated tokens. Shortlists candidates analytically,
+    /// then picks the pair with the best *simulated* probe throughput.
+    pub fn auto_for(
+        cluster: &ClusterSpec,
+        model: &ModelConfig,
+        avg_in: usize,
+        avg_out: usize,
+    ) -> Result<Self, FitError> {
+        let probe: Vec<Request> = (0..24)
+            .map(|i| Request::new(u64::MAX - i, avg_in.max(1), avg_out.max(1)))
+            .collect();
+        let (cp, cd) = autotune::best_seesaw_pair_probed(cluster, model, &probe)?;
+        Ok(Self::new(cp, cd))
+    }
+
+    /// Auto-tuned spec probed with a caller-supplied sample of the
+    /// real workload (better than [`SeesawSpec::auto_for`] for skewed
+    /// length distributions).
+    pub fn auto_probed(
+        cluster: &ClusterSpec,
+        model: &ModelConfig,
+        probe: &[Request],
+    ) -> Result<Self, FitError> {
+        let (cp, cd) = autotune::best_seesaw_pair_probed(cluster, model, probe)?;
+        Ok(Self::new(cp, cd))
+    }
+
+    /// The paper's arrow label, e.g. `"P4->T4"`.
+    pub fn label(&self) -> String {
+        format!("{}->{}", self.prefill, self.decode)
+    }
+}
+
+/// The Seesaw inference engine.
+#[derive(Debug)]
+pub struct SeesawEngine {
+    cluster: ClusterSpec,
+    model: ModelConfig,
+    spec: SeesawSpec,
+    plan_p: MemoryPlan,
+    plan_d: MemoryPlan,
+}
+
+impl SeesawEngine {
+    /// Validate both configurations and build the engine.
+    pub fn new(
+        cluster: ClusterSpec,
+        model: ModelConfig,
+        spec: SeesawSpec,
+    ) -> Result<Self, FitError> {
+        if spec.prefill.dp != spec.decode.dp {
+            return Err(FitError::Invalid(format!(
+                "Seesaw keeps DP fixed across stages (got {} vs {})",
+                spec.prefill.dp, spec.decode.dp
+            )));
+        }
+        if spec.prefill.num_gpus() != cluster.num_gpus
+            || spec.decode.num_gpus() != cluster.num_gpus
+        {
+            return Err(FitError::NotEnoughGpus {
+                need: spec.prefill.num_gpus().max(spec.decode.num_gpus()),
+                have: cluster.num_gpus,
+            });
+        }
+        let plan_p = MemoryPlan::new(&model, &cluster, spec.prefill)?;
+        let plan_d = MemoryPlan::new(&model, &cluster, spec.decode)?;
+        Ok(SeesawEngine {
+            cluster,
+            model,
+            spec,
+            plan_p,
+            plan_d,
+        })
+    }
+
+    /// The deployment spec.
+    pub fn spec(&self) -> &SeesawSpec {
+        &self.spec
+    }
+
+    /// Process `requests` to completion.
+    pub fn run(&self, requests: &[Request]) -> EngineReport {
+        let mut st = SeesawRun::new(self, requests);
+        st.run();
+        st.finish(requests, self.spec.label())
+    }
+}
+
+/// A sequence whose KV swap-out is in flight.
+#[derive(Debug, Clone, Copy)]
+struct PendingSwapOut {
+    id: u64,
+    /// Completes when the GPU-side KV can be freed (D2H done).
+    vacate: TaskHandle,
+    /// Completes when the shared-memory copy is done (`None` for
+    /// sequences that finished at prefill and are never buffered).
+    buffered: Option<TaskHandle>,
+}
+
+/// A sequence whose KV swap-in is in flight.
+#[derive(Debug, Clone, Copy)]
+struct PendingSwapIn {
+    id: u64,
+    tokens: usize,
+    output_len: usize,
+    ready: TaskHandle,
+}
+
+struct SeesawRun<'a> {
+    eng: &'a SeesawEngine,
+    cs: ClusterSim,
+    rl: Roofline,
+    replicas: Vec<Replica>,
+    buffers: Vec<CpuKvBuffer>,
+    waiting: VecDeque<Request>,
+    meta: HashMap<u64, Request>,
+    sizer_p: SwapSizer,
+    sizer_d: SwapSizer,
+    completed: usize,
+    prefill_wall: f64,
+    decode_wall: f64,
+    reshard_wall: f64,
+    transitions: usize,
+    swap_out_bytes: u64,
+    swap_in_bytes: u64,
+    phases: Vec<PhaseSpan>,
+}
+
+impl<'a> SeesawRun<'a> {
+    fn new(eng: &'a SeesawEngine, requests: &[Request]) -> Self {
+        let dp = eng.spec.prefill.dp;
+        let cs = ClusterSim::new(eng.cluster.clone());
+        let rl = Roofline::new(eng.cluster.clone(), eng.model.clone());
+        let replicas = (0..dp)
+            .map(|d| Replica::new(d, eng.plan_p.kv_tokens_per_replica, eng.spec.prefill.pp))
+            .collect();
+        let total_buffer_tokens = eng.spec.buffer_tokens_override.unwrap_or_else(|| {
+            eng.cluster.total_cpu_mem() / eng.model.kv_bytes_per_token()
+        });
+        let buffers = (0..dp)
+            .map(|_| CpuKvBuffer::new(total_buffer_tokens / dp as u64))
+            .collect();
+        SeesawRun {
+            eng,
+            cs,
+            rl,
+            replicas,
+            buffers,
+            waiting: requests.iter().copied().collect(),
+            meta: requests.iter().map(|r| (r.id, *r)).collect(),
+            sizer_p: SwapSizer::new(&eng.model, eng.spec.prefill, eng.spec.layout),
+            sizer_d: SwapSizer::new(&eng.model, eng.spec.decode, eng.spec.layout),
+            completed: 0,
+            prefill_wall: 0.0,
+            decode_wall: 0.0,
+            reshard_wall: 0.0,
+            transitions: 0,
+            swap_out_bytes: 0,
+            swap_in_bytes: 0,
+            phases: Vec::new(),
+        }
+    }
+
+    fn record_phase(&mut self, phase: Phase, start_s: f64) {
+        let end_s = self.cs.now().as_secs();
+        if end_s > start_s {
+            self.phases.push(PhaseSpan { phase, start_s, end_s });
+        }
+    }
+
+    fn run(&mut self) {
+        // The model is initially loaded in the prefill sharding.
+        loop {
+            let buffered_any = self.prefill_phase();
+            if buffered_any {
+                self.reshard(self.eng.spec.prefill, self.eng.spec.decode);
+                self.decode_phase();
+                if self.waiting.is_empty() {
+                    break;
+                }
+                self.reshard(self.eng.spec.decode, self.eng.spec.prefill);
+            } else if self.waiting.is_empty() {
+                break;
+            }
+            // (buffered_any == false with waiting non-empty cannot
+            // occur: prefill always makes progress or panics.)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Prefill phase (config c_p)
+    // ------------------------------------------------------------------
+
+    /// Run prefill until the CPU buffer is full or no prompts remain.
+    /// Returns whether any sequences were buffered for decoding.
+    #[allow(clippy::needless_range_loop)] // replica index addresses several parallel arrays
+    fn prefill_phase(&mut self) -> bool {
+        let cfg = self.eng.spec.prefill;
+        let dp = cfg.dp;
+        for rep in &mut self.replicas {
+            rep.kv = PagedKvCache::new(
+                self.eng.plan_p.kv_tokens_per_replica,
+                PagedKvCache::DEFAULT_BLOCK_TOKENS,
+            );
+            rep.reset_tails(cfg.pp);
+        }
+        let mut pending: Vec<Vec<PendingSwapOut>> = vec![Vec::new(); dp];
+        let mut outstanding: VecDeque<TaskHandle> = VecDeque::new();
+        let t_phase = self.cs.now();
+        let mut buffered_any = false;
+
+        loop {
+            // Without the async pipeline, swap-outs serialize with
+            // compute: drain them before scheduling more prefill.
+            if !self.eng.spec.overlap {
+                let drains: Vec<TaskHandle> = pending
+                    .iter()
+                    .flat_map(|v| v.iter().map(|p| p.buffered.unwrap_or(p.vacate)))
+                    .collect();
+                for h in drains {
+                    self.cs.sim.run_until(h);
+                }
+            }
+            // Reclaim GPU KV from completed swap-outs.
+            for d in 0..dp {
+                let mut i = 0;
+                while i < pending[d].len() {
+                    if self.cs.sim.completed(pending[d][i].vacate) {
+                        let p = pending[d].swap_remove(i);
+                        self.replicas[d].kv.free(p.id).expect("resident");
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+
+            // Admission: GPU KV must fit the prompt, CPU buffer must
+            // have room for its eventual KV.
+            let mut admitted: Vec<Vec<(u64, usize)>> = vec![Vec::new(); dp];
+            let mut budget = vec![MAX_PREFILL_TOKENS; dp];
+            let mut buffer_full = false;
+            while let Some(&req) = self.waiting.front() {
+                let mut best: Option<usize> = None;
+                for d in 0..dp {
+                    if budget[d] >= req.input_len
+                        && self.replicas[d].kv.can_fit(req.input_len)
+                        && self.buffers[d].can_fit(req.input_len)
+                    {
+                        let better = match best {
+                            None => true,
+                            Some(b) => {
+                                self.buffers[d].capacity_tokens() - self.buffers[d].used_tokens()
+                                    > self.buffers[b].capacity_tokens()
+                                        - self.buffers[b].used_tokens()
+                            }
+                        };
+                        if better {
+                            best = Some(d);
+                        }
+                    }
+                }
+                let Some(d) = best else {
+                    buffer_full = (0..dp)
+                        .all(|d| !self.buffers[d].can_fit(req.input_len));
+                    if buffer_full && self.buffers.iter().all(|b| b.is_empty()) {
+                        panic!(
+                            "prompt {} ({} tokens) exceeds the CPU KV buffer capacity ({} tokens)",
+                            req.id,
+                            req.input_len,
+                            self.buffers[0].capacity_tokens()
+                        );
+                    }
+                    break;
+                };
+                self.waiting.pop_front();
+                self.replicas[d]
+                    .kv
+                    .allocate(req.id, req.input_len)
+                    .expect("can_fit checked");
+                if req.output_len > 1 {
+                    // Reserve buffer capacity now; the swap tasks that
+                    // physically fill it are submitted after the pass.
+                    let ok = self.buffers[d].push(BufferedSeq {
+                        req_id: req.id,
+                        tokens: req.input_len,
+                        output_len: req.output_len,
+                    });
+                    assert!(ok, "can_fit checked");
+                }
+                admitted[d].push((req.id, req.input_len));
+                budget[d] -= req.input_len;
+            }
+
+            let nothing_admitted = admitted.iter().all(|a| a.is_empty());
+            if nothing_admitted {
+                if buffer_full || self.waiting.is_empty() {
+                    break; // phase over
+                }
+                // GPU KV is the bottleneck: wait for the oldest
+                // swap-out to vacate space.
+                let oldest = (0..dp)
+                    .filter_map(|d| pending[d].first().map(|p| p.vacate))
+                    .next();
+                match oldest {
+                    Some(h) => {
+                        self.cs.sim.run_until(h);
+                        continue;
+                    }
+                    None => panic!(
+                        "prefill stalled: prompt {} does not fit GPU KV ({} tokens)",
+                        self.waiting.front().expect("non-empty").input_len,
+                        self.replicas[0].kv.capacity_tokens()
+                    ),
+                }
+            }
+
+            // Run the prefill passes and attach swap-outs.
+            let mut joins = Vec::new();
+            for d in 0..dp {
+                if admitted[d].is_empty() {
+                    continue;
+                }
+                let parts = submit_prefill_batch(
+                    &mut self.cs,
+                    &self.rl,
+                    cfg,
+                    &mut self.replicas[d],
+                    &admitted[d],
+                );
+                for (pass, ids) in parts {
+                    joins.push(pass);
+                    for id in ids {
+                        let req = self.meta[&id];
+                        let p = self.submit_swap_out(d, id, req, pass);
+                        if p.buffered.is_some() {
+                            buffered_any = true;
+                        }
+                        pending[d].push(p);
+                    }
+                }
+            }
+            // Keep two batch joins in flight so pipeline stages stay
+            // busy across batch boundaries.
+            let join = self.cs.join(joins);
+            outstanding.push_back(join);
+            if outstanding.len() >= 2 {
+                let oldest = outstanding.pop_front().expect("non-empty");
+                self.cs.sim.run_until(oldest);
+            }
+        }
+        while let Some(j) = outstanding.pop_front() {
+            self.cs.sim.run_until(j);
+        }
+
+        // Drain every swap-out before transitioning.
+        let handles: Vec<TaskHandle> = pending
+            .iter()
+            .flat_map(|v| v.iter().map(|p| p.buffered.unwrap_or(p.vacate)))
+            .collect();
+        if !handles.is_empty() {
+            let join = self.cs.join(handles);
+            self.cs.sim.run_until(join);
+        }
+        for d in 0..dp {
+            for p in pending[d].drain(..) {
+                self.replicas[d].kv.free(p.id).expect("resident");
+            }
+        }
+        // Attribute the whole phase's wall clock (incl. drain) to prefill.
+        self.prefill_wall += self.cs.now() - t_phase;
+        self.record_phase(Phase::Prefill, t_phase.as_secs());
+        buffered_any
+    }
+
+    /// Submit the swap-out chain for one prefilled sequence: per-GPU
+    /// D2H into pinned staging (dep: the prefill pass), then the
+    /// host-side copy into shared memory. Sequences that finished at
+    /// prefill (`output_len == 1`) skip the swap entirely.
+    fn submit_swap_out(&mut self, d: usize, id: u64, req: Request, pass: TaskHandle) -> PendingSwapOut {
+        if req.output_len <= 1 {
+            self.completed += 1;
+            return PendingSwapOut {
+                id,
+                vacate: pass,
+                buffered: None,
+            };
+        }
+        let cfg = self.eng.spec.prefill;
+        let tokens = req.input_len;
+        let mut d2h_parts = Vec::new();
+        let mut staging_parts = Vec::new();
+        for pp_rank in 0..cfg.pp {
+            for gpu in self.cs.stage_gpus(cfg, d, pp_rank) {
+                let xfer = self.sizer_p.seq_transfer_time(&self.eng.cluster, gpu, tokens);
+                if xfer <= 0.0 {
+                    continue;
+                }
+                let d2h = self.cs.submit_d2h(gpu, xfer, Some(pass), TaskKind::SwapOut);
+                let stage_t = self.sizer_p.seq_staging_time(&self.eng.cluster, gpu, tokens);
+                let st = self.cs.submit_staging(gpu, stage_t, Some(d2h));
+                d2h_parts.push(d2h);
+                staging_parts.push(st);
+            }
+        }
+        self.swap_out_bytes += self.sizer_p.seq_bytes_total(tokens);
+        let vacate = self.cs.join(d2h_parts);
+        let buffered = self.cs.join(staging_parts);
+        let _ = d;
+        PendingSwapOut {
+            id,
+            vacate,
+            buffered: Some(buffered),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Decode phase (config c_d)
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::needless_range_loop)] // replica index addresses several parallel arrays
+    fn decode_phase(&mut self) {
+        let cfg = self.eng.spec.decode;
+        let dp = cfg.dp;
+        for rep in &mut self.replicas {
+            rep.kv = PagedKvCache::new(
+                self.eng.plan_d.kv_tokens_per_replica,
+                PagedKvCache::DEFAULT_BLOCK_TOKENS,
+            );
+            rep.reset_tails(cfg.pp);
+        }
+        let t_phase = self.cs.now();
+        let mut inflight: Vec<Vec<PendingSwapIn>> = vec![Vec::new(); dp];
+        for d in 0..dp {
+            self.prefetch(d, &mut inflight[d]);
+        }
+
+        loop {
+            // On-board arrived swap-ins.
+            for d in 0..dp {
+                let mut i = 0;
+                while i < inflight[d].len() {
+                    if self.cs.sim.completed(inflight[d][i].ready) {
+                        let p = inflight[d].swap_remove(i);
+                        self.replicas[d].running.push(RunSeq {
+                            id: p.id,
+                            ctx: p.tokens + 1,
+                            remaining: p.output_len - 1,
+                        });
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+
+            let any_running = self.replicas.iter().any(|r| !r.running.is_empty());
+            let any_inflight = inflight.iter().any(|v| !v.is_empty());
+            if !any_running {
+                if any_inflight {
+                    let next = inflight
+                        .iter()
+                        .flat_map(|v| v.iter().map(|p| p.ready))
+                        .next()
+                        .expect("non-empty");
+                    self.cs.sim.run_until(next);
+                    continue;
+                }
+                break; // buffers drained, everything decoded
+            }
+
+            // Decode burst.
+            let cap = if any_inflight { BURST_CAP_INFLIGHT } else { BURST_CAP };
+            let mut submitted = Vec::new();
+            for d in 0..dp {
+                let rounds = self.replicas[d].max_burst(cap);
+                if rounds == 0 {
+                    continue;
+                }
+                if let Some(h) =
+                    submit_decode_burst(&mut self.cs, &self.rl, cfg, &mut self.replicas[d], rounds)
+                {
+                    submitted.push((d, rounds, h));
+                }
+            }
+            let join = self.cs.join(submitted.iter().map(|&(_, _, h)| h).collect());
+            self.cs.sim.run_until(join);
+            for (d, rounds, _) in submitted {
+                let finished = self.replicas[d].advance_decode(rounds);
+                self.completed += finished.len();
+            }
+            for d in 0..dp {
+                self.prefetch(d, &mut inflight[d]);
+            }
+        }
+        self.decode_wall += self.cs.now() - t_phase;
+        self.record_phase(Phase::Decode, t_phase.as_secs());
+    }
+
+    /// Issue swap-ins while GPU KV capacity allows (reserving each
+    /// sequence's full final context).
+    fn prefetch(&mut self, d: usize, inflight: &mut Vec<PendingSwapIn>) {
+        let cfg = self.eng.spec.decode;
+        while let Some(&front) = self.buffers[d].peek() {
+            let reserve = front.tokens + front.output_len;
+            if !self.replicas[d].kv.can_fit(reserve) {
+                break;
+            }
+            let seq = self.buffers[d].pop().expect("peeked");
+            self.replicas[d]
+                .kv
+                .allocate(seq.req_id, reserve)
+                .expect("can_fit checked");
+            // Serialize with compute when the async pipeline is off.
+            let dep = if self.eng.spec.overlap {
+                None
+            } else {
+                self.replicas[d].tails.iter().flatten().next().copied()
+            };
+            let mut parts = Vec::new();
+            for pp_rank in 0..cfg.pp {
+                for gpu in self.cs.stage_gpus(cfg, d, pp_rank) {
+                    let stage_t =
+                        self.sizer_d.seq_staging_time(&self.eng.cluster, gpu, seq.tokens);
+                    let xfer =
+                        self.sizer_d.seq_transfer_time(&self.eng.cluster, gpu, seq.tokens);
+                    if xfer <= 0.0 {
+                        continue;
+                    }
+                    let st = self.cs.submit_staging(gpu, stage_t, dep);
+                    let h2d = self.cs.submit_h2d(gpu, xfer, Some(st), TaskKind::SwapIn);
+                    parts.push(h2d);
+                }
+            }
+            self.swap_in_bytes += self.sizer_d.seq_bytes_total(seq.tokens);
+            let ready = self.cs.join(parts);
+            inflight.push(PendingSwapIn {
+                id: seq.req_id,
+                tokens: seq.tokens,
+                output_len: seq.output_len,
+                ready,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Re-sharding
+    // ------------------------------------------------------------------
+
+    fn reshard(&mut self, from: ParallelConfig, to: ParallelConfig) {
+        // Quiesce the cluster (communicators must be rebuilt anyway).
+        self.cs.sim.run_until_idle();
+        let t0 = self.cs.now();
+        let plan = ReshardPlan::plan(&self.eng.model, from, to);
+        let mut handles = Vec::new();
+        for mv in &plan.moves {
+            let dur = self
+                .eng
+                .cluster
+                .host_link
+                .pinned_copy_time(mv.load_bytes as f64);
+            if dur > 0.0 {
+                handles.push(self.cs.submit_h2d(mv.gpu, dur, None, TaskKind::ReshardLoad));
+            }
+            handles.push(self.cs.submit_compute_overhead(
+                mv.gpu,
+                efficiency::RESHARD_FIXED_OVERHEAD_S,
+                None,
+            ));
+        }
+        let join = self.cs.join(handles);
+        self.cs.sim.run_until(join);
+        self.reshard_wall += self.cs.now() - t0;
+        self.transitions += 1;
+        self.record_phase(Phase::Reshard, t0.as_secs());
+    }
+
+    fn finish(mut self, requests: &[Request], label: String) -> EngineReport {
+        let end = self.cs.sim.run_until_idle();
+        assert_eq!(self.completed, requests.len(), "all requests must finish");
+        let gpu_utilization = self.cs.mean_compute_utilization();
+        EngineReport {
+            label,
+            stats: RunStats::from_requests(requests, end.as_secs()),
+            prefill_wall_s: self.prefill_wall,
+            decode_wall_s: self.decode_wall,
+            mixed_wall_s: 0.0,
+            reshard_wall_s: self.reshard_wall,
+            transitions: self.transitions,
+            swap_out_bytes: self.swap_out_bytes,
+            swap_in_bytes: self.swap_in_bytes,
+            phases: self.phases.clone(),
+            gpu_utilization,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seesaw_model::presets;
+    use seesaw_workload::WorkloadGen;
+
+    fn spec_p4t4() -> SeesawSpec {
+        SeesawSpec::new(ParallelConfig::pp(4), ParallelConfig::tp(4))
+    }
+
+    #[test]
+    fn completes_all_requests_with_resharding() {
+        let eng = SeesawEngine::new(
+            ClusterSpec::a10x4(),
+            presets::llama2_13b(),
+            spec_p4t4(),
+        )
+        .unwrap();
+        let reqs = WorkloadGen::constant(1024, 64).generate(32);
+        let report = eng.run(&reqs);
+        assert_eq!(report.stats.requests, 32);
+        assert!(report.transitions >= 1, "must re-shard at least once");
+        assert!(report.reshard_wall_s > 0.0);
+        assert!(report.swap_out_bytes > 0);
+        assert!(report.swap_in_bytes > 0);
+        assert!(report.prefill_wall_s > 0.0);
+        assert!(report.decode_wall_s > 0.0);
+    }
+
+    #[test]
+    fn label_uses_arrow_notation() {
+        assert_eq!(spec_p4t4().label(), "P4->T4");
+    }
+
+    #[test]
+    fn rejects_dp_change_across_stages() {
+        let spec = SeesawSpec::new(ParallelConfig::new(2, 2, 1), ParallelConfig::tp(4));
+        let err =
+            SeesawEngine::new(ClusterSpec::a10x4(), presets::llama2_13b(), spec).unwrap_err();
+        assert!(matches!(err, FitError::Invalid(_)));
+    }
+
+    #[test]
+    fn single_token_outputs_never_reach_decode() {
+        let eng = SeesawEngine::new(
+            ClusterSpec::a10x4(),
+            presets::llama2_13b(),
+            spec_p4t4(),
+        )
+        .unwrap();
+        let reqs: Vec<Request> = (0..8).map(|i| Request::new(i, 700, 1)).collect();
+        let report = eng.run(&reqs);
+        assert_eq!(report.stats.requests, 8);
+        assert_eq!(report.transitions, 0, "nothing buffered, no transition");
+        assert_eq!(report.swap_in_bytes, 0);
+    }
+
+    #[test]
+    fn small_buffer_forces_more_transitions() {
+        let m = presets::llama2_13b();
+        let cluster = ClusterSpec::a10x4();
+        let reqs = WorkloadGen::constant(1000, 50).generate(48);
+
+        let mut small = spec_p4t4();
+        // Room for ~8 prompts per cycle.
+        small.buffer_tokens_override = Some(8_000);
+        let r_small = SeesawEngine::new(cluster.clone(), m.clone(), small)
+            .unwrap()
+            .run(&reqs);
+
+        let big = spec_p4t4();
+        let r_big = SeesawEngine::new(cluster, m, big).unwrap().run(&reqs);
+
+        assert!(
+            r_small.transitions > r_big.transitions,
+            "small buffer {} transitions vs big {}",
+            r_small.transitions,
+            r_big.transitions
+        );
+        assert!(r_small.reshard_wall_s > r_big.reshard_wall_s);
+    }
+
+    #[test]
+    fn overlap_beats_serialized_swaps() {
+        let m = presets::llama2_13b();
+        let cluster = ClusterSpec::a10x4();
+        let reqs = WorkloadGen::constant(1500, 80).generate(32);
+
+        let on = SeesawEngine::new(cluster.clone(), m.clone(), spec_p4t4())
+            .unwrap()
+            .run(&reqs);
+        let mut off_spec = spec_p4t4();
+        off_spec.overlap = false;
+        let off = SeesawEngine::new(cluster, m, off_spec).unwrap().run(&reqs);
+        assert!(
+            on.throughput_rps() >= off.throughput_rps(),
+            "async pipeline must not hurt: {} vs {}",
+            on.throughput_rps(),
+            off.throughput_rps()
+        );
+    }
+
+    #[test]
+    fn identity_configs_degenerate_to_static_with_swaps() {
+        // c_p == c_d is legal; re-sharding loads nothing but the
+        // engine still pays the fixed transition cost.
+        let spec = SeesawSpec::new(ParallelConfig::new(1, 2, 2), ParallelConfig::new(1, 2, 2));
+        let eng =
+            SeesawEngine::new(ClusterSpec::a10x4(), presets::llama2_13b(), spec).unwrap();
+        let reqs = WorkloadGen::constant(512, 16).generate(16);
+        let report = eng.run(&reqs);
+        assert_eq!(report.stats.requests, 16);
+    }
+}

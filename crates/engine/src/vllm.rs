@@ -1,0 +1,579 @@
+//! The static-parallelism baseline engine (vLLM-like).
+//!
+//! One `(DP, TP, PP)` configuration for the whole run, continuous
+//! batching, paged KV, and one of three scheduling policies
+//! ([`SchedulingPolicy`]). Admission is conservative: a request is
+//! admitted only when its full `input + output` KV reservation fits,
+//! so no preemption is ever needed (this matches the paper's
+//! Appendix A batching model, where max batch size is derived from
+//! average *total* sequence length).
+
+use crate::cluster_sim::ClusterSim;
+use crate::driver::{
+    submit_decode_burst, submit_mixed_round, submit_prefill_batch, Replica, RunSeq,
+};
+use crate::report::EngineReport;
+use crate::SchedulingPolicy;
+use seesaw_hw::ClusterSpec;
+use seesaw_model::ModelConfig;
+use seesaw_parallel::{FitError, MemoryPlan, ParallelConfig};
+use seesaw_roofline::{BatchShape, Roofline};
+use seesaw_sim::TaskHandle;
+use seesaw_workload::{Request, RunStats};
+use std::collections::{HashMap, VecDeque};
+
+/// Maximum decode rounds submitted between scheduling decisions.
+const BURST_CAP: usize = 64;
+
+/// Maximum prompt tokens admitted into one prefill pass (vLLM's
+/// `max_num_batched_tokens`-style bound).
+const MAX_PREFILL_TOKENS: usize = 16384;
+
+/// A static-parallelism engine instance.
+#[derive(Debug)]
+pub struct VllmEngine {
+    cluster: ClusterSpec,
+    model: ModelConfig,
+    cfg: ParallelConfig,
+    policy: SchedulingPolicy,
+    plan: MemoryPlan,
+}
+
+/// A submitted-but-not-yet-integrated prefill batch.
+#[derive(Debug)]
+struct InflightPrefill {
+    join: TaskHandle,
+    admitted: Vec<Vec<(u64, usize)>>,
+}
+
+/// Sequence being chunk-prefilled (chunked policy only).
+#[derive(Debug, Clone, Copy)]
+struct Prefilling {
+    id: u64,
+    prompt: usize,
+    done: usize,
+}
+
+impl VllmEngine {
+    /// Validate the configuration against the cluster and build the
+    /// engine.
+    pub fn new(
+        cluster: ClusterSpec,
+        model: ModelConfig,
+        cfg: ParallelConfig,
+        policy: SchedulingPolicy,
+    ) -> Result<Self, FitError> {
+        if cfg.num_gpus() != cluster.num_gpus {
+            return Err(FitError::NotEnoughGpus {
+                need: cfg.num_gpus(),
+                have: cluster.num_gpus,
+            });
+        }
+        let plan = MemoryPlan::new(&model, &cluster, cfg)?;
+        Ok(VllmEngine {
+            cluster,
+            model,
+            cfg,
+            policy,
+            plan,
+        })
+    }
+
+    /// Configuration label.
+    pub fn label(&self) -> String {
+        self.cfg.to_string()
+    }
+
+    /// Process `requests` to completion, returning the run report.
+    pub fn run(&self, requests: &[Request]) -> EngineReport {
+        let mut st = RunState::new(self, requests);
+        match self.policy {
+            SchedulingPolicy::PrefillPrioritized => st.run_prefill_prioritized(),
+            SchedulingPolicy::DecodePrioritized => st.run_decode_prioritized(),
+            SchedulingPolicy::ChunkedPrefill { chunk_tokens } => st.run_chunked(chunk_tokens),
+        }
+        st.finish(requests, self.label())
+    }
+}
+
+struct RunState<'a> {
+    eng: &'a VllmEngine,
+    cs: ClusterSim,
+    rl: Roofline,
+    replicas: Vec<Replica>,
+    waiting: VecDeque<Request>,
+    meta: HashMap<u64, Request>,
+    prefilling: Vec<VecDeque<Prefilling>>,
+    completed: usize,
+    prefill_wall: f64,
+    decode_wall: f64,
+    mixed_wall: f64,
+}
+
+impl<'a> RunState<'a> {
+    fn new(eng: &'a VllmEngine, requests: &[Request]) -> Self {
+        let cs = ClusterSim::new(eng.cluster.clone());
+        let rl = Roofline::new(eng.cluster.clone(), eng.model.clone());
+        let replicas = (0..eng.cfg.dp)
+            .map(|d| Replica::new(d, eng.plan.kv_tokens_per_replica, eng.cfg.pp))
+            .collect();
+        let meta = requests.iter().map(|r| (r.id, *r)).collect();
+        RunState {
+            eng,
+            cs,
+            rl,
+            replicas,
+            waiting: requests.iter().copied().collect(),
+            meta,
+            prefilling: vec![VecDeque::new(); eng.cfg.dp],
+            completed: 0,
+            prefill_wall: 0.0,
+            decode_wall: 0.0,
+            mixed_wall: 0.0,
+        }
+    }
+
+    fn all_done(&self) -> bool {
+        self.waiting.is_empty()
+            && self.replicas.iter().all(|r| r.running.is_empty())
+            && self.prefilling.iter().all(|p| p.is_empty())
+    }
+
+    /// Admit waiting requests into replica KV caches (full
+    /// `input+output` reservation), spreading across replicas.
+    /// Returns per-replica admitted `(id, prompt_len)` lists.
+    fn admit(&mut self, token_budget: usize) -> Vec<Vec<(u64, usize)>> {
+        let dp = self.eng.cfg.dp;
+        let mut admitted: Vec<Vec<(u64, usize)>> = vec![Vec::new(); dp];
+        let mut budget = vec![token_budget; dp];
+        'outer: while let Some(&req) = self.waiting.front() {
+            let reserve = req.total_len();
+            // Pick the replica with the most free KV that can take it.
+            let mut best: Option<usize> = None;
+            for (d, rep) in self.replicas.iter().enumerate() {
+                if budget[d] >= req.input_len && rep.kv.can_fit(reserve) {
+                    let better = match best {
+                        None => true,
+                        Some(b) => rep.kv.free_tokens() > self.replicas[b].kv.free_tokens(),
+                    };
+                    if better {
+                        best = Some(d);
+                    }
+                }
+            }
+            match best {
+                Some(d) => {
+                    self.waiting.pop_front();
+                    self.replicas[d]
+                        .kv
+                        .allocate(req.id, reserve)
+                        .expect("can_fit checked");
+                    admitted[d].push((req.id, req.input_len));
+                    budget[d] -= req.input_len;
+                }
+                None => {
+                    // No replica can take the head request right now.
+                    if self.replicas.iter().all(|r| r.running.is_empty())
+                        && self.prefilling.iter().all(|p| p.is_empty())
+                        && admitted.iter().all(|a| a.is_empty())
+                    {
+                        let cap = self.replicas[0].kv.capacity_tokens();
+                        panic!(
+                            "request {} needs {} KV tokens but replica capacity is {cap}",
+                            req.id, reserve
+                        );
+                    }
+                    break 'outer;
+                }
+            }
+        }
+        admitted
+    }
+
+    /// Submit a whole-prompt prefill pass for admitted batches,
+    /// returning the in-flight record (join handle + members). The
+    /// caller decides when to wait on it, so consecutive batches keep
+    /// the pipeline full.
+    fn submit_prefill(&mut self, admitted: Vec<Vec<(u64, usize)>>) -> Option<InflightPrefill> {
+        if admitted.iter().all(|a| a.is_empty()) {
+            return None;
+        }
+        let mut joins: Vec<TaskHandle> = Vec::new();
+        for (d, batch) in admitted.iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let parts =
+                submit_prefill_batch(&mut self.cs, &self.rl, self.eng.cfg, &mut self.replicas[d], batch);
+            joins.extend(parts.into_iter().map(|(h, _)| h));
+        }
+        let join = self.cs.join(joins);
+        Some(InflightPrefill { join, admitted })
+    }
+
+    /// Wait for one in-flight prefill batch and move its sequences to
+    /// `running` (their first token is produced by the prefill pass).
+    fn integrate_prefill(&mut self, batch: InflightPrefill) {
+        let t0 = self.cs.now();
+        self.cs.sim.run_until(batch.join);
+        self.prefill_wall += self.cs.now() - t0;
+        for (d, members) in batch.admitted.into_iter().enumerate() {
+            for (id, prompt) in members {
+                let req = self.meta[&id];
+                if req.output_len <= 1 {
+                    self.replicas[d].kv.free(id).expect("was allocated");
+                    self.completed += 1;
+                } else {
+                    self.replicas[d].running.push(RunSeq {
+                        id,
+                        ctx: prompt + 1,
+                        remaining: req.output_len - 1,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Admit + prefill with up to two batches in flight, so pipeline
+    /// stages stay busy across batch boundaries (matching vLLM's
+    /// virtual-engine behaviour under PP). Returns whether any prefill
+    /// work happened.
+    fn do_prefill_pipelined(&mut self) -> bool {
+        let mut outstanding: VecDeque<InflightPrefill> = VecDeque::new();
+        let mut any = false;
+        loop {
+            let admitted = self.admit(MAX_PREFILL_TOKENS);
+            match self.submit_prefill(admitted) {
+                Some(batch) => {
+                    any = true;
+                    outstanding.push_back(batch);
+                    if outstanding.len() >= 2 {
+                        let oldest = outstanding.pop_front().expect("non-empty");
+                        self.integrate_prefill(oldest);
+                    }
+                }
+                None => break,
+            }
+        }
+        while let Some(batch) = outstanding.pop_front() {
+            self.integrate_prefill(batch);
+        }
+        any
+    }
+
+    /// One decode burst across replicas (each replica uses its own
+    /// safe burst length). Returns whether any work ran.
+    fn do_decode_burst(&mut self) -> bool {
+        let mut submitted: Vec<(usize, usize, TaskHandle)> = Vec::new();
+        for d in 0..self.replicas.len() {
+            let rounds = self.replicas[d].max_burst(BURST_CAP);
+            if rounds == 0 {
+                continue;
+            }
+            if let Some(h) = submit_decode_burst(
+                &mut self.cs,
+                &self.rl,
+                self.eng.cfg,
+                &mut self.replicas[d],
+                rounds,
+            ) {
+                submitted.push((d, rounds, h));
+            }
+        }
+        if submitted.is_empty() {
+            return false;
+        }
+        let t0 = self.cs.now();
+        let join = self.cs.join(submitted.iter().map(|&(_, _, h)| h).collect());
+        self.cs.sim.run_until(join);
+        self.decode_wall += self.cs.now() - t0;
+        for (d, rounds, _) in submitted {
+            let finished = self.replicas[d].advance_decode(rounds);
+            self.completed += finished.len();
+        }
+        true
+    }
+
+    fn run_prefill_prioritized(&mut self) {
+        while !self.all_done() {
+            self.do_prefill_pipelined();
+            if self.all_done() {
+                break;
+            }
+            self.do_decode_burst();
+        }
+    }
+
+    fn run_decode_prioritized(&mut self) {
+        while !self.all_done() {
+            // Fill the batch once, then decode it to completion.
+            self.do_prefill_pipelined();
+            while self.replicas.iter().any(|r| !r.running.is_empty()) {
+                self.do_decode_burst();
+            }
+        }
+    }
+
+    fn run_chunked(&mut self, chunk_tokens: usize) {
+        assert!(chunk_tokens > 0, "chunk size must be positive");
+        // Two mixed rounds stay in flight so pipeline stages remain
+        // busy across round boundaries. Engine state (graduations,
+        // decode advances, admissions) evolves deterministically, so
+        // bookkeeping is applied at submission; the simulator is only
+        // consulted for wall-clock time.
+        let mut outstanding: VecDeque<TaskHandle> = VecDeque::new();
+        let mut round = 0usize;
+        loop {
+            // Admit into the prefilling queues.
+            let admitted = self.admit(usize::MAX);
+            for (d, batch) in admitted.into_iter().enumerate() {
+                for (id, prompt) in batch {
+                    self.prefilling[d].push_back(Prefilling { id, prompt, done: 0 });
+                }
+            }
+            if self.all_done() {
+                break;
+            }
+
+            let chunking = self.prefilling.iter().any(|p| !p.is_empty());
+            if chunking {
+                round += 1;
+                if let Some(join) = self.submit_mixed_round_step(chunk_tokens, round) {
+                    outstanding.push_back(join);
+                    if outstanding.len() >= 2 {
+                        let oldest = outstanding.pop_front().expect("non-empty");
+                        let t0 = self.cs.now();
+                        self.cs.sim.run_until(oldest);
+                        self.mixed_wall += self.cs.now() - t0;
+                    }
+                }
+            } else {
+                // Drain in-flight mixed rounds before pure decode.
+                while let Some(j) = outstanding.pop_front() {
+                    let t0 = self.cs.now();
+                    self.cs.sim.run_until(j);
+                    self.mixed_wall += self.cs.now() - t0;
+                }
+                if !self.do_decode_burst() {
+                    // Nothing running and nothing chunking, but
+                    // waiting non-empty: loop back to admission.
+                    continue;
+                }
+            }
+        }
+        while let Some(j) = outstanding.pop_front() {
+            let t0 = self.cs.now();
+            self.cs.sim.run_until(j);
+            self.mixed_wall += self.cs.now() - t0;
+        }
+    }
+
+    /// Submit one mixed round per replica (every running sequence
+    /// decodes one token while up to `chunk_tokens` prompt tokens
+    /// prefill) and apply its deterministic state updates immediately.
+    /// Returns the round's join handle.
+    fn submit_mixed_round_step(&mut self, chunk_tokens: usize, round: usize) -> Option<TaskHandle> {
+        let mut handles = Vec::new();
+        let mut graduated: Vec<(usize, u64, usize)> = Vec::new();
+        let mut decoded: Vec<usize> = Vec::new();
+        for d in 0..self.replicas.len() {
+            // Build this replica's chunk from the head of its queue.
+            let mut budget = chunk_tokens;
+            let mut chunk = BatchShape::empty();
+            while budget > 0 {
+                let Some(front) = self.prefilling[d].front_mut() else {
+                    break;
+                };
+                let take = budget.min(front.prompt - front.done);
+                chunk = chunk.merge(&BatchShape::prefill_chunk(take, front.done));
+                front.done += take;
+                budget -= take;
+                if front.done == front.prompt {
+                    let p = self.prefilling[d].pop_front().expect("front exists");
+                    graduated.push((d, p.id, p.prompt));
+                }
+            }
+            let had_running = !self.replicas[d].running.is_empty();
+            if chunk.is_empty() && !had_running {
+                continue;
+            }
+            if let Some(h) = submit_mixed_round(
+                &mut self.cs,
+                &self.rl,
+                self.eng.cfg,
+                &mut self.replicas[d],
+                &chunk,
+                round,
+            ) {
+                handles.push(h);
+                if had_running {
+                    decoded.push(d);
+                }
+            }
+        }
+        if handles.is_empty() {
+            return None;
+        }
+        for d in decoded {
+            let finished = self.replicas[d].advance_decode(1);
+            self.completed += finished.len();
+        }
+        for (d, id, prompt) in graduated {
+            let req = self.meta[&id];
+            if req.output_len <= 1 {
+                self.replicas[d].kv.free(id).expect("was allocated");
+                self.completed += 1;
+            } else {
+                self.replicas[d].running.push(RunSeq {
+                    id,
+                    ctx: prompt + 1,
+                    remaining: req.output_len - 1,
+                });
+            }
+        }
+        Some(self.cs.join(handles))
+    }
+
+    fn finish(mut self, requests: &[Request], label: String) -> EngineReport {
+        let end = self.cs.sim.run_until_idle();
+        assert_eq!(self.completed, requests.len(), "all requests must finish");
+        let gpu_utilization = self.cs.mean_compute_utilization();
+        EngineReport {
+            label,
+            stats: RunStats::from_requests(requests, end.as_secs()),
+            prefill_wall_s: self.prefill_wall,
+            decode_wall_s: self.decode_wall,
+            mixed_wall_s: self.mixed_wall,
+            reshard_wall_s: 0.0,
+            transitions: 0,
+            swap_out_bytes: 0,
+            swap_in_bytes: 0,
+            phases: Vec::new(),
+            gpu_utilization,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seesaw_model::presets;
+    use seesaw_workload::WorkloadGen;
+
+    fn small_requests(n: usize) -> Vec<Request> {
+        WorkloadGen::constant(512, 32).generate(n)
+    }
+
+    #[test]
+    fn completes_all_requests() {
+        let eng = VllmEngine::new(
+            ClusterSpec::a10x4(),
+            presets::llama2_13b(),
+            ParallelConfig::new(1, 2, 2),
+            SchedulingPolicy::PrefillPrioritized,
+        )
+        .unwrap();
+        let reqs = small_requests(32);
+        let report = eng.run(&reqs);
+        assert_eq!(report.stats.requests, 32);
+        assert!(report.throughput_rps() > 0.0);
+        assert!(report.prefill_wall_s > 0.0);
+        assert!(report.decode_wall_s > 0.0);
+    }
+
+    #[test]
+    fn decode_prioritized_also_completes() {
+        let eng = VllmEngine::new(
+            ClusterSpec::a10x4(),
+            presets::llama2_13b(),
+            ParallelConfig::tp(4),
+            SchedulingPolicy::DecodePrioritized,
+        )
+        .unwrap();
+        let report = eng.run(&small_requests(24));
+        assert_eq!(report.stats.requests, 24);
+    }
+
+    #[test]
+    fn chunked_prefill_completes_and_uses_mixed_batches() {
+        let eng = VllmEngine::new(
+            ClusterSpec::a10x4(),
+            presets::llama2_13b(),
+            ParallelConfig::new(1, 2, 2),
+            SchedulingPolicy::ChunkedPrefill { chunk_tokens: 512 },
+        )
+        .unwrap();
+        let report = eng.run(&small_requests(24));
+        assert_eq!(report.stats.requests, 24);
+        assert!(report.mixed_wall_s > 0.0, "chunked runs mixed batches");
+    }
+
+    #[test]
+    fn single_token_outputs_finish_at_prefill() {
+        let eng = VllmEngine::new(
+            ClusterSpec::a10x4(),
+            presets::llama2_13b(),
+            ParallelConfig::new(1, 2, 2),
+            SchedulingPolicy::PrefillPrioritized,
+        )
+        .unwrap();
+        let reqs: Vec<Request> = (0..8).map(|i| Request::new(i, 800, 1)).collect();
+        let report = eng.run(&reqs);
+        assert_eq!(report.stats.requests, 8);
+        assert_eq!(report.decode_wall_s, 0.0);
+    }
+
+    #[test]
+    fn dp_replicas_share_load() {
+        let eng = VllmEngine::new(
+            ClusterSpec::a10x4(),
+            presets::llama2_13b(),
+            ParallelConfig::new(2, 2, 1),
+            SchedulingPolicy::PrefillPrioritized,
+        )
+        .unwrap();
+        let report = eng.run(&small_requests(32));
+        assert_eq!(report.stats.requests, 32);
+    }
+
+    #[test]
+    fn rejects_config_not_matching_cluster() {
+        let err = VllmEngine::new(
+            ClusterSpec::a10x4(),
+            presets::llama2_13b(),
+            ParallelConfig::tp(8),
+            SchedulingPolicy::PrefillPrioritized,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FitError::NotEnoughGpus { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "KV tokens")]
+    fn oversized_request_panics_with_context() {
+        let eng = VllmEngine::new(
+            ClusterSpec::a10x4(),
+            presets::llama2_13b(),
+            ParallelConfig::new(1, 2, 2),
+            SchedulingPolicy::PrefillPrioritized,
+        )
+        .unwrap();
+        // One request larger than the whole KV space.
+        let reqs = vec![Request::new(0, 2_000_000, 10)];
+        eng.run(&reqs);
+    }
+
+    #[test]
+    fn throughput_improves_with_more_requests_amortizing_ramp() {
+        let eng = VllmEngine::new(
+            ClusterSpec::a10x4(),
+            presets::llama2_13b(),
+            ParallelConfig::new(1, 2, 2),
+            SchedulingPolicy::PrefillPrioritized,
+        )
+        .unwrap();
+        let small = eng.run(&small_requests(8));
+        let large = eng.run(&small_requests(64));
+        assert!(large.throughput_rps() >= small.throughput_rps() * 0.9);
+    }
+}

@@ -1,0 +1,60 @@
+//! Property tests for the fabric cost models.
+
+use proptest::prelude::*;
+use seesaw_hw::{HostLink, Interconnect};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// All-reduce time is monotone in message size.
+    #[test]
+    fn allreduce_monotone_in_size(a in 1.0f64..1e9, b in 1.0f64..1e9, n in 2usize..16) {
+        let ic = Interconnect::pcie_4_x8();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(ic.allreduce_time(lo, n) <= ic.allreduce_time(hi, n) + 1e-15);
+    }
+
+    /// The paper's Bar(TP) metric decreases as ranks are added on
+    /// PCIe, for any message size.
+    #[test]
+    fn pcie_allreduce_bandwidth_decreases(size in 1e3f64..1e9) {
+        let ic = Interconnect::pcie_4_x8();
+        let mut prev = f64::INFINITY;
+        for n in [2usize, 4, 8, 16] {
+            let bw = ic.allreduce_bandwidth(size, n);
+            prop_assert!(bw < prev);
+            prev = bw;
+        }
+    }
+
+    /// Scaling collective bandwidth by k divides the volume term: time
+    /// at scale k is between time/k and time (latency not scaled).
+    #[test]
+    fn bandwidth_scaling_bounds(size in 1e4f64..1e9, k in 1.0f64..64.0, n in 2usize..9) {
+        let base = Interconnect::pcie_4_x8();
+        let fast = base.with_allreduce_scale(k);
+        let t0 = base.allreduce_time(size, n);
+        let t1 = fast.allreduce_time(size, n);
+        prop_assert!(t1 <= t0 + 1e-15);
+        prop_assert!(t1 >= t0 / k - 1e-12);
+    }
+
+    /// Host-link copies: pinned is never slower than pageable, and
+    /// both scale linearly.
+    #[test]
+    fn host_link_ordering(bytes in 1.0f64..1e10) {
+        let hl = HostLink::pcie_4_x8();
+        prop_assert!(hl.pinned_copy_time(bytes) <= hl.pageable_copy_time(bytes));
+        let t1 = hl.pinned_copy_time(bytes);
+        let t2 = hl.pinned_copy_time(2.0 * bytes);
+        prop_assert!((t2 - 2.0 * t1).abs() < 1e-9 * t1.max(1e-12) + 1e-15);
+    }
+
+    /// NVLink beats PCIe for any collective.
+    #[test]
+    fn nvlink_dominates_pcie(size in 1e3f64..1e9, n in 2usize..9) {
+        let pcie = Interconnect::pcie_4_x8();
+        let nvl = Interconnect::nvlink();
+        prop_assert!(nvl.allreduce_time(size, n) < pcie.allreduce_time(size, n));
+    }
+}

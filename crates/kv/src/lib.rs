@@ -1,0 +1,21 @@
+//! KV-cache management: the paged GPU cache, the tiered CPU buffer
+//! (paper §4.2), layout-aware transfer efficiency (§5.2), and swap
+//! sizing.
+//!
+//! The GPU cache is a vLLM-style paged allocator: capacity is divided
+//! into fixed-size token blocks; sequences own block lists and grow
+//! one token per decode step. The CPU buffer is the shared
+//! (OS shared-memory) staging area that tiered KV cache buffering
+//! fills during prefill and drains during decode; *KV re-sharding
+//! happens implicitly through it* — GPUs push shards laid out for
+//! `c_p` and pull shards laid out for `c_d` (paper Figure 7).
+
+pub mod buffer;
+pub mod layout;
+pub mod paged;
+pub mod swap;
+
+pub use buffer::{BufferedSeq, CpuKvBuffer};
+pub use layout::KvLayout;
+pub use paged::{KvError, PagedKvCache};
+pub use swap::SwapSizer;

@@ -1,0 +1,118 @@
+//! Swap-transfer sizing: how many bytes each GPU moves when a
+//! sequence's KV crosses the GPU/CPU boundary, under a given shard
+//! map and layout.
+
+use crate::layout::KvLayout;
+use seesaw_hw::ClusterSpec;
+use seesaw_model::ModelConfig;
+use seesaw_parallel::{ParallelConfig, ShardMap};
+
+/// Computes per-GPU swap volumes and times for a model + cluster +
+/// configuration + layout.
+#[derive(Debug, Clone)]
+pub struct SwapSizer {
+    map: ShardMap,
+    layout: KvLayout,
+    kv_bytes_per_token_total: u64,
+}
+
+impl SwapSizer {
+    /// Sizer for `model` sharded per `config`, stored in `layout`.
+    pub fn new(model: &ModelConfig, config: ParallelConfig, layout: KvLayout) -> Self {
+        SwapSizer {
+            map: ShardMap::new(model, config),
+            layout,
+            kv_bytes_per_token_total: model.kv_bytes_per_token(),
+        }
+    }
+
+    /// The shard map in use.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Bytes GPU `gpu` pushes/pulls for a sequence of `tokens`.
+    pub fn seq_bytes_on_gpu(&self, gpu: usize, tokens: usize) -> u64 {
+        self.map.kv_bytes_per_token_on_gpu(gpu) * tokens as u64
+    }
+
+    /// Total bytes for a sequence across one DP replica.
+    pub fn seq_bytes_total(&self, tokens: usize) -> u64 {
+        self.kv_bytes_per_token_total * tokens as u64
+    }
+
+    /// Seconds for GPU `gpu` to move its shard of a `tokens`-token
+    /// sequence across the host link into/out of *pinned* staging,
+    /// including the layout's contiguity penalty when the copy is a
+    /// head shard (TP > 1).
+    pub fn seq_transfer_time(&self, cluster: &ClusterSpec, gpu: usize, tokens: usize) -> f64 {
+        let bytes = self.seq_bytes_on_gpu(gpu, tokens) as f64;
+        let head_sharded = self.map.config.tp > 1;
+        let eff = self.layout.transfer_efficiency(head_sharded);
+        cluster.host_link.pinned_copy_time(bytes) / eff
+    }
+
+    /// Seconds for the host-side staging copy (pinned ↔ shared
+    /// memory) of the same shard.
+    pub fn seq_staging_time(&self, cluster: &ClusterSpec, gpu: usize, tokens: usize) -> f64 {
+        let bytes = self.seq_bytes_on_gpu(gpu, tokens) as f64;
+        cluster.host_link.staging_copy_time(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seesaw_model::presets;
+
+    #[test]
+    fn shard_volumes_sum_to_sequence_total() {
+        let m = presets::codellama_34b();
+        for cfg in [
+            ParallelConfig::tp(4),
+            ParallelConfig::pp(4),
+            ParallelConfig::new(1, 2, 2),
+        ] {
+            let sz = SwapSizer::new(&m, cfg, KvLayout::Hnd);
+            let per_gpu: u64 = (0..cfg.num_gpus())
+                .map(|g| sz.seq_bytes_on_gpu(g, 1000))
+                .sum();
+            assert_eq!(per_gpu, sz.seq_bytes_total(1000), "cfg {cfg}");
+        }
+    }
+
+    #[test]
+    fn hnd_transfers_faster_than_nhd_under_tp() {
+        let m = presets::codellama_34b();
+        let cluster = ClusterSpec::a10x4();
+        let cfg = ParallelConfig::tp(4);
+        let hnd = SwapSizer::new(&m, cfg, KvLayout::Hnd);
+        let nhd = SwapSizer::new(&m, cfg, KvLayout::Nhd);
+        let t_hnd = hnd.seq_transfer_time(&cluster, 0, 2000);
+        let t_nhd = nhd.seq_transfer_time(&cluster, 0, 2000);
+        assert!(t_nhd > 2.0 * t_hnd, "NHD {t_nhd} should be >2x HND {t_hnd}");
+    }
+
+    #[test]
+    fn layouts_equal_without_tp() {
+        let m = presets::codellama_34b();
+        let cluster = ClusterSpec::a10x4();
+        let cfg = ParallelConfig::pp(4);
+        let hnd = SwapSizer::new(&m, cfg, KvLayout::Hnd);
+        let nhd = SwapSizer::new(&m, cfg, KvLayout::Nhd);
+        assert_eq!(
+            hnd.seq_transfer_time(&cluster, 1, 777),
+            nhd.seq_transfer_time(&cluster, 1, 777)
+        );
+    }
+
+    #[test]
+    fn staging_leg_uses_host_bandwidth() {
+        let m = presets::llama2_70b();
+        let cluster = ClusterSpec::a100x8_pcie();
+        let sz = SwapSizer::new(&m, ParallelConfig::new(1, 4, 2), KvLayout::Hnd);
+        let t = sz.seq_staging_time(&cluster, 0, 1000);
+        let bytes = sz.seq_bytes_on_gpu(0, 1000) as f64;
+        assert!((t - bytes / seesaw_hw::efficiency::HOST_STAGING_BW).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,18 @@
+//! Transformer model architecture descriptions.
+//!
+//! [`ModelConfig`] captures the architecture hyper-parameters of the
+//! decoder-only transformers used in the paper's evaluation and
+//! derives every quantity the performance models need:
+//!
+//! * parameter counts and fp16 weight bytes (whole-model, per-layer,
+//!   and split into attention vs MLP blocks for sharding),
+//! * KV-cache bytes per token,
+//! * FLOP counts for linear layers and attention in both stages,
+//! * all-reduce activation volumes under tensor parallelism.
+//!
+//! The formulas follow Appendix A, Table 3 of the paper.
+
+pub mod config;
+pub mod presets;
+
+pub use config::{Dtype, ModelConfig};

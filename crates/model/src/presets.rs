@@ -1,0 +1,164 @@
+//! Model presets used in the paper's evaluation (§6.1).
+
+use crate::config::{Dtype, ModelConfig};
+
+/// LLaMA2-13B (used in Figure 1's motivation experiment). Standard
+/// multi-head attention (no GQA).
+pub fn llama2_13b() -> ModelConfig {
+    ModelConfig {
+        name: "LLaMA2-13B".to_string(),
+        num_layers: 40,
+        hidden: 5120,
+        num_heads: 40,
+        num_kv_heads: 40,
+        head_dim: 128,
+        intermediate: 13824,
+        vocab: 32000,
+        dtype: Dtype::F16,
+    }
+}
+
+/// The "15B" LLaMA3 variant (elinas/Llama-3-15B-Instruct-zeroed): a
+/// depth-upscaled Llama-3-8B — same widths, doubled layer count, GQA
+/// with 8 KV heads.
+pub fn llama3_15b() -> ModelConfig {
+    ModelConfig {
+        name: "LLaMA3-15B".to_string(),
+        num_layers: 64,
+        hidden: 4096,
+        num_heads: 32,
+        num_kv_heads: 8,
+        head_dim: 128,
+        intermediate: 14336,
+        vocab: 128256,
+        dtype: Dtype::F16,
+    }
+}
+
+/// CodeLLaMA-34B (GQA, 8 KV heads).
+pub fn codellama_34b() -> ModelConfig {
+    ModelConfig {
+        name: "CodeLLaMA-34B".to_string(),
+        num_layers: 48,
+        hidden: 8192,
+        num_heads: 64,
+        num_kv_heads: 8,
+        head_dim: 128,
+        intermediate: 22016,
+        vocab: 32000,
+        dtype: Dtype::F16,
+    }
+}
+
+/// LLaMA2-70B (GQA, 8 KV heads). fp16 weights ≈ 140 GiB — the number
+/// the paper's Figure 4 argument hinges on.
+pub fn llama2_70b() -> ModelConfig {
+    ModelConfig {
+        name: "LLaMA2-70B".to_string(),
+        num_layers: 80,
+        hidden: 8192,
+        num_heads: 64,
+        num_kv_heads: 8,
+        head_dim: 128,
+        intermediate: 28672,
+        vocab: 32000,
+        dtype: Dtype::F16,
+    }
+}
+
+/// Every preset, for exhaustive tests and sweeps.
+pub fn all() -> Vec<ModelConfig> {
+    vec![llama2_13b(), llama3_15b(), codellama_34b(), llama2_70b()]
+}
+
+/// Look up a preset by the short names used in the paper's figures.
+pub fn by_name(name: &str) -> Option<ModelConfig> {
+    match name.to_ascii_lowercase().as_str() {
+        "13b" | "llama2-13b" => Some(llama2_13b()),
+        "15b" | "llama3-15b" => Some(llama3_15b()),
+        "34b" | "codellama-34b" => Some(codellama_34b()),
+        "70b" | "llama2-70b" => Some(llama2_70b()),
+        _ => None,
+    }
+}
+
+impl ModelConfig {
+    /// Alias for [`llama2_13b`].
+    pub fn llama2_13b() -> Self {
+        llama2_13b()
+    }
+    /// Alias for [`llama3_15b`].
+    pub fn llama3_15b() -> Self {
+        llama3_15b()
+    }
+    /// Alias for [`codellama_34b`].
+    pub fn codellama_34b() -> Self {
+        codellama_34b()
+    }
+    /// Alias for [`llama2_70b`].
+    pub fn llama2_70b() -> Self {
+        llama2_70b()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Parameter counts should land near the marketing sizes.
+    #[test]
+    fn parameter_counts_are_plausible() {
+        let cases = [
+            (llama2_13b(), 13.0e9, 0.08),
+            (llama3_15b(), 15.0e9, 0.08),
+            (codellama_34b(), 34.0e9, 0.08),
+            (llama2_70b(), 69.0e9, 0.05),
+        ];
+        for (m, expect, tol) in cases {
+            let p = m.total_params() as f64;
+            let rel = (p - expect).abs() / expect;
+            assert!(
+                rel < tol,
+                "{}: {:.2}B params vs expected {:.1}B (rel err {:.3})",
+                m.name,
+                p / 1e9,
+                expect / 1e9,
+                rel
+            );
+        }
+    }
+
+    /// The paper states the 70B model takes ~140 GiB in fp16; Figure 4
+    /// depends on "at least four 40-GiB GPUs to fit the weights".
+    #[test]
+    fn llama70b_weights_need_four_40g_gpus() {
+        let m = llama2_70b();
+        let gib = m.weight_bytes_total() as f64 / (1u64 << 30) as f64;
+        assert!(gib > 120.0 && gib < 145.0, "70B fp16 = {gib:.1} GiB");
+        // 3 GPUs (120 GiB) must NOT fit, 4 GPUs (160 GiB) must fit.
+        assert!(m.weight_bytes_total() > 3 * 40 * (1u64 << 30));
+        assert!(m.weight_bytes_total() < 4 * 40 * (1u64 << 30));
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        for (short, full) in [
+            ("13b", "LLaMA2-13B"),
+            ("15b", "LLaMA3-15B"),
+            ("34b", "CodeLLaMA-34B"),
+            ("70b", "LLaMA2-70B"),
+        ] {
+            assert_eq!(by_name(short).unwrap().name, full);
+        }
+        assert!(by_name("8b").is_none());
+    }
+
+    /// GQA models have much smaller KV per token than the MHA 13B.
+    #[test]
+    fn gqa_shrinks_kv() {
+        let mha = llama2_13b();
+        let gqa = codellama_34b();
+        // 13B: 2*40*128*2 = 20480 B/layer; 34B: 2*8*128*2 = 4096 B/layer.
+        assert!(mha.kv_bytes_per_token_layer() > 4 * gqa.kv_bytes_per_token_layer());
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests: shard maps partition the model exactly and the
+//! re-sharding planner conserves bytes, for arbitrary valid
+//! configurations.
+
+use proptest::prelude::*;
+use seesaw_model::presets;
+use seesaw_parallel::{ParallelConfig, ReshardPlan, ShardMap};
+
+/// Valid configurations for the 70B model (64 heads, 80 layers) on
+/// any power-of-two GPU count up to 16.
+fn config_strategy() -> impl Strategy<Value = ParallelConfig> {
+    (0u32..3, 0u32..4, 0u32..4).prop_map(|(d, t, p)| {
+        ParallelConfig::new(1 << d, 1 << t, 1 << p)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Each DP replica's shards cover every layer byte exactly once
+    /// (within integer-division slack of one byte per rank per layer).
+    #[test]
+    fn shards_partition_the_model(cfg in config_strategy()) {
+        let m = presets::llama2_70b();
+        let map = ShardMap::new(&m, cfg);
+        let total = m.weight_bytes_per_layer() * m.num_layers as u64;
+        let replica: u64 = map
+            .shards
+            .iter()
+            .filter(|s| s.dp_rank == 0)
+            .map(|s| s.layer_weight_bytes())
+            .sum();
+        let slack = (cfg.tp * m.num_layers) as u64;
+        prop_assert!(replica.abs_diff(total) <= slack);
+    }
+
+    /// Re-sharding: for every GPU, load + resident equals its new
+    /// shard size, and the identity transition loads zero.
+    #[test]
+    fn reshard_conserves_bytes(a in config_strategy(), b in config_strategy()) {
+        prop_assume!(a.num_gpus() == b.num_gpus());
+        let m = presets::llama2_70b();
+        let plan = ReshardPlan::plan(&m, a, b);
+        let to_map = ShardMap::new(&m, b);
+        for mv in &plan.moves {
+            prop_assert_eq!(
+                mv.load_bytes + mv.resident_bytes,
+                to_map.shard(mv.gpu).weight_bytes()
+            );
+        }
+        if a == b {
+            prop_assert_eq!(plan.total_load_bytes(), 0);
+        }
+    }
+
+    /// Resident bytes are symmetric across transition direction.
+    #[test]
+    fn reshard_resident_symmetric(a in config_strategy(), b in config_strategy()) {
+        prop_assume!(a.num_gpus() == b.num_gpus());
+        let m = presets::codellama_34b();
+        let fwd: u64 = ReshardPlan::plan(&m, a, b).moves.iter().map(|v| v.resident_bytes).sum();
+        let bwd: u64 = ReshardPlan::plan(&m, b, a).moves.iter().map(|v| v.resident_bytes).sum();
+        prop_assert_eq!(fwd, bwd);
+    }
+
+    /// Label parse/display round-trips for arbitrary degrees.
+    #[test]
+    fn label_roundtrip(dp in 1usize..16, tp in 1usize..16, pp in 1usize..16) {
+        let cfg = ParallelConfig::new(dp, tp, pp);
+        let parsed: ParallelConfig = cfg.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, cfg);
+    }
+
+    /// Stage layer spans partition `[0, L)` contiguously.
+    #[test]
+    fn stage_layers_partition(pp in 1usize..12, layers in 1usize..200) {
+        prop_assume!(pp <= layers);
+        let cfg = ParallelConfig::pp(pp);
+        let mut expect_start = 0;
+        for r in 0..pp {
+            let (s, e) = cfg.stage_layers(layers, r);
+            prop_assert_eq!(s, expect_start);
+            prop_assert!(e > s, "every stage owns at least one layer");
+            expect_start = e;
+        }
+        prop_assert_eq!(expect_start, layers);
+    }
+
+    /// GPU index <-> coordinates bijection.
+    #[test]
+    fn gpu_index_bijection(cfg in config_strategy()) {
+        let mut seen = std::collections::HashSet::new();
+        for g in 0..cfg.num_gpus() {
+            let (d, p, t) = cfg.coords(g);
+            prop_assert_eq!(cfg.gpu_index(d, p, t), g);
+            prop_assert!(seen.insert((d, p, t)));
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! Per-layer and per-stage cost computation.
+
+use crate::batch::BatchShape;
+use seesaw_hw::ClusterSpec;
+use seesaw_model::ModelConfig;
+use seesaw_parallel::shard::kv_heads_per_rank;
+use seesaw_parallel::ParallelConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which inference stage a pass belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// Prompt processing (compute/communication bound).
+    Prefill,
+    /// Auto-regressive generation (weight-streaming bound).
+    Decode,
+}
+
+/// The five cost components of one decoder layer's forward pass on one
+/// tensor-parallel rank (paper Table 3), in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LayerCost {
+    /// Weight streaming from HBM (`T_linear_dm`).
+    pub linear_dm: f64,
+    /// Linear-layer FLOPs (`T_linear_comp`).
+    pub linear_comp: f64,
+    /// KV/QKV traffic (`T_attn_dm`).
+    pub attn_dm: f64,
+    /// Attention-score FLOPs (`T_attn_comp`).
+    pub attn_comp: f64,
+    /// Tensor-parallel all-reduce (`T_nw`).
+    pub comm: f64,
+}
+
+impl LayerCost {
+    /// Roofline layer time:
+    /// `max(linear_dm, linear_comp) + max(attn_dm, attn_comp) + comm`.
+    pub fn layer_time(&self) -> f64 {
+        self.linear_dm.max(self.linear_comp) + self.attn_dm.max(self.attn_comp) + self.comm
+    }
+
+    /// Whether the linear term is memory-bound (weight streaming
+    /// dominates) — true in decode at practical batch sizes.
+    pub fn linear_memory_bound(&self) -> bool {
+        self.linear_dm >= self.linear_comp
+    }
+
+    /// Attribute this layer's time to the breakdown buckets used in
+    /// Figures 1 and 12.
+    pub fn breakdown(&self) -> StageBreakdown {
+        let mut b = StageBreakdown::default();
+        let linear = self.linear_dm.max(self.linear_comp);
+        if self.linear_memory_bound() {
+            b.weight_transfer += linear;
+        } else {
+            b.compute += linear;
+        }
+        b.compute += self.attn_dm.max(self.attn_comp);
+        b.communication += self.comm;
+        b
+    }
+
+    /// Component-wise sum (mixed prefill+decode batches).
+    pub fn add(&self, other: &LayerCost) -> LayerCost {
+        LayerCost {
+            linear_dm: self.linear_dm + other.linear_dm,
+            linear_comp: self.linear_comp + other.linear_comp,
+            attn_dm: self.attn_dm + other.attn_dm,
+            attn_comp: self.attn_comp + other.attn_comp,
+            comm: self.comm + other.comm,
+        }
+    }
+}
+
+/// Time attributed to the paper's breakdown buckets, seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StageBreakdown {
+    /// GEMM + attention kernel time.
+    pub compute: f64,
+    /// Collective (all-reduce) + P2P time.
+    pub communication: f64,
+    /// Weight-streaming time in memory-bound passes.
+    pub weight_transfer: f64,
+}
+
+impl StageBreakdown {
+    /// Total across buckets.
+    pub fn total(&self) -> f64 {
+        self.compute + self.communication + self.weight_transfer
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, o: &StageBreakdown) -> StageBreakdown {
+        StageBreakdown {
+            compute: self.compute + o.compute,
+            communication: self.communication + o.communication,
+            weight_transfer: self.weight_transfer + o.weight_transfer,
+        }
+    }
+
+    /// Scale every bucket (e.g. by a layer count).
+    pub fn scale(&self, k: f64) -> StageBreakdown {
+        StageBreakdown {
+            compute: self.compute * k,
+            communication: self.communication * k,
+            weight_transfer: self.weight_transfer * k,
+        }
+    }
+}
+
+/// The analytical performance model: cluster + model + Table 3
+/// formulas.
+#[derive(Debug, Clone)]
+pub struct Roofline {
+    /// Hardware under evaluation.
+    pub cluster: ClusterSpec,
+    /// Model under evaluation.
+    pub model: ModelConfig,
+}
+
+impl Roofline {
+    /// Build the model for a cluster/model pair.
+    pub fn new(cluster: ClusterSpec, model: ModelConfig) -> Self {
+        model.validate().expect("invalid model config");
+        Roofline { cluster, model }
+    }
+
+    /// Cost of one decoder layer for a micro-batch of `shape` at
+    /// tensor-parallel degree `tp` (per rank; all TP ranks run this
+    /// concurrently and then all-reduce).
+    pub fn layer_cost(&self, stage: Stage, shape: &BatchShape, tp: usize) -> LayerCost {
+        if shape.is_empty() {
+            return LayerCost::default();
+        }
+        let m = &self.model;
+        let g = &self.cluster.gpu;
+        let dt = m.dtype.bytes() as f64;
+        let tpf = tp as f64;
+        let hq_rank = (m.num_heads as f64 / tpf).max(1.0);
+        let kv_rank = kv_heads_per_rank(m.num_kv_heads, tp) as f64;
+        let d = m.head_dim as f64;
+
+        // Linear layers: weights stream once per pass, sharded by TP.
+        let weight_bytes_rank = m.weight_bytes_per_layer() as f64 / tpf;
+        let linear_dm = g.hbm_time(weight_bytes_rank);
+        let linear_comp =
+            g.gemm_time(m.linear_flops_per_token_layer() * shape.new_tokens as f64 / tpf);
+
+        let (attn_dm_bytes, attn_flops) = match stage {
+            Stage::Prefill => {
+                // Q for new tokens + K/V over the full context (covers
+                // both whole-prompt and chunked prefill).
+                let bytes = dt
+                    * d
+                    * (shape.new_tokens as f64 * hq_rank
+                        + 2.0 * kv_rank * shape.ctx_tokens as f64);
+                let flops = 2.0 * hq_rank * d * shape.sq_sum;
+                (bytes, flops)
+            }
+            Stage::Decode => {
+                // Read K and V across each sequence's context.
+                let bytes = 2.0 * dt * kv_rank * d * shape.ctx_tokens as f64;
+                let flops = 4.0 * hq_rank * d * shape.ctx_tokens as f64;
+                (bytes, flops)
+            }
+        };
+        let attn_dm = g.hbm_time(attn_dm_bytes);
+        let attn_comp = g.attn_time(attn_flops);
+
+        // Two all-reduces per layer over the activation tensor
+        // (tokens × hidden), replicated on every rank.
+        let ar_bytes = shape.new_tokens as f64 * m.hidden as f64 * dt;
+        let comm = 2.0 * self.cluster.interconnect.allreduce_time(ar_bytes, tp);
+
+        LayerCost {
+            linear_dm,
+            linear_comp,
+            attn_dm,
+            attn_comp,
+            comm,
+        }
+    }
+
+    /// Cost of one layer for a *mixed* batch (chunked prefill
+    /// piggybacking decodes): weights stream once; attention and
+    /// compute terms accumulate; the all-reduce covers the combined
+    /// token count.
+    pub fn layer_cost_mixed(
+        &self,
+        prefill: &BatchShape,
+        decode: &BatchShape,
+        tp: usize,
+    ) -> LayerCost {
+        let p = self.layer_cost(Stage::Prefill, prefill, tp);
+        let d = self.layer_cost(Stage::Decode, decode, tp);
+        let mut c = LayerCost {
+            // Weights stream once per pass, not per sub-batch.
+            linear_dm: p.linear_dm.max(d.linear_dm),
+            linear_comp: p.linear_comp + d.linear_comp,
+            attn_dm: p.attn_dm + d.attn_dm,
+            attn_comp: p.attn_comp + d.attn_comp,
+            comm: 0.0,
+        };
+        let m = &self.model;
+        let tokens = prefill.new_tokens + decode.new_tokens;
+        let ar_bytes = tokens as f64 * m.hidden as f64 * m.dtype.bytes() as f64;
+        c.comm = 2.0 * self.cluster.interconnect.allreduce_time(ar_bytes, tp);
+        if prefill.is_empty() && decode.is_empty() {
+            return LayerCost::default();
+        }
+        c
+    }
+
+    /// Time for pipeline stage `pp_rank` of `config` to process one
+    /// micro-batch of `shape`: its layer count × the per-layer cost.
+    pub fn stage_time(
+        &self,
+        config: ParallelConfig,
+        pp_rank: usize,
+        stage: Stage,
+        shape: &BatchShape,
+    ) -> f64 {
+        let (s, e) = config.stage_layers(self.model.num_layers, pp_rank);
+        (e - s) as f64 * self.layer_cost(stage, shape, config.tp).layer_time()
+    }
+
+    /// Latency of one micro-batch traversing the *whole* pipeline
+    /// (all stages + inter-stage activation hops). This is a latency
+    /// figure; sustained throughput overlaps micro-batches and is the
+    /// simulator's job.
+    pub fn micro_pass_latency(
+        &self,
+        config: ParallelConfig,
+        stage: Stage,
+        shape: &BatchShape,
+    ) -> f64 {
+        let per_layer = self.layer_cost(stage, shape, config.tp).layer_time();
+        let mut t = self.model.num_layers as f64 * per_layer;
+        if config.pp > 1 {
+            t += (config.pp - 1) as f64
+                * self.cluster.interconnect.p2p_time(self.p2p_bytes(shape));
+        }
+        t
+    }
+
+    /// Bytes of activations passed between adjacent pipeline stages
+    /// for a micro-batch of `shape`.
+    pub fn p2p_bytes(&self, shape: &BatchShape) -> f64 {
+        shape.new_tokens as f64 * self.model.hidden as f64 * self.model.dtype.bytes() as f64
+    }
+
+    /// Full-pipeline breakdown for one micro-batch (all layers),
+    /// bucketed for the figures.
+    pub fn pass_breakdown(
+        &self,
+        config: ParallelConfig,
+        stage: Stage,
+        shape: &BatchShape,
+    ) -> StageBreakdown {
+        let per_layer = self.layer_cost(stage, shape, config.tp).breakdown();
+        let mut b = per_layer.scale(self.model.num_layers as f64);
+        if config.pp > 1 {
+            b.communication += (config.pp - 1) as f64
+                * self.cluster.interconnect.p2p_time(self.p2p_bytes(shape));
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seesaw_hw::ClusterSpec;
+    use seesaw_model::presets;
+
+    fn rl() -> Roofline {
+        Roofline::new(ClusterSpec::l4x8(), presets::llama2_13b())
+    }
+
+    #[test]
+    fn decode_is_weight_streaming_bound_at_small_batch() {
+        let r = rl();
+        let c = r.layer_cost(Stage::Decode, &BatchShape::decode_uniform(16, 512), 1);
+        assert!(c.linear_memory_bound(), "{c:?}");
+        assert!(c.breakdown().weight_transfer > c.breakdown().compute);
+    }
+
+    #[test]
+    fn prefill_is_compute_bound() {
+        let r = rl();
+        let c = r.layer_cost(Stage::Prefill, &BatchShape::prefill(&[512; 16]), 1);
+        assert!(!c.linear_memory_bound(), "{c:?}");
+    }
+
+    #[test]
+    fn huge_decode_batch_becomes_compute_bound() {
+        let r = rl();
+        let small = r.layer_cost(Stage::Decode, &BatchShape::decode_uniform(1, 512), 1);
+        let huge = r.layer_cost(Stage::Decode, &BatchShape::decode_uniform(4096, 512), 1);
+        assert!(small.linear_memory_bound());
+        assert!(!huge.linear_memory_bound());
+    }
+
+    #[test]
+    fn tp_shrinks_weight_streaming_but_adds_comm() {
+        // The core Seesaw trade-off (paper Fig 3).
+        let r = rl();
+        let shape = BatchShape::decode_uniform(64, 512);
+        let t1 = r.layer_cost(Stage::Decode, &shape, 1);
+        let t4 = r.layer_cost(Stage::Decode, &shape, 4);
+        assert!(t4.linear_dm < t1.linear_dm / 3.0);
+        assert!(t4.comm > t1.comm);
+        assert_eq!(t1.comm, 0.0);
+    }
+
+    #[test]
+    fn prefill_comm_share_grows_with_tp_on_pcie() {
+        // Figure 1(a): all-reduce share escalates with TP degree.
+        let r = rl();
+        let shape = BatchShape::prefill(&[512; 16]);
+        let share = |tp: usize| {
+            let c = r.layer_cost(Stage::Prefill, &shape, tp);
+            c.comm / c.layer_time()
+        };
+        assert!(share(2) < share(4));
+        assert!(share(4) < share(8));
+        assert!(share(8) > 0.3, "TP8 prefill should be comm-dominated");
+    }
+
+    #[test]
+    fn nvlink_suppresses_comm_share() {
+        let pcie = Roofline::new(ClusterSpec::a100x8_pcie(), presets::llama2_70b());
+        let nvl = Roofline::new(ClusterSpec::a100x8_nvlink(), presets::llama2_70b());
+        let shape = BatchShape::prefill(&[1024; 8]);
+        let cp = pcie.layer_cost(Stage::Prefill, &shape, 8);
+        let cn = nvl.layer_cost(Stage::Prefill, &shape, 8);
+        assert!(cn.comm < cp.comm / 10.0);
+    }
+
+    #[test]
+    fn mixed_batch_streams_weights_once() {
+        let r = rl();
+        let p = BatchShape::prefill_chunk(256, 0);
+        let d = BatchShape::decode_uniform(32, 600);
+        let mixed = r.layer_cost_mixed(&p, &d, 2);
+        let p_only = r.layer_cost(Stage::Prefill, &p, 2);
+        let d_only = r.layer_cost(Stage::Decode, &d, 2);
+        assert!(mixed.linear_dm <= p_only.linear_dm + d_only.linear_dm);
+        assert!((mixed.linear_dm - p_only.linear_dm.max(d_only.linear_dm)).abs() < 1e-12);
+        // But compute accumulates.
+        assert!(mixed.linear_comp > p_only.linear_comp.max(d_only.linear_comp));
+    }
+
+    #[test]
+    fn stage_time_scales_with_layers() {
+        let r = rl();
+        let cfg = ParallelConfig::pp(4); // 40 layers -> 10 per stage
+        let shape = BatchShape::prefill(&[512; 4]);
+        let t0 = r.stage_time(cfg, 0, Stage::Prefill, &shape);
+        let full = r.micro_pass_latency(ParallelConfig::new(1, 1, 1), Stage::Prefill, &shape);
+        assert!((t0 * 4.0 - full).abs() / full < 0.05);
+    }
+
+    #[test]
+    fn empty_shape_costs_nothing() {
+        let r = rl();
+        let c = r.layer_cost(Stage::Prefill, &BatchShape::empty(), 4);
+        assert_eq!(c.layer_time(), 0.0);
+        let m = r.layer_cost_mixed(&BatchShape::empty(), &BatchShape::empty(), 4);
+        assert_eq!(m.layer_time(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_total_matches_layer_time() {
+        let r = rl();
+        for (stage, shape) in [
+            (Stage::Prefill, BatchShape::prefill(&[700; 8])),
+            (Stage::Decode, BatchShape::decode_uniform(48, 900)),
+        ] {
+            let c = r.layer_cost(stage, &shape, 4);
+            assert!((c.breakdown().total() - c.layer_time()).abs() < 1e-12);
+        }
+    }
+}

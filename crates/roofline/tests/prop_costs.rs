@@ -1,0 +1,85 @@
+//! Property tests on the roofline cost model: monotonicity and
+//! scaling laws that must hold for any batch shape.
+
+use proptest::prelude::*;
+use seesaw_hw::ClusterSpec;
+use seesaw_model::presets;
+use seesaw_roofline::{BatchShape, Roofline, Stage};
+
+fn rl() -> Roofline {
+    Roofline::new(ClusterSpec::a10x8(), presets::codellama_34b())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Layer time is monotone in batch size for decode.
+    #[test]
+    fn decode_cost_monotone_in_batch(b in 1usize..512, ctx in 16usize..4000) {
+        let r = rl();
+        let small = r.layer_cost(Stage::Decode, &BatchShape::decode_uniform(b, ctx), 2);
+        let large = r.layer_cost(Stage::Decode, &BatchShape::decode_uniform(b + 1, ctx), 2);
+        prop_assert!(large.layer_time() >= small.layer_time() - 1e-15);
+    }
+
+    /// Raising TP never increases the linear data-movement term and
+    /// never decreases communication (for tokens > 0).
+    #[test]
+    fn tp_tradeoff_direction(tokens in 1usize..4096) {
+        let r = rl();
+        let shape = BatchShape::prefill(&[tokens]);
+        let mut prev_dm = f64::INFINITY;
+        let mut prev_comm = 0.0;
+        for tp in [1usize, 2, 4, 8] {
+            let c = r.layer_cost(Stage::Prefill, &shape, tp);
+            prop_assert!(c.linear_dm <= prev_dm + 1e-15);
+            prop_assert!(c.comm >= prev_comm - 1e-15);
+            prev_dm = c.linear_dm;
+            prev_comm = c.comm;
+        }
+    }
+
+    /// Breakdown buckets always sum to the layer time.
+    #[test]
+    fn breakdown_is_exhaustive(b in 1usize..256, ctx in 16usize..3000, tp in 1usize..4) {
+        let r = rl();
+        let tp = 1 << tp; // 2,4,8
+        let c = r.layer_cost(Stage::Decode, &BatchShape::decode_uniform(b, ctx), tp);
+        prop_assert!((c.breakdown().total() - c.layer_time()).abs() < 1e-12);
+    }
+
+    /// Splitting a prompt into chunks conserves total attention work
+    /// (within 1%) and total token count exactly.
+    #[test]
+    fn chunking_conserves_work(len in 64usize..4000, nchunks in 1usize..8) {
+        let whole = BatchShape::prefill(&[len]);
+        let chunk = len.div_ceil(nchunks);
+        let mut done = 0;
+        let mut sq = 0.0;
+        let mut tokens = 0;
+        while done < len {
+            let take = chunk.min(len - done);
+            let c = BatchShape::prefill_chunk(take, done);
+            sq += c.sq_sum;
+            tokens += c.new_tokens;
+            done += take;
+        }
+        prop_assert_eq!(tokens, whole.new_tokens);
+        let rel = (sq - whole.sq_sum).abs() / whole.sq_sum;
+        prop_assert!(rel < 0.01, "rel err {rel}");
+    }
+
+    /// Mixed-batch cost is bounded by the sum of the pure costs and at
+    /// least the max of them.
+    #[test]
+    fn mixed_cost_bounds(chunk in 16usize..1024, b in 1usize..128, ctx in 64usize..2000) {
+        let r = rl();
+        let p = BatchShape::prefill_chunk(chunk, 0);
+        let d = BatchShape::decode_uniform(b, ctx);
+        let mixed = r.layer_cost_mixed(&p, &d, 2).layer_time();
+        let pure_p = r.layer_cost(Stage::Prefill, &p, 2).layer_time();
+        let pure_d = r.layer_cost(Stage::Decode, &d, 2).layer_time();
+        prop_assert!(mixed <= pure_p + pure_d + 1e-12);
+        prop_assert!(mixed >= pure_p.max(pure_d) * 0.5, "weights stream once, but work adds");
+    }
+}

@@ -1,0 +1,543 @@
+//! The event-driven task executor.
+
+use crate::resource::{ResourceId, ResourcePool};
+use crate::time::SimTime;
+use crate::trace::{Span, TaskKind, Trace};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Handle to a submitted task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskHandle(usize);
+
+impl TaskHandle {
+    /// Raw task index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Description of a task to submit.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    /// Resource to occupy, or `None` for a pure synchronization node
+    /// that completes the instant its dependencies do.
+    pub resource: Option<ResourceId>,
+    /// Service duration in seconds (must be finite and ≥ 0).
+    pub duration: f64,
+    /// Work category, for tracing.
+    pub kind: TaskKind,
+    /// Tasks that must complete before this one starts.
+    pub deps: Vec<TaskHandle>,
+    /// Free-form tag recorded in the trace (e.g. GPU index).
+    pub tag: u64,
+}
+
+impl TaskSpec {
+    /// A task of `duration` seconds on `resource`.
+    pub fn new(resource: ResourceId, duration: f64, kind: TaskKind) -> Self {
+        assert!(
+            duration.is_finite() && duration >= 0.0,
+            "invalid task duration: {duration}"
+        );
+        TaskSpec {
+            resource: Some(resource),
+            duration,
+            kind,
+            deps: Vec::new(),
+            tag: 0,
+        }
+    }
+
+    /// A zero-duration synchronization node joining `deps`.
+    pub fn sync(deps: Vec<TaskHandle>) -> Self {
+        TaskSpec {
+            resource: None,
+            duration: 0.0,
+            kind: TaskKind::Sync,
+            deps,
+            tag: 0,
+        }
+    }
+
+    /// Add a dependency.
+    pub fn after(mut self, dep: TaskHandle) -> Self {
+        self.deps.push(dep);
+        self
+    }
+
+    /// Add several dependencies.
+    pub fn after_all(mut self, deps: &[TaskHandle]) -> Self {
+        self.deps.extend_from_slice(deps);
+        self
+    }
+
+    /// Set the trace tag.
+    pub fn tag(mut self, tag: u64) -> Self {
+        self.tag = tag;
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TaskState {
+    /// Waiting on `remaining` dependencies.
+    Waiting,
+    /// In its resource's FIFO queue.
+    Queued,
+    /// Being served.
+    Running,
+    /// Finished.
+    Done,
+}
+
+#[derive(Debug)]
+struct Task {
+    resource: Option<ResourceId>,
+    duration: f64,
+    kind: TaskKind,
+    tag: u64,
+    remaining_deps: usize,
+    dependents: Vec<usize>,
+    state: TaskState,
+    service_start: SimTime,
+    completion: Option<SimTime>,
+}
+
+#[derive(Debug, Default)]
+struct ResState {
+    busy: bool,
+    queue: VecDeque<usize>,
+}
+
+/// The discrete-event simulator.
+///
+/// Holds the resource pool, the task graph, the pending-event heap,
+/// and the execution trace. See the crate docs for the model.
+#[derive(Debug)]
+pub struct Simulator {
+    pool: ResourcePool,
+    res_state: Vec<ResState>,
+    tasks: Vec<Task>,
+    /// Min-heap of (completion time, sequence, task id).
+    events: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    seq: u64,
+    now: SimTime,
+    trace: Trace,
+    outstanding: usize,
+    /// Accumulated service seconds per resource (kept even when span
+    /// tracing is disabled, for utilization reporting).
+    busy: Vec<f64>,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulator {
+    /// A simulator with tracing enabled.
+    pub fn new() -> Self {
+        Simulator {
+            pool: ResourcePool::new(),
+            res_state: Vec::new(),
+            tasks: Vec::new(),
+            events: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            trace: Trace::enabled(),
+            outstanding: 0,
+            busy: Vec::new(),
+        }
+    }
+
+    /// A simulator that skips span recording (faster for long runs).
+    pub fn without_trace() -> Self {
+        let mut s = Self::new();
+        s.trace = Trace::disabled();
+        s
+    }
+
+    /// Register a resource.
+    pub fn add_resource(&mut self, name: impl Into<String>) -> ResourceId {
+        let id = self.pool.add(name);
+        self.res_state.push(ResState::default());
+        self.busy.push(0.0);
+        id
+    }
+
+    /// Total service seconds a resource has been busy so far.
+    pub fn busy_time(&self, r: ResourceId) -> f64 {
+        self.busy[r.index()]
+    }
+
+    /// Busy fraction of a resource over the elapsed simulated time
+    /// (`0.0` before any time has passed).
+    pub fn utilization(&self, r: ResourceId) -> f64 {
+        let t = self.now.as_secs();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.busy[r.index()] / t
+        }
+    }
+
+    /// The resource registry.
+    pub fn pool(&self) -> &ResourcePool {
+        &self.pool
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The execution trace so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Clear the recorded trace (e.g. after a warm-up phase).
+    pub fn clear_trace(&mut self) {
+        self.trace.clear();
+    }
+
+    /// Whether a task has completed.
+    pub fn completed(&self, h: TaskHandle) -> bool {
+        self.tasks[h.0].completion.is_some()
+    }
+
+    /// Completion time of a task, if it has finished.
+    pub fn completion_time(&self, h: TaskHandle) -> Option<SimTime> {
+        self.tasks[h.0].completion
+    }
+
+    /// Number of submitted-but-unfinished tasks.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Submit a task; it becomes ready once its dependencies complete
+    /// (immediately, at the current time, if they already have).
+    pub fn submit(&mut self, spec: TaskSpec) -> TaskHandle {
+        assert!(
+            spec.duration.is_finite() && spec.duration >= 0.0,
+            "invalid task duration: {}",
+            spec.duration
+        );
+        if let Some(r) = spec.resource {
+            assert!(r.index() < self.res_state.len(), "unknown resource {r}");
+        }
+        let id = self.tasks.len();
+        let mut remaining = 0;
+        for d in &spec.deps {
+            assert!(d.0 < id, "dependency on not-yet-submitted task");
+            if self.tasks[d.0].completion.is_none() {
+                self.tasks[d.0].dependents.push(id);
+                remaining += 1;
+            }
+        }
+        self.tasks.push(Task {
+            resource: spec.resource,
+            duration: spec.duration,
+            kind: spec.kind,
+            tag: spec.tag,
+            remaining_deps: remaining,
+            dependents: Vec::new(),
+            state: TaskState::Waiting,
+            service_start: SimTime::ZERO,
+            completion: None,
+        });
+        self.outstanding += 1;
+        if remaining == 0 {
+            self.make_ready(id);
+        }
+        TaskHandle(id)
+    }
+
+    /// Run until `h` completes, leaving any other in-flight tasks
+    /// pending in the event queue. Returns the completion time.
+    ///
+    /// Panics if the event queue drains before `h` completes (a
+    /// dependency was never satisfiable).
+    pub fn run_until(&mut self, h: TaskHandle) -> SimTime {
+        while self.tasks[h.0].completion.is_none() {
+            assert!(
+                self.step(),
+                "simulation deadlock: task {} unreachable",
+                h.0
+            );
+        }
+        self.tasks[h.0].completion.expect("just completed")
+    }
+
+    /// Run until no events remain. Returns the final time.
+    pub fn run_until_idle(&mut self) -> SimTime {
+        while self.step() {}
+        assert_eq!(self.outstanding, 0, "tasks stuck waiting after drain");
+        self.now
+    }
+
+    /// Process one completion event. Returns `false` when the event
+    /// queue is empty.
+    fn step(&mut self) -> bool {
+        let Some(Reverse((t, _, id))) = self.events.pop() else {
+            return false;
+        };
+        debug_assert!(t >= self.now, "time went backwards");
+        self.now = t;
+        self.complete(id);
+        true
+    }
+
+    fn make_ready(&mut self, id: usize) {
+        match self.tasks[id].resource {
+            None => {
+                // Pure sync: completes at the current instant.
+                self.tasks[id].state = TaskState::Running;
+                self.tasks[id].service_start = self.now;
+                self.schedule_completion(id, self.now);
+            }
+            Some(r) => {
+                if self.res_state[r.index()].busy {
+                    self.tasks[id].state = TaskState::Queued;
+                    self.res_state[r.index()].queue.push_back(id);
+                } else {
+                    self.start_service(id, r);
+                }
+            }
+        }
+    }
+
+    fn start_service(&mut self, id: usize, r: ResourceId) {
+        self.res_state[r.index()].busy = true;
+        self.tasks[id].state = TaskState::Running;
+        self.tasks[id].service_start = self.now;
+        let end = self.now + self.tasks[id].duration;
+        self.schedule_completion(id, end);
+    }
+
+    fn schedule_completion(&mut self, id: usize, at: SimTime) {
+        self.seq += 1;
+        self.events.push(Reverse((at, self.seq, id)));
+    }
+
+    fn complete(&mut self, id: usize) {
+        debug_assert_eq!(self.tasks[id].state, TaskState::Running);
+        self.tasks[id].state = TaskState::Done;
+        self.tasks[id].completion = Some(self.now);
+        self.outstanding -= 1;
+        let span = Span {
+            resource: self.tasks[id].resource,
+            kind: self.tasks[id].kind,
+            start: self.tasks[id].service_start,
+            end: self.now,
+            tag: self.tasks[id].tag,
+        };
+        self.trace.record(span);
+
+        // Free the resource and start the next queued task.
+        if let Some(r) = self.tasks[id].resource {
+            self.busy[r.index()] += self.now - self.tasks[id].service_start;
+            self.res_state[r.index()].busy = false;
+            if let Some(next) = self.res_state[r.index()].queue.pop_front() {
+                self.start_service(next, r);
+            }
+        }
+
+        // Wake dependents.
+        let deps = std::mem::take(&mut self.tasks[id].dependents);
+        for d in deps {
+            self.tasks[d].remaining_deps -= 1;
+            if self.tasks[d].remaining_deps == 0 {
+                self.make_ready(d);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compute(sim: &mut Simulator, r: ResourceId, dur: f64) -> TaskHandle {
+        sim.submit(TaskSpec::new(r, dur, TaskKind::Compute))
+    }
+
+    #[test]
+    fn fifo_contention_serializes() {
+        let mut sim = Simulator::new();
+        let gpu = sim.add_resource("gpu0.compute");
+        let a = compute(&mut sim, gpu, 1.0);
+        let b = compute(&mut sim, gpu, 2.0);
+        let end = sim.run_until_idle();
+        assert_eq!(end.as_secs(), 3.0);
+        assert_eq!(sim.completion_time(a).unwrap().as_secs(), 1.0);
+        assert_eq!(sim.completion_time(b).unwrap().as_secs(), 3.0);
+    }
+
+    #[test]
+    fn independent_resources_overlap() {
+        let mut sim = Simulator::new();
+        let g0 = sim.add_resource("gpu0.compute");
+        let g1 = sim.add_resource("gpu1.compute");
+        compute(&mut sim, g0, 2.0);
+        compute(&mut sim, g1, 2.0);
+        assert_eq!(sim.run_until_idle().as_secs(), 2.0);
+    }
+
+    #[test]
+    fn dependencies_sequence_across_resources() {
+        let mut sim = Simulator::new();
+        let g0 = sim.add_resource("gpu0.compute");
+        let link = sim.add_resource("gpu0.d2h");
+        let fwd = compute(&mut sim, g0, 1.0);
+        let xfer = sim.submit(TaskSpec::new(link, 0.5, TaskKind::SwapOut).after(fwd));
+        assert_eq!(sim.run_until(xfer).as_secs(), 1.5);
+    }
+
+    #[test]
+    fn sync_node_joins_fan_in() {
+        let mut sim = Simulator::new();
+        let g0 = sim.add_resource("g0");
+        let g1 = sim.add_resource("g1");
+        let a = compute(&mut sim, g0, 1.0);
+        let b = compute(&mut sim, g1, 3.0);
+        let join = sim.submit(TaskSpec::sync(vec![a, b]));
+        assert_eq!(sim.run_until(join).as_secs(), 3.0);
+    }
+
+    #[test]
+    fn run_until_leaves_others_in_flight() {
+        let mut sim = Simulator::new();
+        let g0 = sim.add_resource("g0");
+        let g1 = sim.add_resource("g1");
+        let quick = compute(&mut sim, g0, 1.0);
+        let slow = compute(&mut sim, g1, 10.0);
+        sim.run_until(quick);
+        assert_eq!(sim.now().as_secs(), 1.0);
+        assert!(!sim.completed(slow));
+        assert_eq!(sim.outstanding(), 1);
+        sim.run_until_idle();
+        assert!(sim.completed(slow));
+    }
+
+    #[test]
+    fn submit_after_run_resumes_from_now() {
+        let mut sim = Simulator::new();
+        let g0 = sim.add_resource("g0");
+        let a = compute(&mut sim, g0, 2.0);
+        sim.run_until(a);
+        let b = compute(&mut sim, g0, 1.0);
+        assert_eq!(sim.run_until(b).as_secs(), 3.0);
+    }
+
+    #[test]
+    fn dependency_on_completed_task_is_immediate() {
+        let mut sim = Simulator::new();
+        let g0 = sim.add_resource("g0");
+        let a = compute(&mut sim, g0, 1.0);
+        sim.run_until(a);
+        let b = sim.submit(TaskSpec::new(g0, 1.0, TaskKind::Compute).after(a));
+        assert_eq!(sim.run_until(b).as_secs(), 2.0);
+    }
+
+    #[test]
+    fn pipeline_fills_and_drains() {
+        // 2-stage pipeline, 4 micro-batches of 1s per stage:
+        // total = fill(1) + 4 = 5s on the last stage.
+        let mut sim = Simulator::new();
+        let s0 = sim.add_resource("stage0");
+        let s1 = sim.add_resource("stage1");
+        let mut last = None;
+        let mut prev_s0: Option<TaskHandle> = None;
+        for _ in 0..4 {
+            let mut spec0 = TaskSpec::new(s0, 1.0, TaskKind::Compute);
+            if let Some(p) = prev_s0 {
+                spec0 = spec0.after(p);
+            }
+            let t0 = sim.submit(spec0);
+            prev_s0 = Some(t0);
+            let t1 = sim.submit(TaskSpec::new(s1, 1.0, TaskKind::Compute).after(t0));
+            last = Some(t1);
+        }
+        assert_eq!(sim.run_until(last.unwrap()).as_secs(), 5.0);
+    }
+
+    #[test]
+    fn busy_time_accumulates_per_resource() {
+        let mut sim = Simulator::without_trace();
+        let g0 = sim.add_resource("g0");
+        let g1 = sim.add_resource("g1");
+        compute(&mut sim, g0, 1.0);
+        compute(&mut sim, g0, 2.0);
+        compute(&mut sim, g1, 0.5);
+        sim.run_until_idle();
+        assert!((sim.busy_time(g0) - 3.0).abs() < 1e-12);
+        assert!((sim.busy_time(g1) - 0.5).abs() < 1e-12);
+        assert!((sim.utilization(g0) - 1.0).abs() < 1e-12);
+        assert!((sim.utilization(g1) - 0.5 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_records_service_spans() {
+        let mut sim = Simulator::new();
+        let g0 = sim.add_resource("g0");
+        compute(&mut sim, g0, 1.0);
+        compute(&mut sim, g0, 2.0);
+        sim.run_until_idle();
+        let spans = sim.trace().spans();
+        assert_eq!(spans.len(), 2);
+        // Second span starts when the first ends (queueing excluded
+        // from service time).
+        assert_eq!(spans[1].start.as_secs(), 1.0);
+        assert!((sim.trace().summary().compute - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinism_under_ties() {
+        // Two equal-time completions wake a shared dependent; order is
+        // fixed by sequence numbers, so repeated runs agree exactly.
+        let run = || {
+            let mut sim = Simulator::new();
+            let g0 = sim.add_resource("g0");
+            let g1 = sim.add_resource("g1");
+            let a = compute(&mut sim, g0, 1.0);
+            let b = compute(&mut sim, g1, 1.0);
+            let j = sim.submit(TaskSpec::sync(vec![a, b]));
+            let c = sim.submit(TaskSpec::new(g0, 0.5, TaskKind::Compute).after(j));
+            sim.run_until(c).as_secs()
+        };
+        assert_eq!(run(), run());
+        assert_eq!(run(), 1.5);
+    }
+
+    // Note: a genuine deadlock is unconstructible through the public
+    // API (dependencies must reference earlier tasks, so the graph is
+    // a DAG and every task eventually runs); the `run_until` deadlock
+    // assert is purely defensive.
+
+    #[test]
+    #[should_panic(expected = "invalid task duration")]
+    fn negative_duration_rejected() {
+        let mut sim = Simulator::new();
+        let g0 = sim.add_resource("g0");
+        sim.submit(TaskSpec {
+            resource: Some(g0),
+            duration: -1.0,
+            kind: TaskKind::Compute,
+            deps: vec![],
+            tag: 0,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "not-yet-submitted")]
+    fn forward_dependency_rejected() {
+        let mut sim = Simulator::new();
+        let g0 = sim.add_resource("g0");
+        let fake = TaskHandle(99);
+        sim.submit(TaskSpec::new(g0, 1.0, TaskKind::Compute).after(fake));
+    }
+}

@@ -1,0 +1,30 @@
+//! Discrete-event simulation engine.
+//!
+//! This crate is the stand-in for the physical GPU cluster: a
+//! deterministic discrete-event simulator with FIFO-serving
+//! *resources* (a GPU's compute engine, each direction of its PCIe
+//! link, the host staging engine, the collective fabric) on which
+//! *tasks* of known duration execute. Engines submit tasks with
+//! dependencies; the simulator advances virtual time, resolves
+//! contention, and records a trace from which the paper's time
+//! breakdowns (Figures 1 and 12) are derived.
+//!
+//! Design notes:
+//!
+//! * Time is `f64` seconds wrapped in [`SimTime`] for total ordering.
+//! * Determinism: events at equal times are served in submission
+//!   order (a monotonically increasing sequence number breaks ties),
+//!   so simulations are exactly reproducible.
+//! * The simulator knows nothing about LLMs; durations are computed by
+//!   callers (`seesaw-roofline`, the engines) from the hardware cost
+//!   models.
+
+pub mod executor;
+pub mod resource;
+pub mod time;
+pub mod trace;
+
+pub use executor::{Simulator, TaskHandle, TaskSpec};
+pub use resource::{ResourceId, ResourcePool};
+pub use time::SimTime;
+pub use trace::{Span, TaskKind, Trace, TraceSummary};

@@ -1,0 +1,120 @@
+//! Property tests for the discrete-event executor: for arbitrary task
+//! DAGs, service must respect resources (no overlap on one resource),
+//! dependencies, and work conservation.
+
+use proptest::prelude::*;
+use seesaw_sim::{Simulator, TaskKind, TaskSpec};
+
+/// A randomly generated task: resource index, duration, and a set of
+/// earlier tasks to depend on (encoded as offsets).
+#[derive(Debug, Clone)]
+struct GenTask {
+    resource: usize,
+    duration: f64,
+    dep_offsets: Vec<usize>,
+}
+
+fn tasks_strategy(n_res: usize) -> impl Strategy<Value = Vec<GenTask>> {
+    prop::collection::vec(
+        (
+            0..n_res,
+            0.001f64..2.0,
+            prop::collection::vec(1usize..8, 0..3),
+        ),
+        1..40,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(resource, duration, dep_offsets)| GenTask {
+                resource,
+                duration,
+                dep_offsets,
+            })
+            .collect()
+    })
+}
+
+fn build_and_run(tasks: &[GenTask], n_res: usize) -> Simulator {
+    let mut sim = Simulator::new();
+    let res: Vec<_> = (0..n_res).map(|i| sim.add_resource(format!("r{i}"))).collect();
+    let mut handles = Vec::new();
+    for (i, t) in tasks.iter().enumerate() {
+        let mut spec = TaskSpec::new(res[t.resource], t.duration, TaskKind::Compute);
+        for &off in &t.dep_offsets {
+            if off <= i && i > 0 {
+                let dep = handles[i - off.min(i)];
+                spec = spec.after(dep);
+            }
+        }
+        handles.push(sim.submit(spec));
+    }
+    sim.run_until_idle();
+    sim
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Makespan bounds: at least the busiest resource's total work,
+    /// at most the sum of all durations (plus epsilon).
+    #[test]
+    fn makespan_within_bounds(tasks in tasks_strategy(3)) {
+        let sim = build_and_run(&tasks, 3);
+        let total: f64 = tasks.iter().map(|t| t.duration).sum();
+        let mut per_res = [0.0f64; 3];
+        for t in &tasks {
+            per_res[t.resource] += t.duration;
+        }
+        let busiest = per_res.iter().cloned().fold(0.0, f64::max);
+        let end = sim.now().as_secs();
+        prop_assert!(end >= busiest - 1e-9, "end {end} < busiest {busiest}");
+        prop_assert!(end <= total + 1e-9, "end {end} > total {total}");
+    }
+
+    /// No two spans on the same resource overlap.
+    #[test]
+    fn resources_serve_one_task_at_a_time(tasks in tasks_strategy(2)) {
+        let sim = build_and_run(&tasks, 2);
+        for r in 0..2 {
+            let mut spans: Vec<(f64, f64)> = sim
+                .trace()
+                .spans()
+                .iter()
+                .filter(|s| s.resource.map(|id| id.index()) == Some(r))
+                .map(|s| (s.start.as_secs(), s.end.as_secs()))
+                .collect();
+            spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in spans.windows(2) {
+                prop_assert!(
+                    w[1].0 >= w[0].1 - 1e-9,
+                    "overlap: {:?} then {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    /// Work conservation: the trace's total busy time equals the sum
+    /// of durations.
+    #[test]
+    fn work_is_conserved(tasks in tasks_strategy(3)) {
+        let sim = build_and_run(&tasks, 3);
+        let total: f64 = tasks.iter().map(|t| t.duration).sum();
+        let busy = sim.trace().summary().total();
+        prop_assert!((busy - total).abs() < 1e-6, "busy {busy} vs total {total}");
+    }
+
+    /// Replays are bit-identical (determinism).
+    #[test]
+    fn deterministic_replay(tasks in tasks_strategy(3)) {
+        let a = build_and_run(&tasks, 3);
+        let b = build_and_run(&tasks, 3);
+        prop_assert_eq!(a.now(), b.now());
+        prop_assert_eq!(a.trace().spans().len(), b.trace().spans().len());
+        for (x, y) in a.trace().spans().iter().zip(b.trace().spans()) {
+            prop_assert_eq!(x.start, y.start);
+            prop_assert_eq!(x.end, y.end);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Seeded request generators matching the paper's workloads.
+
+use crate::request::Request;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A clipped length distribution for one marginal (input or output).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LengthDist {
+    /// Every sample is exactly this length (§6.5 sweeps).
+    Constant(usize),
+    /// Uniform over `[lo, hi]` inclusive.
+    Uniform {
+        /// Minimum length.
+        lo: usize,
+        /// Maximum length.
+        hi: usize,
+    },
+    /// Lognormal with the given median and log-space sigma, clipped to
+    /// `[lo, hi]` — matches the skewed shapes in Figure 9.
+    LogNormal {
+        /// Median length (`exp(mu)`).
+        median: f64,
+        /// Log-space standard deviation.
+        sigma: f64,
+        /// Clip floor.
+        lo: usize,
+        /// Clip ceiling.
+        hi: usize,
+    },
+}
+
+impl LengthDist {
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        match *self {
+            LengthDist::Constant(n) => n,
+            LengthDist::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            LengthDist::LogNormal {
+                median,
+                sigma,
+                lo,
+                hi,
+            } => {
+                // Box–Muller: two uniforms -> one standard normal.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let x = (median.ln() + sigma * z).exp();
+                (x.round() as usize).clamp(lo, hi)
+            }
+        }
+    }
+}
+
+/// A seeded workload generator: one distribution per marginal.
+#[derive(Debug, Clone)]
+pub struct WorkloadGen {
+    /// Name used in reports (e.g. `"sharegpt"`).
+    pub name: String,
+    /// Input (prompt) length distribution.
+    pub input: LengthDist,
+    /// Output (generation) length distribution.
+    pub output: LengthDist,
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl WorkloadGen {
+    /// Generator with explicit marginals.
+    pub fn new(name: impl Into<String>, input: LengthDist, output: LengthDist, seed: u64) -> Self {
+        WorkloadGen {
+            name: name.into(),
+            input,
+            output,
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+        }
+    }
+
+    /// ShareGPT-like chat workload: inputs and outputs of comparable,
+    /// few-hundred-token length with a long tail (Figure 9b). The
+    /// paper samples 2000 requests from this dataset.
+    pub fn sharegpt(seed: u64) -> Self {
+        Self::new(
+            "sharegpt",
+            LengthDist::LogNormal {
+                median: 250.0,
+                sigma: 0.9,
+                lo: 4,
+                hi: 4096,
+            },
+            LengthDist::LogNormal {
+                median: 250.0,
+                sigma: 0.75,
+                lo: 4,
+                hi: 2048,
+            },
+            seed,
+        )
+    }
+
+    /// arxiv-summarization-like workload: multi-thousand-token inputs,
+    /// short outputs (Figure 9a). The paper samples 500 requests.
+    pub fn arxiv_summarization(seed: u64) -> Self {
+        Self::new(
+            "arxiv",
+            LengthDist::LogNormal {
+                median: 3000.0,
+                sigma: 0.35,
+                lo: 512,
+                hi: 6000,
+            },
+            LengthDist::LogNormal {
+                median: 180.0,
+                sigma: 0.5,
+                lo: 16,
+                hi: 1024,
+            },
+            seed,
+        )
+    }
+
+    /// Constant-length workload (§6.5: fixed 3000-token inputs with a
+    /// swept output length).
+    pub fn constant(input_len: usize, output_len: usize) -> Self {
+        Self::new(
+            format!("const-{input_len}x{output_len}"),
+            LengthDist::Constant(input_len),
+            LengthDist::Constant(output_len),
+            0,
+        )
+    }
+
+    /// Generate the next `n` requests.
+    pub fn generate(&mut self, n: usize) -> Vec<Request> {
+        (0..n)
+            .map(|_| {
+                let id = self.next_id;
+                self.next_id += 1;
+                Request::new(
+                    id,
+                    self.input.sample(&mut self.rng).max(1),
+                    self.output.sample(&mut self.rng).max(1),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::LengthStats;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = WorkloadGen::sharegpt(7).generate(100);
+        let b = WorkloadGen::sharegpt(7).generate(100);
+        assert_eq!(a, b);
+        let c = WorkloadGen::sharegpt(8).generate(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arxiv_inputs_dwarf_outputs() {
+        // Figure 9a: summarization inputs are much longer than outputs.
+        let reqs = WorkloadGen::arxiv_summarization(1).generate(500);
+        let s = LengthStats::of(&reqs);
+        assert!(
+            s.mean_input > 8.0 * s.mean_output,
+            "mean in {} vs out {}",
+            s.mean_input,
+            s.mean_output
+        );
+        assert!(s.mean_input > 2000.0 && s.mean_input < 4500.0);
+    }
+
+    #[test]
+    fn sharegpt_lengths_comparable() {
+        // Figure 9b: chat inputs and outputs have comparable scales.
+        let reqs = WorkloadGen::sharegpt(1).generate(2000);
+        let s = LengthStats::of(&reqs);
+        let ratio = s.mean_input / s.mean_output;
+        assert!(
+            (0.5..=2.5).contains(&ratio),
+            "in/out ratio {ratio} should be near 1"
+        );
+    }
+
+    #[test]
+    fn constant_workload_is_constant() {
+        let reqs = WorkloadGen::constant(3000, 300).generate(50);
+        assert!(reqs.iter().all(|r| r.input_len == 3000 && r.output_len == 300));
+    }
+
+    #[test]
+    fn clipping_respected() {
+        let mut g = WorkloadGen::new(
+            "clip",
+            LengthDist::LogNormal {
+                median: 100.0,
+                sigma: 3.0,
+                lo: 50,
+                hi: 200,
+            },
+            LengthDist::Uniform { lo: 1, hi: 10 },
+            3,
+        );
+        for r in g.generate(1000) {
+            assert!((50..=200).contains(&r.input_len));
+            assert!((1..=10).contains(&r.output_len));
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotonic() {
+        let mut g = WorkloadGen::sharegpt(0);
+        let a = g.generate(10);
+        let b = g.generate(10);
+        assert_eq!(a.last().unwrap().id, 9);
+        assert_eq!(b.first().unwrap().id, 10);
+    }
+}

@@ -1,0 +1,80 @@
+//! Run statistics shared by every engine.
+
+use crate::request::Request;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of processing a request set in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Requests completed.
+    pub requests: usize,
+    /// Prompt tokens processed.
+    pub input_tokens: u64,
+    /// Tokens generated.
+    pub output_tokens: u64,
+    /// Simulated wall-clock duration, seconds.
+    pub duration_s: f64,
+}
+
+impl RunStats {
+    /// Build from the completed request set and elapsed time.
+    pub fn from_requests(reqs: &[Request], duration_s: f64) -> Self {
+        assert!(duration_s >= 0.0);
+        RunStats {
+            requests: reqs.len(),
+            input_tokens: reqs.iter().map(|r| r.input_len as u64).sum(),
+            output_tokens: reqs.iter().map(|r| r.output_len as u64).sum(),
+            duration_s,
+        }
+    }
+
+    /// End-to-end throughput in requests/second — the paper's primary
+    /// metric (§6.1: "we measure the end-to-end throughput").
+    pub fn throughput_rps(&self) -> f64 {
+        self.requests as f64 / self.duration_s
+    }
+
+    /// Generated-token throughput, tokens/second.
+    pub fn output_tokens_per_sec(&self) -> f64 {
+        self.output_tokens as f64 / self.duration_s
+    }
+
+    /// Total-token throughput (input + output), tokens/second.
+    pub fn total_tokens_per_sec(&self) -> f64 {
+        (self.input_tokens + self.output_tokens) as f64 / self.duration_s
+    }
+}
+
+/// Geometric mean of a slice of positive ratios — the paper reports
+/// geo-mean speedups (§6.2).
+pub fn geo_mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geo_mean of empty slice");
+    assert!(xs.iter().all(|&x| x > 0.0), "geo_mean needs positives");
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_math() {
+        let reqs: Vec<Request> = (0..10).map(|i| Request::new(i, 100, 50)).collect();
+        let s = RunStats::from_requests(&reqs, 5.0);
+        assert!((s.throughput_rps() - 2.0).abs() < 1e-12);
+        assert!((s.output_tokens_per_sec() - 100.0).abs() < 1e-12);
+        assert!((s.total_tokens_per_sec() - 300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geo_mean_matches_hand_calc() {
+        assert!((geo_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geo_mean(&[1.45, 1.29]) - (1.45f64 * 1.29).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positives")]
+    fn geo_mean_rejects_nonpositive() {
+        geo_mean(&[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Inference requests.
+
+use serde::{Deserialize, Serialize};
+
+/// One offline inference request: a prompt of `input_len` tokens that
+/// will generate `output_len` tokens. (Offline / throughput-oriented
+/// workloads have no arrival process: everything is available at
+/// t = 0, matching the paper's setting.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Unique id within a run.
+    pub id: u64,
+    /// Prompt length in tokens.
+    pub input_len: usize,
+    /// Number of tokens to generate.
+    pub output_len: usize,
+}
+
+impl Request {
+    /// Construct a request.
+    pub fn new(id: u64, input_len: usize, output_len: usize) -> Self {
+        assert!(input_len > 0, "requests need at least one prompt token");
+        assert!(output_len > 0, "requests generate at least one token");
+        Request {
+            id,
+            input_len,
+            output_len,
+        }
+    }
+
+    /// Final sequence length once generation completes.
+    pub fn total_len(&self) -> usize {
+        self.input_len + self.output_len
+    }
+
+    /// Output-to-input ratio (`D:P` in §6.5).
+    pub fn dp_ratio(&self) -> f64 {
+        self.output_len as f64 / self.input_len as f64
+    }
+}
+
+/// Aggregate length statistics of a request set (Figure 9 style).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LengthStats {
+    /// Number of requests.
+    pub count: usize,
+    /// Mean input length.
+    pub mean_input: f64,
+    /// Mean output length.
+    pub mean_output: f64,
+    /// Maximum total length.
+    pub max_total: usize,
+    /// Total prompt tokens.
+    pub total_input: u64,
+    /// Total generated tokens.
+    pub total_output: u64,
+}
+
+impl LengthStats {
+    /// Compute stats over a slice of requests.
+    pub fn of(reqs: &[Request]) -> Self {
+        let count = reqs.len();
+        let total_input: u64 = reqs.iter().map(|r| r.input_len as u64).sum();
+        let total_output: u64 = reqs.iter().map(|r| r.output_len as u64).sum();
+        LengthStats {
+            count,
+            mean_input: total_input as f64 / count.max(1) as f64,
+            mean_output: total_output as f64 / count.max(1) as f64,
+            max_total: reqs.iter().map(|r| r.total_len()).max().unwrap_or(0),
+            total_input,
+            total_output,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_ratio() {
+        let r = Request::new(0, 3000, 300);
+        assert_eq!(r.total_len(), 3300);
+        assert!((r.dp_ratio() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one prompt token")]
+    fn zero_input_rejected() {
+        Request::new(0, 0, 10);
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let reqs = vec![Request::new(0, 100, 50), Request::new(1, 300, 150)];
+        let s = LengthStats::of(&reqs);
+        assert_eq!(s.count, 2);
+        assert!((s.mean_input - 200.0).abs() < 1e-12);
+        assert!((s.mean_output - 100.0).abs() < 1e-12);
+        assert_eq!(s.max_total, 450);
+        assert_eq!(s.total_input, 400);
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests for workload generation.
+
+use proptest::prelude::*;
+use seesaw_workload::{LengthDist, LengthStats, WorkloadGen};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Clipping bounds hold for any lognormal parameters.
+    #[test]
+    fn lognormal_respects_clip(median in 1.0f64..5000.0, sigma in 0.01f64..3.0,
+                               lo in 1usize..100, span in 1usize..5000, seed in 0u64..1000) {
+        let hi = lo + span;
+        let mut g = WorkloadGen::new(
+            "t",
+            LengthDist::LogNormal { median, sigma, lo, hi },
+            LengthDist::Constant(7),
+            seed,
+        );
+        for r in g.generate(200) {
+            prop_assert!((lo..=hi).contains(&r.input_len));
+            prop_assert_eq!(r.output_len, 7);
+        }
+    }
+
+    /// Same seed => same workload; generation is pure.
+    #[test]
+    fn seeded_determinism(seed in 0u64..10_000) {
+        let a = WorkloadGen::sharegpt(seed).generate(64);
+        let b = WorkloadGen::sharegpt(seed).generate(64);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Stats are internally consistent for any workload.
+    #[test]
+    fn stats_consistency(seed in 0u64..1000, n in 1usize..300) {
+        let reqs = WorkloadGen::arxiv_summarization(seed).generate(n);
+        let st = LengthStats::of(&reqs);
+        prop_assert_eq!(st.count, n);
+        let sum_in: u64 = reqs.iter().map(|r| r.input_len as u64).sum();
+        prop_assert_eq!(st.total_input, sum_in);
+        prop_assert!((st.mean_input - sum_in as f64 / n as f64).abs() < 1e-9);
+        prop_assert!(st.max_total >= reqs.iter().map(|r| r.total_len()).max().unwrap());
+    }
+
+    /// Uniform distribution stays in range.
+    #[test]
+    fn uniform_in_range(lo in 1usize..500, span in 0usize..500, seed in 0u64..100) {
+        let hi = lo + span;
+        let mut g = WorkloadGen::new(
+            "u",
+            LengthDist::Uniform { lo, hi },
+            LengthDist::Uniform { lo, hi },
+            seed,
+        );
+        for r in g.generate(100) {
+            prop_assert!((lo..=hi).contains(&r.input_len));
+            prop_assert!((lo..=hi).contains(&r.output_len));
+        }
+    }
+}

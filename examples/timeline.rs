@@ -1,0 +1,81 @@
+//! Timeline: visualize Seesaw's phase schedule as an ASCII Gantt
+//! chart — the executable version of the paper's Figures 2 and 6
+//! (prefill phases fill the CPU buffer, a re-shard flips the cluster,
+//! decode drains it, repeat).
+//!
+//! A small CPU buffer is configured on purpose so several
+//! prefill/decode cycles fit on screen.
+//!
+//! ```sh
+//! cargo run --release --example timeline
+//! ```
+
+use seesaw::prelude::*;
+
+const WIDTH: usize = 100;
+
+fn main() {
+    let cluster = ClusterSpec::a10x4();
+    let model = ModelConfig::codellama_34b();
+    let mut gen = WorkloadGen::arxiv_summarization(5);
+    let requests = gen.generate(120);
+
+    let mut spec = SeesawSpec::new(
+        "P4".parse().expect("valid label"),
+        "T4".parse().expect("valid label"),
+    );
+    // ~30 prompts per cycle => several visible cycles.
+    spec.buffer_tokens_override = Some(100_000);
+
+    let report = SeesawEngine::new(cluster, model, spec)
+        .expect("feasible")
+        .run(&requests);
+
+    let total = report.stats.duration_s;
+    println!(
+        "Seesaw {} | {} requests in {:.1}s ({:.3} req/s), {} transitions\n",
+        report.label,
+        report.stats.requests,
+        total,
+        report.throughput_rps(),
+        report.transitions
+    );
+
+    // One lane per phase kind.
+    for (name, phase) in [
+        ("prefill", Phase::Prefill),
+        ("reshard", Phase::Reshard),
+        ("decode ", Phase::Decode),
+    ] {
+        let mut lane = vec![' '; WIDTH];
+        for span in report.phases.iter().filter(|s| s.phase == phase) {
+            let a = (span.start_s / total * WIDTH as f64) as usize;
+            let b = ((span.end_s / total * WIDTH as f64) as usize).min(WIDTH - 1);
+            let ch = match phase {
+                Phase::Prefill => 'P',
+                Phase::Reshard => 'R',
+                Phase::Decode => 'D',
+            };
+            for c in lane.iter_mut().take(b + 1).skip(a) {
+                *c = ch;
+            }
+        }
+        println!("{name} |{}|", lane.iter().collect::<String>());
+    }
+    println!(
+        "        0s{:>width$}",
+        format!("{total:.0}s"),
+        width = WIDTH - 1
+    );
+
+    println!("\nphase log:");
+    for s in &report.phases {
+        println!(
+            "  {:>8.2}s - {:>8.2}s  {:<8} ({:.2}s)",
+            s.start_s,
+            s.end_s,
+            s.phase.to_string(),
+            s.duration()
+        );
+    }
+}

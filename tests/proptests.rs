@@ -1,0 +1,77 @@
+//! Property-based integration tests: random workloads and
+//! configurations must never break engine invariants.
+
+use proptest::prelude::*;
+use seesaw::prelude::*;
+
+/// Strategy: a small random workload with bounded lengths.
+fn workload_strategy() -> impl Strategy<Value = Vec<Request>> {
+    prop::collection::vec((64usize..2000, 1usize..200), 4..24).prop_map(|lens| {
+        lens.into_iter()
+            .enumerate()
+            .map(|(i, (input, output))| Request::new(i as u64, input, output))
+            .collect()
+    })
+}
+
+/// Strategy: a valid 4-GPU configuration for the 13B model (40 query
+/// heads => TP in {1, 2, 4}).
+fn config_strategy() -> impl Strategy<Value = ParallelConfig> {
+    prop::sample::select(vec![
+        ParallelConfig::new(1, 1, 4),
+        ParallelConfig::new(1, 2, 2),
+        ParallelConfig::new(1, 4, 1),
+        ParallelConfig::new(2, 2, 1),
+        ParallelConfig::new(2, 1, 2),
+        ParallelConfig::new(4, 1, 1),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every random workload completes on every valid static config,
+    /// with exact token accounting and positive finite throughput.
+    #[test]
+    fn vllm_never_loses_requests(reqs in workload_strategy(), cfg in config_strategy()) {
+        let cluster = ClusterSpec::a10x4();
+        let model = ModelConfig::llama2_13b();
+        let engine = VllmEngine::new(cluster, model, cfg, SchedulingPolicy::PrefillPrioritized);
+        prop_assume!(engine.is_ok()); // some DP configs can't fit 13B KV
+        let r = engine.unwrap().run(&reqs);
+        prop_assert_eq!(r.stats.requests, reqs.len());
+        let in_tokens: u64 = reqs.iter().map(|q| q.input_len as u64).sum();
+        prop_assert_eq!(r.stats.input_tokens, in_tokens);
+        prop_assert!(r.stats.duration_s.is_finite() && r.stats.duration_s > 0.0);
+    }
+
+    /// Seesaw completes every random workload and conserves swap
+    /// traffic (out == in), for any prefill/decode pair.
+    #[test]
+    fn seesaw_conserves_swaps(reqs in workload_strategy()) {
+        let cluster = ClusterSpec::a10x4();
+        let model = ModelConfig::llama2_13b();
+        let spec = SeesawSpec::new(
+            "P4".parse().unwrap(),
+            "T2P2".parse().unwrap(),
+        );
+        let r = SeesawEngine::new(cluster, model, spec).unwrap().run(&reqs);
+        prop_assert_eq!(r.stats.requests, reqs.len());
+        prop_assert_eq!(r.swap_out_bytes, r.swap_in_bytes);
+    }
+
+    /// Chunked prefill produces the same completed-token totals as
+    /// whole-prompt prefill (scheduling must not change the work).
+    #[test]
+    fn chunked_matches_whole_prompt_token_totals(reqs in workload_strategy()) {
+        let cluster = ClusterSpec::a10x4();
+        let model = ModelConfig::llama2_13b();
+        let cfg: ParallelConfig = "T2P2".parse().unwrap();
+        let whole = VllmEngine::new(cluster.clone(), model.clone(), cfg,
+            SchedulingPolicy::PrefillPrioritized).unwrap().run(&reqs);
+        let chunked = VllmEngine::new(cluster, model, cfg,
+            SchedulingPolicy::ChunkedPrefill { chunk_tokens: 333 }).unwrap().run(&reqs);
+        prop_assert_eq!(whole.stats.input_tokens, chunked.stats.input_tokens);
+        prop_assert_eq!(whole.stats.output_tokens, chunked.stats.output_tokens);
+    }
+}
