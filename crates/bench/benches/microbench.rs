@@ -86,6 +86,53 @@ fn bench_roofline(c: &mut Criterion) {
     c.bench_function("roofline_layer_cost_decode", |b| {
         b.iter(|| black_box(rl.layer_cost(Stage::Decode, &shape, 4)))
     });
+    // Guard the memoization win: repeated identical evaluations (the
+    // engines' steady-state pattern — every decode round of a stable
+    // batch hits the same key) against the raw Table 3 math.
+    let shapes: Vec<BatchShape> = (1..=16).map(|b| BatchShape::decode_uniform(b * 8, 1024)).collect();
+    c.bench_function("roofline_layer_cost_cached_16shapes", |b| {
+        let warm = Roofline::new(ClusterSpec::a10x8(), presets::codellama_34b());
+        for s in &shapes {
+            warm.layer_cost(Stage::Decode, s, 4);
+        }
+        b.iter(|| {
+            for s in &shapes {
+                black_box(warm.layer_cost(Stage::Decode, s, 4));
+            }
+        })
+    });
+    c.bench_function("roofline_layer_cost_uncached_16shapes", |b| {
+        b.iter(|| {
+            for s in &shapes {
+                black_box(rl.layer_cost_uncached(Stage::Decode, s, 4));
+            }
+        })
+    });
+}
+
+fn bench_autotune_probe(c: &mut Criterion) {
+    use seesaw_engine::autotune;
+    use seesaw_engine::SweepRunner;
+    use seesaw_workload::Request;
+    let cluster = ClusterSpec::a10x4();
+    let model = presets::llama2_13b();
+    let probe: Vec<Request> = (0..8).map(|i| Request::new(i, 512, 32)).collect();
+    let mut g = c.benchmark_group("autotune");
+    g.sample_size(10);
+    g.bench_function("best_seesaw_pair_probed_13b_a10x4", |b| {
+        b.iter(|| {
+            black_box(
+                autotune::best_seesaw_pair_probed_with(
+                    &SweepRunner::serial(),
+                    &cluster,
+                    &model,
+                    &probe,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
 }
 
 fn bench_engines(c: &mut Criterion) {
@@ -128,6 +175,7 @@ criterion_group!(
     bench_paged_kv,
     bench_reshard_planner,
     bench_roofline,
+    bench_autotune_probe,
     bench_engines,
     bench_workload_gen
 );

@@ -1,27 +1,29 @@
 //! Regenerate every table and figure in one run (the output quoted in
-//! EXPERIMENTS.md). Usage: all_figures [subsample]
+//! EXPERIMENTS.md).
+//!
+//! Usage: `all_figures [subsample] [--jobs N]`
 //!
 //! `subsample` divides the paper's request counts for quicker runs
-//! (1 = full fidelity).
+//! (1 = full fidelity). `--jobs N` sets the sweep worker count
+//! (default: `SEESAW_JOBS` / `RAYON_NUM_THREADS`, else all cores).
+//! Figures run concurrently across the workers; each figure's
+//! internal grid shares its worker's job budget, so total
+//! parallelism stays at N while surplus jobs (N above the figure
+//! count) flow into the figure grids. Output streams in figure order
+//! and is byte-identical for every N.
+use seesaw_bench::cli;
 use seesaw_bench::figs;
+use seesaw_engine::SweepRunner;
+
 fn main() {
-    let sub: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let n = |full: usize| (full / sub).max(8);
-    println!("{}", figs::table1::run());
-    println!("{}", figs::fig1::run());
-    println!("{}", figs::fig4::run());
-    println!("{}", figs::fig9::run());
-    println!("{}", figs::fig10::run("a10", sub));
-    println!("{}", figs::fig10::run("l4", sub));
-    println!("{}", figs::fig11::run(sub));
-    println!("{}", figs::fig12::run(n(500)));
-    println!("{}", figs::fig13::run(n(64)));
-    println!("{}", figs::fig14::run(n(150)));
-    println!("{}", figs::fig15::run());
-    println!("{}", figs::ablations::abl_sched(n(200)));
-    println!("{}", figs::ablations::abl_buffer(n(200)));
-    println!("{}", figs::ablations::abl_overlap(n(200)));
-    println!("{}", figs::ablations::abl_layout(n(200)));
-    println!("{}", figs::ablations::abl_reshard());
-    println!("{}", figs::ablations::abl_chunk(n(200)));
+    let args = cli::parse_sweep_args("all_figures [subsample] [--jobs N]", 1, false);
+    let runner = SweepRunner::with_jobs(args.jobs);
+    let tasks: Vec<Box<dyn Fn() -> String + Send + Sync>> =
+        figs::catalog(args.subsample, runner)
+            .into_iter()
+            .map(|(_, job)| job)
+            .collect();
+    // Stream each figure as soon as it and its predecessors finish,
+    // so long runs show progress instead of buffering to the end.
+    runner.run_stream(&tasks, |job| job(), |_, result| println!("{}", result.value));
 }

@@ -1,0 +1,110 @@
+//! `perf_report` — measures the figure-generation sweep serial vs
+//! parallel and writes a `BENCH_sweep.json` trajectory artifact, so
+//! the speedup of the sweep engine is tracked across PRs.
+//!
+//! Usage: `perf_report [subsample] [--jobs N] [--out PATH]`
+//!
+//! Defaults: `subsample = 8` (the acceptance benchmark is
+//! `all_figures 8`), `N` from the environment (all cores), `PATH =
+//! BENCH_sweep.json`. The full catalog runs twice — once on a
+//! single-threaded runner, once on the parallel runner — and the two
+//! outputs are compared byte-for-byte before the timings are
+//! reported.
+
+use seesaw_bench::{cli, figs};
+use seesaw_engine::SweepRunner;
+use std::time::Instant;
+
+struct FigTiming {
+    name: &'static str,
+    serial_s: f64,
+    parallel_s: f64,
+}
+
+fn run_catalog(subsample: usize, runner: SweepRunner) -> (f64, Vec<(&'static str, f64, String)>) {
+    let jobs = figs::catalog(subsample, runner);
+    let names: Vec<&'static str> = jobs.iter().map(|&(name, _)| name).collect();
+    let t0 = Instant::now();
+    let results = runner.run_tasks(jobs.into_iter().map(|(_, job)| job).collect());
+    let total = t0.elapsed().as_secs_f64();
+    let per_fig = names
+        .into_iter()
+        .zip(results)
+        .map(|(name, r)| (name, r.elapsed_s, r.value))
+        .collect();
+    (total, per_fig)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args =
+        cli::parse_sweep_args("perf_report [subsample] [--jobs N] [--out PATH]", 8, true);
+    let subsample = args.subsample;
+    let out_path = args.out.unwrap_or_else(|| String::from("BENCH_sweep.json"));
+    let parallel_runner = SweepRunner::with_jobs(args.jobs);
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    eprintln!(
+        "perf_report: all_figures {subsample}, serial baseline then {} jobs (host has {host_cores} cores)",
+        parallel_runner.jobs()
+    );
+    eprintln!("running serial baseline...");
+    let (serial_total, serial_figs) = run_catalog(subsample, SweepRunner::serial());
+    eprintln!("serial: {serial_total:.2}s; running parallel sweep...");
+    let (parallel_total, parallel_figs) = run_catalog(subsample, parallel_runner);
+    eprintln!("parallel: {parallel_total:.2}s");
+
+    let outputs_identical = serial_figs
+        .iter()
+        .zip(&parallel_figs)
+        .all(|((_, _, a), (_, _, b))| a == b);
+    let speedup = serial_total / parallel_total.max(1e-9);
+    let timings: Vec<FigTiming> = serial_figs
+        .iter()
+        .zip(&parallel_figs)
+        .map(|(&(name, serial_s, _), &(_, parallel_s, _))| FigTiming {
+            name,
+            serial_s,
+            parallel_s,
+        })
+        .collect();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"all_figures\",\n");
+    json.push_str(&format!("  \"subsample\": {subsample},\n"));
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    json.push_str(&format!("  \"jobs\": {},\n", parallel_runner.jobs()));
+    json.push_str(&format!("  \"serial_wall_s\": {serial_total:.4},\n"));
+    json.push_str(&format!("  \"parallel_wall_s\": {parallel_total:.4},\n"));
+    json.push_str(&format!("  \"speedup\": {speedup:.3},\n"));
+    json.push_str(&format!("  \"outputs_identical\": {outputs_identical},\n"));
+    json.push_str("  \"figures\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"serial_s\": {:.4}, \"parallel_s\": {:.4}}}{}\n",
+            json_escape(t.name),
+            t.serial_s,
+            t.parallel_s,
+            if i + 1 < timings.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "all_figures {subsample}: serial {serial_total:.2}s, {} jobs {parallel_total:.2}s -> {speedup:.2}x (outputs identical: {outputs_identical})",
+        parallel_runner.jobs()
+    );
+    println!("wrote {out_path}");
+    if !outputs_identical {
+        eprintln!("ERROR: parallel output diverged from serial output");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,55 @@
+//! Shared argument parsing for the sweep binaries
+//! (`all_figures [subsample] [--jobs N]`,
+//! `perf_report [subsample] [--jobs N] [--out PATH]`).
+
+/// Parsed sweep-binary arguments.
+#[derive(Debug, Clone)]
+pub struct SweepArgs {
+    /// Divisor of the paper's request counts.
+    pub subsample: usize,
+    /// Explicit worker count (`None` = environment's choice).
+    pub jobs: Option<usize>,
+    /// `--out PATH`, when the binary accepts it.
+    pub out: Option<String>,
+}
+
+/// Parse `std::env::args`: an optional positional `subsample`
+/// (defaulting to `default_subsample`), `--jobs`/`-j N` (N ≥ 1), and
+/// — only when `accept_out` — `--out`/`-o PATH`. Prints `usage` and
+/// exits 2 on anything malformed.
+pub fn parse_sweep_args(usage: &str, default_subsample: usize, accept_out: bool) -> SweepArgs {
+    let mut parsed = SweepArgs {
+        subsample: default_subsample,
+        jobs: None,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" | "-j" => {
+                parsed.jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .or_else(|| {
+                        eprintln!("--jobs needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--out" | "-o" if accept_out => {
+                parsed.out = args.next().or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            other => match other.parse() {
+                Ok(n) => parsed.subsample = n,
+                Err(_) => {
+                    eprintln!("usage: {usage}");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+    parsed
+}

@@ -9,6 +9,7 @@ use crate::harness::seesaw_with;
 use crate::table::{f2, f3, Table};
 use crate::SEED;
 use seesaw_engine::seesaw::SeesawSpec;
+use seesaw_engine::SweepRunner;
 use seesaw_hw::ClusterSpec;
 use seesaw_kv::KvLayout;
 use seesaw_model::{presets, ModelConfig};
@@ -33,6 +34,11 @@ fn workload(n: usize) -> Vec<Request> {
 /// transition-minimizing scheduling; a GPU-KV-sized buffer behaves
 /// like decode-prioritizing.
 pub fn abl_sched(n_requests: usize) -> String {
+    abl_sched_with(&SweepRunner::from_env(), n_requests)
+}
+
+/// [`abl_sched`] on an explicit runner (cases evaluate concurrently).
+pub fn abl_sched_with(runner: &SweepRunner, n_requests: usize) -> String {
     let (cluster, model, base) = setting();
     let reqs = workload(n_requests);
     let mut out = super::banner("Ablation D1", "transition-minimizing vs eager transitions");
@@ -46,10 +52,12 @@ pub fn abl_sched(n_requests: usize) -> String {
         (Some(gpu_kv), "decode-prioritizing-like (1x GPU KV)"),
         (Some(gpu_kv / 4), "eager / prefill-prioritizing-like"),
     ];
-    for (cap, name) in cases {
+    let reports = runner.map(&cases, |&(cap, _)| {
         let mut spec = base.clone();
         spec.buffer_tokens_override = cap;
-        let r = seesaw_with(&cluster, &model, spec, &reqs);
+        seesaw_with(&cluster, &model, spec, &reqs)
+    });
+    for (&(cap, name), r) in cases.iter().zip(reports) {
         t.row(&[
             cap.map_or("full".into(), |c| format!("{c}")),
             name.to_string(),
@@ -64,6 +72,12 @@ pub fn abl_sched(n_requests: usize) -> String {
 
 /// D2 — CPU buffer capacity sweep.
 pub fn abl_buffer(n_requests: usize) -> String {
+    abl_buffer_with(&SweepRunner::from_env(), n_requests)
+}
+
+/// [`abl_buffer`] on an explicit runner (capacities sweep
+/// concurrently).
+pub fn abl_buffer_with(runner: &SweepRunner, n_requests: usize) -> String {
     let (cluster, model, base) = setting();
     let reqs = workload(n_requests);
     let gpu_kv = seesaw_parallel::MemoryPlan::new(&model, &cluster, base.decode)
@@ -71,10 +85,13 @@ pub fn abl_buffer(n_requests: usize) -> String {
         .kv_tokens_total;
     let mut out = super::banner("Ablation D2", "tiered CPU buffer capacity sweep");
     let mut t = Table::new(&["buffer / GPU KV", "rps", "transitions"]);
-    for mult in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
+    let mults = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0];
+    let reports = runner.map(&mults, |&mult| {
         let mut spec = base.clone();
         spec.buffer_tokens_override = Some((gpu_kv as f64 * mult) as u64);
-        let r = seesaw_with(&cluster, &model, spec, &reqs);
+        seesaw_with(&cluster, &model, spec, &reqs)
+    });
+    for (&mult, r) in mults.iter().zip(reports) {
         t.row(&[
             format!("{mult}x"),
             f3(r.throughput_rps()),
@@ -87,14 +104,23 @@ pub fn abl_buffer(n_requests: usize) -> String {
 
 /// D3 — asynchronous pipeline on/off.
 pub fn abl_overlap(n_requests: usize) -> String {
+    abl_overlap_with(&SweepRunner::from_env(), n_requests)
+}
+
+/// [`abl_overlap`] on an explicit runner (both arms run
+/// concurrently).
+pub fn abl_overlap_with(runner: &SweepRunner, n_requests: usize) -> String {
     let (cluster, model, base) = setting();
     let reqs = workload(n_requests);
     let mut out = super::banner("Ablation D3", "async swap pipeline overlap on/off");
     let mut t = Table::new(&["overlap", "rps", "prefill s", "decode s"]);
-    for overlap in [true, false] {
+    let arms = [true, false];
+    let reports = runner.map(&arms, |&overlap| {
         let mut spec = base.clone();
         spec.overlap = overlap;
-        let r = seesaw_with(&cluster, &model, spec, &reqs);
+        seesaw_with(&cluster, &model, spec, &reqs)
+    });
+    for (&overlap, r) in arms.iter().zip(reports) {
         t.row(&[
             format!("{overlap}"),
             f3(r.throughput_rps()),
@@ -108,14 +134,23 @@ pub fn abl_overlap(n_requests: usize) -> String {
 
 /// D4 — KV layout (HND vs NHD) under tensor-parallel sharded swaps.
 pub fn abl_layout(n_requests: usize) -> String {
+    abl_layout_with(&SweepRunner::from_env(), n_requests)
+}
+
+/// [`abl_layout`] on an explicit runner (both layouts run
+/// concurrently).
+pub fn abl_layout_with(runner: &SweepRunner, n_requests: usize) -> String {
     let (cluster, model, base) = setting();
     let reqs = workload(n_requests);
     let mut out = super::banner("Ablation D4", "bandwidth-aware KV layout (HND vs NHD)");
     let mut t = Table::new(&["layout", "rps", "swap bytes (out+in)"]);
-    for (name, layout) in [("HND (seesaw)", KvLayout::Hnd), ("NHD", KvLayout::Nhd)] {
+    let cases = [("HND (seesaw)", KvLayout::Hnd), ("NHD", KvLayout::Nhd)];
+    let reports = runner.map(&cases, |&(_, layout)| {
         let mut spec = base.clone();
         spec.layout = layout;
-        let r = seesaw_with(&cluster, &model, spec, &reqs);
+        seesaw_with(&cluster, &model, spec, &reqs)
+    });
+    for (&(name, _), r) in cases.iter().zip(reports) {
         t.row(&[
             name.to_string(),
             f3(r.throughput_rps()),
@@ -131,6 +166,12 @@ pub fn abl_layout(n_requests: usize) -> String {
 /// challenging"). Seesaw's transition-minimizing schedule is shown as
 /// a chunk-free reference.
 pub fn abl_chunk(n_requests: usize) -> String {
+    abl_chunk_with(&SweepRunner::from_env(), n_requests)
+}
+
+/// [`abl_chunk`] on an explicit runner (chunk sizes sweep
+/// concurrently).
+pub fn abl_chunk_with(runner: &SweepRunner, n_requests: usize) -> String {
     use seesaw_engine::vllm::VllmEngine;
     use seesaw_engine::SchedulingPolicy;
     let (cluster, model, base) = setting();
@@ -141,15 +182,18 @@ pub fn abl_chunk(n_requests: usize) -> String {
         "chunked-prefill chunk-size sensitivity (vLLM T2P4, 34B arxiv)",
     );
     let mut t = Table::new(&["chunk tokens", "rps"]);
-    for chunk in [128usize, 256, 512, 1024, 2048, 4096, 8192] {
-        let r = VllmEngine::new(
+    let chunks = [128usize, 256, 512, 1024, 2048, 4096, 8192];
+    let reports = runner.map(&chunks, |&chunk| {
+        VllmEngine::new(
             cluster.clone(),
             model.clone(),
             cfg,
             SchedulingPolicy::ChunkedPrefill { chunk_tokens: chunk },
         )
         .expect("feasible")
-        .run(&reqs);
+        .run(&reqs)
+    });
+    for (&chunk, r) in chunks.iter().zip(reports) {
         t.row(&[format!("{chunk}"), f3(r.throughput_rps())]);
     }
     let ss = seesaw_with(&cluster, &model, base, &reqs);

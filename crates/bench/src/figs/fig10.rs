@@ -5,9 +5,10 @@
 //! for vLLM (chunk size tuned), report the best; run Seesaw with its
 //! chosen `(c_p, c_d)`; plot throughput normalized to the vLLM bar.
 
-use crate::harness::{best_vllm, seesaw_auto};
+use crate::harness::{best_vllm_with, seesaw_auto_with};
 use crate::table::{f2, f3, Table};
 use crate::{ARXIV_REQUESTS, SEED, SHAREGPT_REQUESTS};
+use seesaw_engine::SweepRunner;
 use seesaw_hw::ClusterSpec;
 use seesaw_model::{presets, ModelConfig};
 use seesaw_workload::{metrics::geo_mean, Request, WorkloadGen};
@@ -37,6 +38,12 @@ fn dataset(name: &str, n_div: usize) -> (String, Vec<Request>) {
 /// Regenerate one panel of Figure 10 for `gpu` ∈ {"a10", "l4"}.
 /// `subsample` divides the request counts (1 = the paper's counts).
 pub fn run(gpu: &str, subsample: usize) -> String {
+    run_with(&SweepRunner::from_env(), gpu, subsample)
+}
+
+/// [`run`] on an explicit runner: the six (model × dataset) grid
+/// cells evaluate concurrently; rows render in grid order.
+pub fn run_with(runner: &SweepRunner, gpu: &str, subsample: usize) -> String {
     let mut out = super::banner(
         "Figure 10",
         &format!("end-to-end throughput on {} (PCIe)", gpu.to_uppercase()),
@@ -50,7 +57,7 @@ pub fn run(gpu: &str, subsample: usize) -> String {
         "seesaw rps",
         "speedup",
     ]);
-    let mut speedups = Vec::new();
+    let mut cells: Vec<(ModelConfig, ClusterSpec, &str)> = Vec::new();
     for (model, n) in grid() {
         let cluster = match (gpu, n) {
             ("a10", 4) => ClusterSpec::a10x4(),
@@ -59,21 +66,28 @@ pub fn run(gpu: &str, subsample: usize) -> String {
             _ => ClusterSpec::l4x8(),
         };
         for ds in ["arxiv", "sharegpt"] {
-            let (ds_name, reqs) = dataset(ds, subsample.max(1));
-            let base = best_vllm(&cluster, &model, &reqs);
-            let ours = seesaw_auto(&cluster, &model, &reqs);
-            let speedup = ours.throughput_rps() / base.throughput_rps();
-            speedups.push(speedup);
-            t.row(&[
-                model.name.clone(),
-                ds_name,
-                base.label.clone(),
-                f3(base.throughput_rps()),
-                ours.label.clone(),
-                f3(ours.throughput_rps()),
-                f2(speedup),
-            ]);
+            cells.push((model.clone(), cluster.clone(), ds));
         }
+    }
+    let results = runner.map(&cells, |(model, cluster, ds)| {
+        let (ds_name, reqs) = dataset(ds, subsample.max(1));
+        let base = best_vllm_with(runner, cluster, model, &reqs);
+        let ours = seesaw_auto_with(runner, cluster, model, &reqs);
+        (ds_name, base, ours)
+    });
+    let mut speedups = Vec::new();
+    for ((model, _, _), (ds_name, base, ours)) in cells.iter().zip(results) {
+        let speedup = ours.throughput_rps() / base.throughput_rps();
+        speedups.push(speedup);
+        t.row(&[
+            model.name.clone(),
+            ds_name,
+            base.label.clone(),
+            f3(base.throughput_rps()),
+            ours.label.clone(),
+            f3(ours.throughput_rps()),
+            f2(speedup),
+        ]);
     }
     out.push_str(&t.render());
     out.push_str(&format!(
@@ -92,6 +106,7 @@ mod tests {
     #[test]
     fn fifteen_b_row_shows_speedup() {
         use super::*;
+        use crate::harness::{best_vllm, seesaw_auto};
         let cluster = ClusterSpec::a10x4();
         let model = presets::llama3_15b();
         let reqs = WorkloadGen::arxiv_summarization(SEED).generate(60);

@@ -1,15 +1,22 @@
 //! Figure 11: throughput on A100 — PCIe vs NVLink interconnects,
 //! LLaMA2-70B, both datasets, normalized to vLLM on NVLink.
 
-use crate::harness::{best_vllm, seesaw_auto};
+use crate::harness::{best_vllm_with, seesaw_auto_with};
 use crate::table::{f3, Table};
 use crate::{ARXIV_REQUESTS, SEED, SHAREGPT_REQUESTS};
+use seesaw_engine::SweepRunner;
 use seesaw_hw::ClusterSpec;
 use seesaw_model::presets;
 use seesaw_workload::WorkloadGen;
 
 /// Regenerate Figure 11. `subsample` divides request counts.
 pub fn run(subsample: usize) -> String {
+    run_with(&SweepRunner::from_env(), subsample)
+}
+
+/// [`run`] on an explicit runner: the eight (dataset × system) cells
+/// evaluate concurrently; rows render in legend order.
+pub fn run_with(runner: &SweepRunner, subsample: usize) -> String {
     let model = presets::llama2_70b();
     let pcie = ClusterSpec::a100x8_pcie();
     let nvl = ClusterSpec::a100x8_nvlink();
@@ -21,24 +28,43 @@ pub fn run(subsample: usize) -> String {
         "rps",
         "normalized(vllm+nvlink=1)",
     ]);
+    // Each system row carries its own cluster + engine choice, so a
+    // label can never silently run another system's configuration.
+    let systems: [(&str, &ClusterSpec, bool); 4] = [
+        ("vllm+pcie", &pcie, false),
+        ("seesaw+pcie", &pcie, true),
+        ("vllm+nvlink", &nvl, false),
+        ("seesaw+nvlink", &nvl, true),
+    ];
+    let arxiv =
+        WorkloadGen::arxiv_summarization(SEED).generate(ARXIV_REQUESTS / subsample.max(1));
+    let sharegpt = WorkloadGen::sharegpt(SEED).generate(SHAREGPT_REQUESTS / subsample.max(1));
+    let mut cells: Vec<(&str, (&str, &ClusterSpec, bool))> = Vec::new();
     for ds in ["arxiv", "sharegpt"] {
-        let reqs = match ds {
-            "arxiv" => WorkloadGen::arxiv_summarization(SEED)
-                .generate(ARXIV_REQUESTS / subsample.max(1)),
-            _ => WorkloadGen::sharegpt(SEED).generate(SHAREGPT_REQUESTS / subsample.max(1)),
-        };
-        let vllm_nvl = best_vllm(&nvl, &model, &reqs);
-        let base = vllm_nvl.throughput_rps();
-        let rows = [
-            ("vllm+pcie", best_vllm(&pcie, &model, &reqs)),
-            ("seesaw+pcie", seesaw_auto(&pcie, &model, &reqs)),
-            ("vllm+nvlink", vllm_nvl),
-            ("seesaw+nvlink", seesaw_auto(&nvl, &model, &reqs)),
-        ];
-        for (name, rep) in rows {
+        for sys in systems {
+            cells.push((ds, sys));
+        }
+    }
+    let reports = runner.map(&cells, |&(ds, (_, cluster, seesaw))| {
+        let reqs = if ds == "arxiv" { &arxiv } else { &sharegpt };
+        if seesaw {
+            seesaw_auto_with(runner, cluster, &model, reqs)
+        } else {
+            best_vllm_with(runner, cluster, &model, reqs)
+        }
+    });
+    let norm_idx = systems
+        .iter()
+        .position(|&(name, _, _)| name == "vllm+nvlink")
+        .expect("normalizer present");
+    for (cell_chunk, report_chunk) in
+        cells.chunks(systems.len()).zip(reports.chunks(systems.len()))
+    {
+        let base = report_chunk[norm_idx].throughput_rps();
+        for (&(ds, (sys, _, _)), rep) in cell_chunk.iter().zip(report_chunk) {
             t.row(&[
                 ds.to_string(),
-                name.to_string(),
+                sys.to_string(),
                 rep.label.clone(),
                 f3(rep.throughput_rps()),
                 f3(rep.throughput_rps() / base),
@@ -52,6 +78,7 @@ pub fn run(subsample: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::harness::{best_vllm, seesaw_auto};
 
     /// The figure's core claims at small scale: NVLink lifts vLLM, and
     /// Seesaw narrows the PCIe/NVLink gap.

@@ -28,46 +28,68 @@ fn run_vllm(
 /// Regenerate Figure 12. `n_requests` scales the workload (the paper
 /// uses the full 500-request arxiv sample).
 pub fn run(n_requests: usize) -> String {
+    run_with(&seesaw_engine::SweepRunner::from_env(), n_requests)
+}
+
+/// [`run`] on an explicit runner: the four system rows evaluate
+/// concurrently. Each row pairs its label with its own job closure,
+/// so a label can never silently run another system's configuration.
+pub fn run_with(runner: &seesaw_engine::SweepRunner, n_requests: usize) -> String {
     let cluster = ClusterSpec::a10x4();
     let reqs = WorkloadGen::arxiv_summarization(SEED).generate(n_requests);
-    let rows: Vec<(String, EngineReport)> = vec![
+    type Job<'a> = (&'static str, Box<dyn Fn() -> EngineReport + Send + Sync + 'a>);
+    let systems: Vec<Job> = vec![
         (
-            "tp4".into(),
-            run_vllm(
-                &cluster,
-                ParallelConfig::tp(4),
-                SchedulingPolicy::PrefillPrioritized,
-                &reqs,
-            ),
+            "tp4",
+            Box::new(|| {
+                run_vllm(
+                    &cluster,
+                    ParallelConfig::tp(4),
+                    SchedulingPolicy::PrefillPrioritized,
+                    &reqs,
+                )
+            }),
         ),
         (
-            "pp4".into(),
-            run_vllm(
-                &cluster,
-                ParallelConfig::pp(4),
-                SchedulingPolicy::PrefillPrioritized,
-                &reqs,
-            ),
+            "pp4",
+            Box::new(|| {
+                run_vllm(
+                    &cluster,
+                    ParallelConfig::pp(4),
+                    SchedulingPolicy::PrefillPrioritized,
+                    &reqs,
+                )
+            }),
         ),
         (
-            "p4->t4 (seesaw)".into(),
-            seesaw_with(
-                &cluster,
-                &presets::codellama_34b(),
-                SeesawSpec::new(ParallelConfig::pp(4), ParallelConfig::tp(4)),
-                &reqs,
-            ),
+            "p4->t4 (seesaw)",
+            Box::new(|| {
+                seesaw_with(
+                    &cluster,
+                    &presets::codellama_34b(),
+                    SeesawSpec::new(ParallelConfig::pp(4), ParallelConfig::tp(4)),
+                    &reqs,
+                )
+            }),
         ),
         (
-            "tp2pp2+chunked".into(),
-            run_vllm(
-                &cluster,
-                ParallelConfig::new(1, 2, 2),
-                SchedulingPolicy::ChunkedPrefill { chunk_tokens: 2048 },
-                &reqs,
-            ),
+            "tp2pp2+chunked",
+            Box::new(|| {
+                run_vllm(
+                    &cluster,
+                    ParallelConfig::new(1, 2, 2),
+                    SchedulingPolicy::ChunkedPrefill { chunk_tokens: 2048 },
+                    &reqs,
+                )
+            }),
         ),
     ];
+    let reports = runner.map(&systems, |(_, job)| job());
+    let rows: Vec<(String, EngineReport)> = systems
+        .iter()
+        .map(|(name, _)| name.to_string())
+        .zip(reports)
+        .collect();
     let mut out = super::banner(
         "Figure 12",
         "speedup breakdown, 34B arxiv on 4xA10 (end-to-end seconds)",

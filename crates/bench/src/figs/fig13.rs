@@ -48,14 +48,21 @@ pub fn point(ratio: f64, n_requests: usize) -> (f64, f64, f64, f64) {
 
 /// Regenerate Figure 13 with `n_requests` per point.
 pub fn run(n_requests: usize) -> String {
+    run_with(&seesaw_engine::SweepRunner::from_env(), n_requests)
+}
+
+/// [`run`] on an explicit runner: the swept ratio points evaluate
+/// concurrently.
+pub fn run_with(runner: &seesaw_engine::SweepRunner, n_requests: usize) -> String {
     let mut out = super::banner(
         "Figure 13",
         "throughput vs D:P ratio, 70B on 8xA10 (normalized)",
     );
+    let ratios = ratios();
+    let points = runner.map(&ratios, |&r| point(r, n_requests));
     let mut rows = Vec::new();
     let mut peak = 0.0_f64;
-    for r in ratios() {
-        let p = point(r, n_requests);
+    for (&r, &p) in ratios.iter().zip(&points) {
         peak = peak.max(p.0).max(p.1).max(p.2).max(p.3);
         rows.push((r, p));
     }

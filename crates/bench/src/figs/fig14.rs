@@ -34,6 +34,12 @@ pub fn static_configs() -> Vec<ParallelConfig> {
 /// Throughputs at one bandwidth scale: statics in legend order, then
 /// Seesaw (`D2P4 -> D2T4`, the paper's configuration).
 pub fn point(scale: f64, reqs: &[Request]) -> Vec<f64> {
+    point_with(&seesaw_engine::SweepRunner::from_env(), scale, reqs)
+}
+
+/// [`point`] on an explicit runner (governs the adaptive-seesaw
+/// probe's parallelism).
+pub fn point_with(runner: &seesaw_engine::SweepRunner, scale: f64, reqs: &[Request]) -> Vec<f64> {
     let cluster = ClusterSpec::a10x8().with_allreduce_scale(scale);
     let model = presets::codellama_34b();
     let mut out = Vec::new();
@@ -58,13 +64,20 @@ pub fn point(scale: f64, reqs: &[Request]) -> Vec<f64> {
     out.push(ss);
     // Seesaw's real deployment re-tunes (c_p, c_d) for the fabric at
     // hand; the adaptive column shows that.
-    let adaptive = crate::harness::seesaw_auto(&cluster, &model, reqs).throughput_rps();
+    let adaptive =
+        crate::harness::seesaw_auto_with(runner, &cluster, &model, reqs).throughput_rps();
     out.push(adaptive);
     out
 }
 
 /// Regenerate Figure 14 with `n_requests` arxiv requests per point.
 pub fn run(n_requests: usize) -> String {
+    run_with(&seesaw_engine::SweepRunner::from_env(), n_requests)
+}
+
+/// [`run`] on an explicit runner: the swept bandwidth scales evaluate
+/// concurrently.
+pub fn run_with(runner: &seesaw_engine::SweepRunner, n_requests: usize) -> String {
     let reqs = WorkloadGen::arxiv_summarization(SEED).generate(n_requests);
     let mut out = super::banner(
         "Figure 14",
@@ -77,10 +90,11 @@ pub fn run(n_requests: usize) -> String {
     let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     let mut t = Table::new(&hdr_refs);
 
+    let scales = scales();
+    let rows = runner.map(&scales, |&s| point_with(runner, s, &reqs));
     let mut all_rows = Vec::new();
     let mut peak = 0.0_f64;
-    for s in scales() {
-        let row = point(s, &reqs);
+    for (&s, row) in scales.iter().zip(rows) {
         peak = row.iter().cloned().fold(peak, f64::max);
         all_rows.push((s, row));
     }

@@ -18,3 +18,56 @@ pub mod table1;
 pub fn banner(id: &str, title: &str) -> String {
     format!("\n=== {id}: {title} ===\n")
 }
+
+/// A figure job: its display name and the closure regenerating it.
+pub type FigureJob = (&'static str, Box<dyn Fn() -> String + Send + Sync>);
+
+/// Every table/figure/ablation in `all_figures` order, as independent
+/// jobs for a [`seesaw_engine::SweepRunner`]. `subsample` divides the
+/// paper's request counts; each job also parallelizes its internal
+/// grid on `runner` (nested sweeps degrade to serial on busy
+/// workers, so total parallelism stays bounded by the runner's job
+/// count).
+pub fn catalog(subsample: usize, runner: seesaw_engine::SweepRunner) -> Vec<FigureJob> {
+    let n = move |full: usize| (full / subsample.max(1)).max(8);
+    vec![
+        ("table1", Box::new(table1::run)),
+        ("fig1", Box::new(fig1::run)),
+        ("fig4", Box::new(fig4::run)),
+        ("fig9", Box::new(fig9::run)),
+        (
+            "fig10-a10",
+            Box::new(move || fig10::run_with(&runner, "a10", subsample)),
+        ),
+        (
+            "fig10-l4",
+            Box::new(move || fig10::run_with(&runner, "l4", subsample)),
+        ),
+        ("fig11", Box::new(move || fig11::run_with(&runner, subsample))),
+        ("fig12", Box::new(move || fig12::run_with(&runner, n(500)))),
+        ("fig13", Box::new(move || fig13::run_with(&runner, n(64)))),
+        ("fig14", Box::new(move || fig14::run_with(&runner, n(150)))),
+        ("fig15", Box::new(fig15::run)),
+        (
+            "abl_sched",
+            Box::new(move || ablations::abl_sched_with(&runner, n(200))),
+        ),
+        (
+            "abl_buffer",
+            Box::new(move || ablations::abl_buffer_with(&runner, n(200))),
+        ),
+        (
+            "abl_overlap",
+            Box::new(move || ablations::abl_overlap_with(&runner, n(200))),
+        ),
+        (
+            "abl_layout",
+            Box::new(move || ablations::abl_layout_with(&runner, n(200))),
+        ),
+        ("abl_reshard", Box::new(ablations::abl_reshard)),
+        (
+            "abl_chunk",
+            Box::new(move || ablations::abl_chunk_with(&runner, n(200))),
+        ),
+    ]
+}

@@ -1,9 +1,16 @@
 //! Sweep harness: the tuned-vLLM baseline and the auto-probed Seesaw
 //! run used by the end-to-end figures.
+//!
+//! Every function has a `*_with` variant taking an explicit
+//! [`SweepRunner`]; the plain variants resolve the job count from the
+//! environment (`SEESAW_JOBS` / `RAYON_NUM_THREADS`, else all cores).
+//! Parallel and serial runners produce identical reports in identical
+//! order — candidates are independent simulations and results are
+//! collected by candidate index.
 
 use seesaw_engine::seesaw::{SeesawEngine, SeesawSpec};
 use seesaw_engine::vllm::VllmEngine;
-use seesaw_engine::{EngineReport, SchedulingPolicy};
+use seesaw_engine::{EngineReport, SchedulingPolicy, SweepRunner};
 use seesaw_hw::ClusterSpec;
 use seesaw_model::ModelConfig;
 use seesaw_parallel::feasible;
@@ -27,22 +34,44 @@ pub fn vllm_sweep(
     model: &ModelConfig,
     reqs: &[Request],
 ) -> Vec<EngineReport> {
-    let mut out = Vec::new();
+    vllm_sweep_with(&SweepRunner::from_env(), cluster, model, reqs)
+}
+
+/// [`vllm_sweep`] on an explicit runner. Candidate engine runs are
+/// independent simulations, so they execute concurrently; report
+/// order matches the serial enumeration order exactly.
+pub fn vllm_sweep_with(
+    runner: &SweepRunner,
+    cluster: &ClusterSpec,
+    model: &ModelConfig,
+    reqs: &[Request],
+) -> Vec<EngineReport> {
+    let mut engines = Vec::new();
     for cfg in feasible::feasible_configs(model, cluster) {
         for policy in baseline_policies() {
             if let Ok(engine) = VllmEngine::new(cluster.clone(), model.clone(), cfg, policy) {
-                out.push(engine.run(reqs));
+                engines.push(engine);
             }
         }
     }
-    out
+    runner.map(&engines, |engine| engine.run(reqs))
 }
 
 /// The tuned baseline: best throughput across the sweep (what the
 /// paper reports as the vLLM bar after sweeping parallelisms and
 /// tuning the chunk size).
 pub fn best_vllm(cluster: &ClusterSpec, model: &ModelConfig, reqs: &[Request]) -> EngineReport {
-    vllm_sweep(cluster, model, reqs)
+    best_vllm_with(&SweepRunner::from_env(), cluster, model, reqs)
+}
+
+/// [`best_vllm`] on an explicit runner.
+pub fn best_vllm_with(
+    runner: &SweepRunner,
+    cluster: &ClusterSpec,
+    model: &ModelConfig,
+    reqs: &[Request],
+) -> EngineReport {
+    vllm_sweep_with(runner, cluster, model, reqs)
         .into_iter()
         .max_by(|a, b| {
             a.throughput_rps()
@@ -55,8 +84,20 @@ pub fn best_vllm(cluster: &ClusterSpec, model: &ModelConfig, reqs: &[Request]) -
 /// Seesaw with its configuration pair auto-probed on a sample of the
 /// workload.
 pub fn seesaw_auto(cluster: &ClusterSpec, model: &ModelConfig, reqs: &[Request]) -> EngineReport {
+    seesaw_auto_with(&SweepRunner::from_env(), cluster, model, reqs)
+}
+
+/// [`seesaw_auto`] on an explicit runner (the probe pairs evaluate
+/// concurrently).
+pub fn seesaw_auto_with(
+    runner: &SweepRunner,
+    cluster: &ClusterSpec,
+    model: &ModelConfig,
+    reqs: &[Request],
+) -> EngineReport {
     let probe = &reqs[..reqs.len().min(32)];
-    let spec = SeesawSpec::auto_probed(cluster, model, probe).expect("feasible Seesaw pair");
+    let spec = SeesawSpec::auto_probed_with(runner, cluster, model, probe)
+        .expect("feasible Seesaw pair");
     SeesawEngine::new(cluster.clone(), model.clone(), spec)
         .expect("spec validated")
         .run(reqs)

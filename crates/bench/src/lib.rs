@@ -10,6 +10,7 @@
 //! * [`harness`] — the vLLM configuration/policy sweep ("best static
 //!   baseline", as the paper tunes it) and the Seesaw auto-probed run.
 
+pub mod cli;
 pub mod figs;
 pub mod harness;
 pub mod table;

@@ -1,0 +1,51 @@
+//! The parallel sweep engine's contract: a parallel runner produces
+//! *byte-identical* results to the serial path — same reports, same
+//! order, same rendered figures — so `--jobs N` only changes
+//! wall-clock time, never output.
+
+use seesaw_bench::figs;
+use seesaw_bench::harness::{best_vllm_with, seesaw_auto_with, vllm_sweep_with};
+use seesaw_engine::SweepRunner;
+use seesaw_hw::ClusterSpec;
+use seesaw_model::presets;
+use seesaw_workload::WorkloadGen;
+
+#[test]
+fn vllm_sweep_parallel_matches_serial_reports_exactly() {
+    let cluster = ClusterSpec::a10x4();
+    let model = presets::llama2_13b();
+    let reqs = WorkloadGen::constant(512, 32).generate(16);
+    let serial = vllm_sweep_with(&SweepRunner::serial(), &cluster, &model, &reqs);
+    let parallel = vllm_sweep_with(&SweepRunner::new(4), &cluster, &model, &reqs);
+    assert!(serial.len() >= 3, "sweep must cover several candidates");
+    // EngineReport is PartialEq over every field (stats, walls,
+    // transfer accounting), so this is a bit-level comparison of the
+    // simulated outcomes, in candidate order.
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn tuned_baseline_and_probed_seesaw_are_runner_invariant() {
+    let cluster = ClusterSpec::a10x4();
+    let model = presets::llama2_13b();
+    let reqs = WorkloadGen::arxiv_summarization(7).generate(24);
+    let base_s = best_vllm_with(&SweepRunner::serial(), &cluster, &model, &reqs);
+    let base_p = best_vllm_with(&SweepRunner::new(8), &cluster, &model, &reqs);
+    assert_eq!(base_s, base_p);
+    let ours_s = seesaw_auto_with(&SweepRunner::serial(), &cluster, &model, &reqs);
+    let ours_p = seesaw_auto_with(&SweepRunner::new(8), &cluster, &model, &reqs);
+    assert_eq!(ours_s, ours_p);
+}
+
+#[test]
+fn figure_output_is_byte_identical_across_job_counts() {
+    // A figure with an internal grid (four engine runs) rendered to
+    // its final string: the user-visible artifact must not depend on
+    // the worker count.
+    let serial = figs::fig12::run_with(&SweepRunner::serial(), 16);
+    let parallel = figs::fig12::run_with(&SweepRunner::new(4), 16);
+    assert_eq!(serial, parallel);
+    let serial = figs::ablations::abl_buffer_with(&SweepRunner::serial(), 24);
+    let parallel = figs::ablations::abl_buffer_with(&SweepRunner::new(3), 24);
+    assert_eq!(serial, parallel);
+}

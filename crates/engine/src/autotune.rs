@@ -99,11 +99,30 @@ pub fn best_seesaw_pair(
 /// analytic model shortlists prefill-strong and decode-strong
 /// candidates, then each shortlisted pair runs a small probe workload
 /// through the real [`SeesawEngine`](crate::seesaw::SeesawEngine) and
-/// the highest measured throughput wins. Slower than
-/// [`best_seesaw_pair`] but immune to analytic-model ranking error;
-/// this is what [`SeesawSpec::auto_for`](crate::seesaw::SeesawSpec)
-/// uses.
+/// the highest measured throughput wins. Probes are independent
+/// engine runs, so they execute in parallel on a
+/// [`SweepRunner`](crate::sweep::SweepRunner); ties and orderings are
+/// resolved by shortlist position, keeping the choice identical to
+/// the serial search. Slower than [`best_seesaw_pair`] but immune to
+/// analytic-model ranking error; this is what
+/// [`SeesawSpec::auto_for`](crate::seesaw::SeesawSpec) uses.
+///
+/// When the shortlists admit no probeable pair at all (e.g. every
+/// top-prefill × top-decode combination mixes DP degrees), the search
+/// falls back to the analytic [`best_seesaw_pair`] over the *full*
+/// candidate set instead of reporting a spurious [`FitError`].
 pub fn best_seesaw_pair_probed(
+    cluster: &ClusterSpec,
+    model: &ModelConfig,
+    probe: &[seesaw_workload::Request],
+) -> Result<(ParallelConfig, ParallelConfig), FitError> {
+    best_seesaw_pair_probed_with(&crate::sweep::SweepRunner::from_env(), cluster, model, probe)
+}
+
+/// [`best_seesaw_pair_probed`] on an explicit runner (binaries thread
+/// their `--jobs` choice through here).
+pub fn best_seesaw_pair_probed_with(
+    runner: &crate::sweep::SweepRunner,
     cluster: &ClusterSpec,
     model: &ModelConfig,
     probe: &[seesaw_workload::Request],
@@ -133,21 +152,33 @@ pub fn best_seesaw_pair_probed(
     let tops = |v: &[(ParallelConfig, f64)]| -> Vec<ParallelConfig> {
         v.iter().take(3).map(|&(c, _)| c).collect()
     };
-    let mut best: Option<(ParallelConfig, ParallelConfig, f64)> = None;
+    // Materialize every probeable engine up front (construction is
+    // cheap; running is what costs), then probe concurrently.
+    let mut engines: Vec<(ParallelConfig, ParallelConfig, crate::seesaw::SeesawEngine)> =
+        Vec::new();
     for &cp in &tops(&by_prefill) {
         for &cd in &tops(&by_decode) {
             if cp.dp != cd.dp {
                 continue;
             }
             let spec = crate::seesaw::SeesawSpec::new(cp, cd);
-            let Ok(engine) = crate::seesaw::SeesawEngine::new(cluster.clone(), model.clone(), spec)
-            else {
-                continue;
-            };
-            let rps = engine.run(probe).throughput_rps();
-            if best.is_none_or(|(_, _, b)| rps > b) {
-                best = Some((cp, cd, rps));
+            if let Ok(engine) =
+                crate::seesaw::SeesawEngine::new(cluster.clone(), model.clone(), spec)
+            {
+                engines.push((cp, cd, engine));
             }
+        }
+    }
+    if engines.is_empty() {
+        // Shortlist dead-end (typically all-mismatched DP): feasible
+        // pairs may still exist outside the shortlists.
+        return best_seesaw_pair(cluster, model, avg_in.max(1), avg_out.max(1));
+    }
+    let rates = runner.map(&engines, |(_, _, engine)| engine.run(probe).throughput_rps());
+    let mut best: Option<(ParallelConfig, ParallelConfig, f64)> = None;
+    for (&(cp, cd, _), &rps) in engines.iter().zip(&rates) {
+        if best.is_none_or(|(_, _, b)| rps > b) {
+            best = Some((cp, cd, rps));
         }
     }
     best.map(|(cp, cd, _)| (cp, cd)).ok_or(FitError::Invalid(format!(
@@ -214,6 +245,64 @@ mod tests {
         let pair = tm.estimate_request_rate(cp, cd, 3000, 200).unwrap();
         let stat = tm.estimate_request_rate(cs, cs, 3000, 200).unwrap();
         assert!(pair >= stat, "pair {pair} vs static {stat}");
+    }
+
+    /// Guard for the shortlist dead-end: whenever the analytic search
+    /// finds *any* feasible pair, the probed search must also succeed
+    /// (falling back to the analytic winner if every top-3 × top-3
+    /// shortlist pair has mismatched DP) instead of surfacing a
+    /// spurious `FitError`.
+    #[test]
+    fn probed_succeeds_whenever_analytic_pair_exists() {
+        use seesaw_workload::Request;
+        let combos: Vec<(ClusterSpec, ModelConfig)> = vec![
+            (ClusterSpec::a10x4(), presets::llama2_13b()),
+            (ClusterSpec::l4x4(), presets::llama2_13b()),
+            (ClusterSpec::a10x4(), presets::llama3_15b()),
+            (ClusterSpec::a10x8(), presets::codellama_34b()),
+        ];
+        for (cluster, model) in combos {
+            if best_seesaw_pair(&cluster, &model, 512, 32).is_err() {
+                continue;
+            }
+            let probe: Vec<Request> = (0..8).map(|i| Request::new(i, 512, 32)).collect();
+            let pair = best_seesaw_pair_probed(&cluster, &model, &probe);
+            assert!(
+                pair.is_ok(),
+                "probed search must not dead-end on {} / {}x{}: {:?}",
+                model.name,
+                cluster.num_gpus,
+                cluster.gpu.name,
+                pair.err()
+            );
+            let (cp, cd) = pair.unwrap();
+            assert_eq!(cp.dp, cd.dp, "returned pair must share DP");
+        }
+    }
+
+    /// Probing in parallel must choose the same pair as probing
+    /// serially (ties broken by shortlist order in both).
+    #[test]
+    fn parallel_probe_matches_serial_choice() {
+        use seesaw_workload::Request;
+        let cluster = ClusterSpec::a10x4();
+        let model = presets::llama2_13b();
+        let probe: Vec<Request> = (0..12).map(|i| Request::new(i, 1024, 64)).collect();
+        let serial = best_seesaw_pair_probed_with(
+            &crate::sweep::SweepRunner::serial(),
+            &cluster,
+            &model,
+            &probe,
+        )
+        .unwrap();
+        let parallel = best_seesaw_pair_probed_with(
+            &crate::sweep::SweepRunner::new(4),
+            &cluster,
+            &model,
+            &probe,
+        )
+        .unwrap();
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -34,8 +34,27 @@ pub struct ClusterSim {
 
 impl ClusterSim {
     /// Instantiate resources for every GPU of `cluster`.
+    ///
+    /// The simulator skips span recording ([`Simulator::without_trace`])
+    /// — the fast path engines and autotune probes always take, since
+    /// sweep throughput only needs the clock. Use
+    /// [`ClusterSim::with_trace`] when the execution trace itself is
+    /// the product (breakdown figures, timeline debugging).
     pub fn new(cluster: ClusterSpec) -> Self {
-        let mut sim = Simulator::without_trace();
+        Self::build(cluster, false)
+    }
+
+    /// Instantiate with span recording enabled.
+    pub fn with_trace(cluster: ClusterSpec) -> Self {
+        Self::build(cluster, true)
+    }
+
+    fn build(cluster: ClusterSpec, trace: bool) -> Self {
+        let mut sim = if trace {
+            Simulator::new()
+        } else {
+            Simulator::without_trace()
+        };
         let n = cluster.num_gpus;
         let compute = (0..n).map(|i| sim.add_resource(format!("gpu{i}.compute"))).collect();
         let h2d = (0..n).map(|i| sim.add_resource(format!("gpu{i}.h2d"))).collect();
@@ -230,6 +249,19 @@ mod tests {
         // r2 completes at 4.0. (The per-slot tail chaining in the
         // driver avoids even this by keying on slots, tested there.)
         assert_eq!(cs.sim.run_until(r2).as_secs(), 4.0);
+    }
+
+    #[test]
+    fn trace_is_opt_in() {
+        let mut fast = ClusterSim::new(ClusterSpec::a10x4());
+        let h = fast.submit_pass(ParallelConfig::tp(4), 0, &[1.0], None, TaskKind::Compute);
+        fast.sim.run_until(h);
+        assert!(fast.sim.trace().spans().is_empty(), "fast path records nothing");
+
+        let mut traced = ClusterSim::with_trace(ClusterSpec::a10x4());
+        let h = traced.submit_pass(ParallelConfig::tp(4), 0, &[1.0], None, TaskKind::Compute);
+        traced.sim.run_until(h);
+        assert!(!traced.sim.trace().spans().is_empty(), "trace on request");
     }
 
     #[test]

@@ -93,7 +93,7 @@ pub fn stage_durations(
     shape: &BatchShape,
 ) -> Vec<f64> {
     let p2p = if cfg.pp > 1 {
-        rl.cluster.interconnect.p2p_time(rl.p2p_bytes(shape))
+        rl.cluster().interconnect.p2p_time(rl.p2p_bytes(shape))
     } else {
         0.0
     };
@@ -114,13 +114,13 @@ pub fn mixed_stage_durations(
     let layer = rl.layer_cost_mixed(prefill, decode, cfg.tp).layer_time();
     let merged = prefill.merge(decode);
     let p2p = if cfg.pp > 1 {
-        rl.cluster.interconnect.p2p_time(rl.p2p_bytes(&merged))
+        rl.cluster().interconnect.p2p_time(rl.p2p_bytes(&merged))
     } else {
         0.0
     };
     (0..cfg.pp)
         .map(|s| {
-            let (a, b) = cfg.stage_layers(rl.model.num_layers, s);
+            let (a, b) = cfg.stage_layers(rl.model().num_layers, s);
             (b - a) as f64 * layer + if s + 1 < cfg.pp { p2p } else { 0.0 }
         })
         .collect()

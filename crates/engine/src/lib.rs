@@ -33,9 +33,11 @@ pub mod disagg;
 pub mod driver;
 pub mod report;
 pub mod seesaw;
+pub mod sweep;
 pub mod vllm;
 
 pub use report::{EngineReport, Phase, PhaseSpan};
+pub use sweep::{SweepResult, SweepRunner};
 
 use serde::{Deserialize, Serialize};
 

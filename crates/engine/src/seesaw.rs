@@ -31,8 +31,8 @@ use seesaw_model::ModelConfig;
 use seesaw_parallel::{FitError, MemoryPlan, ParallelConfig, ReshardPlan};
 use seesaw_roofline::Roofline;
 use seesaw_sim::{TaskHandle, TaskKind};
-use seesaw_workload::{Request, RunStats};
-use std::collections::{HashMap, VecDeque};
+use seesaw_workload::{Request, RequestMap, RunStats};
+use std::collections::VecDeque;
 
 /// Decode rounds per burst while the prefetcher is idle.
 const BURST_CAP: usize = 64;
@@ -102,7 +102,17 @@ impl SeesawSpec {
         model: &ModelConfig,
         probe: &[Request],
     ) -> Result<Self, FitError> {
-        let (cp, cd) = autotune::best_seesaw_pair_probed(cluster, model, probe)?;
+        Self::auto_probed_with(&crate::sweep::SweepRunner::from_env(), cluster, model, probe)
+    }
+
+    /// [`SeesawSpec::auto_probed`] on an explicit sweep runner.
+    pub fn auto_probed_with(
+        runner: &crate::sweep::SweepRunner,
+        cluster: &ClusterSpec,
+        model: &ModelConfig,
+        probe: &[Request],
+    ) -> Result<Self, FitError> {
+        let (cp, cd) = autotune::best_seesaw_pair_probed_with(runner, cluster, model, probe)?;
         Ok(Self::new(cp, cd))
     }
 
@@ -194,7 +204,7 @@ struct SeesawRun<'a> {
     replicas: Vec<Replica>,
     buffers: Vec<CpuKvBuffer>,
     waiting: VecDeque<Request>,
-    meta: HashMap<u64, Request>,
+    meta: RequestMap,
     sizer_p: SwapSizer,
     sizer_d: SwapSizer,
     completed: usize,
@@ -228,7 +238,7 @@ impl<'a> SeesawRun<'a> {
             replicas,
             buffers,
             waiting: requests.iter().copied().collect(),
-            meta: requests.iter().map(|r| (r.id, *r)).collect(),
+            meta: RequestMap::new(requests),
             sizer_p: SwapSizer::new(&eng.model, eng.spec.prefill, eng.spec.layout),
             sizer_d: SwapSizer::new(&eng.model, eng.spec.decode, eng.spec.layout),
             completed: 0,
@@ -411,7 +421,7 @@ impl<'a> SeesawRun<'a> {
                 for (pass, ids) in parts {
                     joins.push(pass);
                     for id in ids {
-                        let req = self.meta[&id];
+                        let req = self.meta.req(id);
                         let p = self.submit_swap_out(d, id, req, pass);
                         if p.buffered.is_some() {
                             buffered_any = true;

@@ -19,8 +19,8 @@ use seesaw_model::ModelConfig;
 use seesaw_parallel::{FitError, MemoryPlan, ParallelConfig};
 use seesaw_roofline::{BatchShape, Roofline};
 use seesaw_sim::TaskHandle;
-use seesaw_workload::{Request, RunStats};
-use std::collections::{HashMap, VecDeque};
+use seesaw_workload::{Request, RequestMap, RunStats};
+use std::collections::VecDeque;
 
 /// Maximum decode rounds submitted between scheduling decisions.
 const BURST_CAP: usize = 64;
@@ -102,7 +102,7 @@ struct RunState<'a> {
     rl: Roofline,
     replicas: Vec<Replica>,
     waiting: VecDeque<Request>,
-    meta: HashMap<u64, Request>,
+    meta: RequestMap,
     prefilling: Vec<VecDeque<Prefilling>>,
     completed: usize,
     prefill_wall: f64,
@@ -117,7 +117,7 @@ impl<'a> RunState<'a> {
         let replicas = (0..eng.cfg.dp)
             .map(|d| Replica::new(d, eng.plan.kv_tokens_per_replica, eng.cfg.pp))
             .collect();
-        let meta = requests.iter().map(|r| (r.id, *r)).collect();
+        let meta = RequestMap::new(requests);
         RunState {
             eng,
             cs,
@@ -219,7 +219,7 @@ impl<'a> RunState<'a> {
         self.prefill_wall += self.cs.now() - t0;
         for (d, members) in batch.admitted.into_iter().enumerate() {
             for (id, prompt) in members {
-                let req = self.meta[&id];
+                let req = self.meta.req(id);
                 if req.output_len <= 1 {
                     self.replicas[d].kv.free(id).expect("was allocated");
                     self.completed += 1;
@@ -419,7 +419,7 @@ impl<'a> RunState<'a> {
             self.completed += finished.len();
         }
         for (d, id, prompt) in graduated {
-            let req = self.meta[&id];
+            let req = self.meta.req(id);
             if req.output_len <= 1 {
                 self.replicas[d].kv.free(id).expect("was allocated");
                 self.completed += 1;

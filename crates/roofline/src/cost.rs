@@ -6,6 +6,9 @@ use seesaw_model::ModelConfig;
 use seesaw_parallel::shard::kv_heads_per_rank;
 use seesaw_parallel::ParallelConfig;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Which inference stage a pass belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -108,27 +111,135 @@ impl StageBreakdown {
     }
 }
 
+/// FNV/FxHash-style multiplicative hasher for the small integer keys
+/// of the cost cache — much cheaper than SipHash on this hot path.
+/// Internal: the cache's hashing is an implementation detail, not
+/// API.
+#[derive(Debug, Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ v).wrapping_mul(FX_SEED);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// Exact memoization key for one `layer_cost` evaluation. `sq_sum` is
+/// keyed by its bit pattern, so cache hits return bit-identical costs
+/// to a fresh evaluation (figure output must not drift).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CostKey {
+    prefill: bool,
+    seqs: usize,
+    new_tokens: usize,
+    ctx_tokens: usize,
+    sq_sum_bits: u64,
+    tp: usize,
+}
+
+impl CostKey {
+    fn new(stage: Stage, shape: &BatchShape, tp: usize) -> Self {
+        CostKey {
+            prefill: stage == Stage::Prefill,
+            seqs: shape.seqs,
+            new_tokens: shape.new_tokens,
+            ctx_tokens: shape.ctx_tokens,
+            sq_sum_bits: shape.sq_sum.to_bits(),
+            tp,
+        }
+    }
+}
+
+type CostCache = HashMap<CostKey, LayerCost, BuildHasherDefault<FxHasher>>;
+
 /// The analytical performance model: cluster + model + Table 3
-/// formulas.
+/// formulas, with a per-instance memoization cache over
+/// `(stage, shape, tp)` evaluations.
+///
+/// The cache is interior-mutable and owned by each `Roofline`
+/// instance: engines and `ThroughputModel`s construct their own
+/// roofline per run, so concurrent sweep workers never contend on a
+/// shared cache (and `Roofline` deliberately is not `Sync`).
 #[derive(Debug, Clone)]
 pub struct Roofline {
-    /// Hardware under evaluation.
-    pub cluster: ClusterSpec,
-    /// Model under evaluation.
-    pub model: ModelConfig,
+    // Private so the memoized costs can never go stale: rebuilding
+    // via `Roofline::new` is the only way to change what is modeled.
+    cluster: ClusterSpec,
+    model: ModelConfig,
+    cache: RefCell<CostCache>,
 }
 
 impl Roofline {
     /// Build the model for a cluster/model pair.
     pub fn new(cluster: ClusterSpec, model: ModelConfig) -> Self {
         model.validate().expect("invalid model config");
-        Roofline { cluster, model }
+        Roofline {
+            cluster,
+            model,
+            cache: RefCell::new(CostCache::default()),
+        }
+    }
+
+    /// Hardware under evaluation.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// Model under evaluation.
+    pub fn model(&self) -> &ModelConfig {
+        &self.model
+    }
+
+    /// Number of distinct `(stage, shape, tp)` evaluations cached so
+    /// far.
+    pub fn cost_cache_len(&self) -> usize {
+        self.cache.borrow().len()
     }
 
     /// Cost of one decoder layer for a micro-batch of `shape` at
     /// tensor-parallel degree `tp` (per rank; all TP ranks run this
-    /// concurrently and then all-reduce).
+    /// concurrently and then all-reduce). Memoized per instance;
+    /// identical inputs return bit-identical costs whether they hit
+    /// or miss the cache.
     pub fn layer_cost(&self, stage: Stage, shape: &BatchShape, tp: usize) -> LayerCost {
+        if shape.is_empty() {
+            return LayerCost::default();
+        }
+        let key = CostKey::new(stage, shape, tp);
+        if let Some(&hit) = self.cache.borrow().get(&key) {
+            return hit;
+        }
+        let cost = self.layer_cost_uncached(stage, shape, tp);
+        self.cache.borrow_mut().insert(key, cost);
+        cost
+    }
+
+    /// The raw Table 3 evaluation, bypassing the memoization cache
+    /// (reference implementation for cache-correctness tests and
+    /// benchmarks).
+    pub fn layer_cost_uncached(&self, stage: Stage, shape: &BatchShape, tp: usize) -> LayerCost {
         if shape.is_empty() {
             return LayerCost::default();
         }

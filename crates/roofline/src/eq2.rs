@@ -26,7 +26,7 @@ impl ThroughputModel {
     /// Maximum global batch size at average sequence length `avg_len`
     /// (Appendix A.2), or why the config cannot run.
     pub fn max_batch(&self, cfg: ParallelConfig, avg_len: usize) -> Result<usize, FitError> {
-        let plan = MemoryPlan::new(&self.roofline.model, &self.roofline.cluster, cfg)?;
+        let plan = MemoryPlan::new(self.roofline.model(), self.roofline.cluster(), cfg)?;
         Ok(plan.max_batch(avg_len).max(1))
     }
 
@@ -106,7 +106,7 @@ impl ThroughputModel {
         let avg_ctx = avg_in + avg_out / 2;
         let step_rate = self.decode_seq_steps_per_sec_max_batch(cfg_d, avg_ctx)?;
         // Also verify the prefill config itself fits.
-        MemoryPlan::new(&self.roofline.model, &self.roofline.cluster, cfg_p)?;
+        MemoryPlan::new(self.roofline.model(), self.roofline.cluster(), cfg_p)?;
         let t_decode = avg_out as f64 / step_rate;
         Ok(1.0 / (t_prefill + t_decode))
     }

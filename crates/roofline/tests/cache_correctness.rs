@@ -1,0 +1,67 @@
+//! Memoized `layer_cost` must be observationally identical to the
+//! uncached Table 3 evaluation: bit-identical costs across a sampled
+//! shape grid, on first call (miss) and on repeat (hit).
+
+use seesaw_hw::ClusterSpec;
+use seesaw_model::presets;
+use seesaw_roofline::{BatchShape, Roofline, Stage};
+
+fn shape_grid() -> Vec<(Stage, BatchShape)> {
+    let mut shapes = Vec::new();
+    for seqs in [1usize, 2, 8, 32] {
+        for len in [16usize, 128, 512, 3000] {
+            shapes.push((Stage::Prefill, BatchShape::prefill(&vec![len; seqs])));
+            shapes.push((Stage::Decode, BatchShape::decode_uniform(seqs, len)));
+        }
+    }
+    for (chunk, prefix) in [(256, 0), (256, 1024), (512, 4096)] {
+        shapes.push((Stage::Prefill, BatchShape::prefill_chunk(chunk, prefix)));
+    }
+    shapes.push((Stage::Prefill, BatchShape::empty()));
+    shapes
+}
+
+#[test]
+fn memoized_cost_matches_uncached_bit_for_bit() {
+    for (cluster, model) in [
+        (ClusterSpec::a10x8(), presets::codellama_34b()),
+        (ClusterSpec::l4x8(), presets::llama2_13b()),
+        (ClusterSpec::a100x8_nvlink(), presets::llama2_70b()),
+    ] {
+        let rl = Roofline::new(cluster, model);
+        for (stage, shape) in shape_grid() {
+            for tp in [1usize, 2, 4, 8] {
+                let reference = rl.layer_cost_uncached(stage, &shape, tp);
+                let miss = rl.layer_cost(stage, &shape, tp);
+                let hit = rl.layer_cost(stage, &shape, tp);
+                // PartialEq on LayerCost compares all five f64
+                // components exactly.
+                assert_eq!(miss, reference, "{stage:?} {shape:?} tp{tp}");
+                assert_eq!(hit, reference, "{stage:?} {shape:?} tp{tp}");
+            }
+        }
+        assert!(rl.cost_cache_len() > 0, "grid must populate the cache");
+    }
+}
+
+#[test]
+fn cache_distinguishes_tp_stage_and_shape() {
+    let rl = Roofline::new(ClusterSpec::a10x8(), presets::llama2_13b());
+    let shape = BatchShape::decode_uniform(16, 512);
+    let t1 = rl.layer_cost(Stage::Decode, &shape, 1);
+    let t4 = rl.layer_cost(Stage::Decode, &shape, 4);
+    assert_ne!(t1, t4, "tp must key the cache");
+    let p = rl.layer_cost(Stage::Prefill, &BatchShape::prefill(&[512; 16]), 4);
+    assert_ne!(p, t4, "stage must key the cache");
+    let bigger = rl.layer_cost(Stage::Decode, &BatchShape::decode_uniform(17, 512), 4);
+    assert_ne!(bigger, t4, "shape must key the cache");
+    assert!(rl.cost_cache_len() >= 4);
+}
+
+#[test]
+fn empty_shapes_bypass_the_cache() {
+    let rl = Roofline::new(ClusterSpec::a10x8(), presets::llama2_13b());
+    let c = rl.layer_cost(Stage::Prefill, &BatchShape::empty(), 4);
+    assert_eq!(c.layer_time(), 0.0);
+    assert_eq!(rl.cost_cache_len(), 0, "empty shapes short-circuit");
+}

@@ -17,6 +17,79 @@ impl TaskHandle {
     }
 }
 
+/// Small inline list that avoids heap allocation for the 0-, 1- and
+/// 2-element cases which dominate engine task graphs (a compute pass
+/// depends on at most its predecessor; a transfer on the pass it
+/// drains). `Many` falls back to a `Vec` for join nodes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum SmallList<T> {
+    /// No elements.
+    #[default]
+    Empty,
+    /// Exactly one element.
+    One(T),
+    /// Exactly two elements.
+    Two([T; 2]),
+    /// Three or more elements.
+    Many(Vec<T>),
+}
+
+impl<T: Copy> SmallList<T> {
+    /// Append an element, spilling to the heap only past two.
+    pub fn push(&mut self, v: T) {
+        *self = match std::mem::take(self) {
+            SmallList::Empty => SmallList::One(v),
+            SmallList::One(a) => SmallList::Two([a, v]),
+            SmallList::Two([a, b]) => SmallList::Many(vec![a, b, v]),
+            SmallList::Many(mut vec) => {
+                vec.push(v);
+                SmallList::Many(vec)
+            }
+        }
+    }
+
+    /// View as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            SmallList::Empty => &[],
+            SmallList::One(a) => std::slice::from_ref(a),
+            SmallList::Two(ab) => ab,
+            SmallList::Many(vec) => vec,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, SmallList::Empty)
+    }
+}
+
+impl<T: Copy> From<Vec<T>> for SmallList<T> {
+    fn from(v: Vec<T>) -> Self {
+        match v.len() {
+            0 => SmallList::Empty,
+            1 => SmallList::One(v[0]),
+            2 => SmallList::Two([v[0], v[1]]),
+            _ => SmallList::Many(v),
+        }
+    }
+}
+
+impl<T: Copy> FromIterator<T> for SmallList<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut out = SmallList::Empty;
+        for v in iter {
+            out.push(v);
+        }
+        out
+    }
+}
+
 /// Description of a task to submit.
 #[derive(Debug, Clone)]
 pub struct TaskSpec {
@@ -28,7 +101,7 @@ pub struct TaskSpec {
     /// Work category, for tracing.
     pub kind: TaskKind,
     /// Tasks that must complete before this one starts.
-    pub deps: Vec<TaskHandle>,
+    pub deps: SmallList<TaskHandle>,
     /// Free-form tag recorded in the trace (e.g. GPU index).
     pub tag: u64,
 }
@@ -44,7 +117,7 @@ impl TaskSpec {
             resource: Some(resource),
             duration,
             kind,
-            deps: Vec::new(),
+            deps: SmallList::Empty,
             tag: 0,
         }
     }
@@ -55,7 +128,7 @@ impl TaskSpec {
             resource: None,
             duration: 0.0,
             kind: TaskKind::Sync,
-            deps,
+            deps: deps.into(),
             tag: 0,
         }
     }
@@ -68,7 +141,9 @@ impl TaskSpec {
 
     /// Add several dependencies.
     pub fn after_all(mut self, deps: &[TaskHandle]) -> Self {
-        self.deps.extend_from_slice(deps);
+        for &d in deps {
+            self.deps.push(d);
+        }
         self
     }
 
@@ -98,7 +173,7 @@ struct Task {
     kind: TaskKind,
     tag: u64,
     remaining_deps: usize,
-    dependents: Vec<usize>,
+    dependents: SmallList<usize>,
     state: TaskState,
     service_start: SimTime,
     completion: Option<SimTime>,
@@ -231,7 +306,7 @@ impl Simulator {
         }
         let id = self.tasks.len();
         let mut remaining = 0;
-        for d in &spec.deps {
+        for d in spec.deps.as_slice() {
             assert!(d.0 < id, "dependency on not-yet-submitted task");
             if self.tasks[d.0].completion.is_none() {
                 self.tasks[d.0].dependents.push(id);
@@ -244,7 +319,7 @@ impl Simulator {
             kind: spec.kind,
             tag: spec.tag,
             remaining_deps: remaining,
-            dependents: Vec::new(),
+            dependents: SmallList::Empty,
             state: TaskState::Waiting,
             service_start: SimTime::ZERO,
             completion: None,
@@ -348,7 +423,7 @@ impl Simulator {
 
         // Wake dependents.
         let deps = std::mem::take(&mut self.tasks[id].dependents);
-        for d in deps {
+        for &d in deps.as_slice() {
             self.tasks[d].remaining_deps -= 1;
             if self.tasks[d].remaining_deps == 0 {
                 self.make_ready(d);
@@ -527,7 +602,7 @@ mod tests {
             resource: Some(g0),
             duration: -1.0,
             kind: TaskKind::Compute,
-            deps: vec![],
+            deps: SmallList::Empty,
             tag: 0,
         });
     }

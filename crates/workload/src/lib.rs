@@ -20,4 +20,4 @@ pub mod request;
 
 pub use gen::{LengthDist, WorkloadGen};
 pub use metrics::RunStats;
-pub use request::{LengthStats, Request};
+pub use request::{LengthStats, Request, RequestMap};

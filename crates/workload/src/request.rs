@@ -39,6 +39,101 @@ impl Request {
     }
 }
 
+/// Read-only request-metadata store keyed by id, replacing the
+/// `HashMap<u64, Request>` lookups on the engines' hot paths.
+///
+/// Workload ids are dense and (near-)sequential — generators hand out
+/// `0..n`, and autotune probes use a contiguous run below `u64::MAX`
+/// — so when the id span is close to the request count the map is a
+/// direct-indexed vector (O(1), no hashing); otherwise it falls back
+/// to a sorted vector with binary search.
+#[derive(Debug, Clone)]
+pub enum RequestMap {
+    /// Direct index: slot `id - base`.
+    Dense {
+        /// Smallest id in the set.
+        base: u64,
+        /// Slot per id in `[base, base + slots.len())`.
+        slots: Vec<Option<Request>>,
+    },
+    /// Requests sorted by id, binary-searched.
+    Sorted(Vec<Request>),
+}
+
+impl RequestMap {
+    /// Span-to-count ratio up to which the dense representation is
+    /// used (4× leaves room for modest id gaps without bloating).
+    const DENSE_SLACK: u64 = 4;
+
+    /// Build from a request set (ids must be unique).
+    pub fn new(reqs: &[Request]) -> Self {
+        if reqs.is_empty() {
+            return RequestMap::Sorted(Vec::new());
+        }
+        let base = reqs.iter().map(|r| r.id).min().expect("non-empty");
+        let max = reqs.iter().map(|r| r.id).max().expect("non-empty");
+        // A set spanning (almost) the whole u64 range overflows the
+        // span computation; such sets are sparse by definition.
+        let span = (max - base).saturating_add(1);
+        if span <= (reqs.len() as u64).saturating_mul(Self::DENSE_SLACK) {
+            let mut slots = vec![None; span as usize];
+            for r in reqs {
+                let slot = &mut slots[(r.id - base) as usize];
+                assert!(slot.is_none(), "duplicate request id {}", r.id);
+                *slot = Some(*r);
+            }
+            RequestMap::Dense { base, slots }
+        } else {
+            let mut sorted = reqs.to_vec();
+            sorted.sort_by_key(|r| r.id);
+            for w in sorted.windows(2) {
+                assert!(w[0].id != w[1].id, "duplicate request id {}", w[0].id);
+            }
+            RequestMap::Sorted(sorted)
+        }
+    }
+
+    /// Look up a request by id.
+    pub fn get(&self, id: u64) -> Option<&Request> {
+        match self {
+            RequestMap::Dense { base, slots } => id
+                .checked_sub(*base)
+                .and_then(|i| slots.get(i as usize))
+                .and_then(|s| s.as_ref()),
+            RequestMap::Sorted(sorted) => sorted
+                .binary_search_by_key(&id, |r| r.id)
+                .ok()
+                .map(|i| &sorted[i]),
+        }
+    }
+
+    /// Look up a request that must exist (engine invariant).
+    pub fn req(&self, id: u64) -> Request {
+        *self
+            .get(id)
+            .unwrap_or_else(|| panic!("unknown request id {id}"))
+    }
+
+    /// Number of stored requests.
+    pub fn len(&self) -> usize {
+        match self {
+            RequestMap::Dense { slots, .. } => slots.iter().flatten().count(),
+            RequestMap::Sorted(sorted) => sorted.len(),
+        }
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<&[Request]> for RequestMap {
+    fn from(reqs: &[Request]) -> Self {
+        Self::new(reqs)
+    }
+}
+
 /// Aggregate length statistics of a request set (Figure 9 style).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LengthStats {
@@ -88,6 +183,64 @@ mod tests {
     #[should_panic(expected = "at least one prompt token")]
     fn zero_input_rejected() {
         Request::new(0, 0, 10);
+    }
+
+    #[test]
+    fn request_map_dense_for_sequential_ids() {
+        let reqs: Vec<Request> = (0..50).map(|i| Request::new(i, 100 + i as usize, 10)).collect();
+        let map = RequestMap::new(&reqs);
+        assert!(matches!(map, RequestMap::Dense { .. }));
+        assert_eq!(map.len(), 50);
+        for r in &reqs {
+            assert_eq!(map.req(r.id), *r);
+        }
+        assert!(map.get(50).is_none());
+    }
+
+    #[test]
+    fn request_map_dense_for_probe_style_ids_near_max() {
+        // Autotune probes use u64::MAX - i.
+        let reqs: Vec<Request> =
+            (0..24u64).map(|i| Request::new(u64::MAX - i, 2000, 250)).collect();
+        let map = RequestMap::new(&reqs);
+        assert!(matches!(map, RequestMap::Dense { .. }));
+        for r in &reqs {
+            assert_eq!(map.req(r.id), *r);
+        }
+        assert!(map.get(0).is_none());
+    }
+
+    #[test]
+    fn request_map_sparse_ids_fall_back_to_sorted() {
+        let reqs = vec![
+            Request::new(3, 10, 1),
+            Request::new(1_000_000, 20, 2),
+            Request::new(77, 30, 3),
+        ];
+        let map = RequestMap::new(&reqs);
+        assert!(matches!(map, RequestMap::Sorted(_)));
+        assert_eq!(map.len(), 3);
+        assert_eq!(map.req(77).input_len, 30);
+        assert!(map.get(78).is_none());
+    }
+
+    #[test]
+    fn request_map_survives_full_span_ids() {
+        // base 0 and u64::MAX in one set: the span computation must
+        // not overflow; the set is sparse, so Sorted is used.
+        let reqs = vec![Request::new(0, 10, 1), Request::new(u64::MAX, 20, 2)];
+        let map = RequestMap::new(&reqs);
+        assert!(matches!(map, RequestMap::Sorted(_)));
+        assert_eq!(map.req(0).input_len, 10);
+        assert_eq!(map.req(u64::MAX).input_len, 20);
+        assert!(map.get(1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate request id")]
+    fn request_map_rejects_duplicate_ids() {
+        let reqs = vec![Request::new(5, 10, 1), Request::new(5, 20, 2)];
+        RequestMap::new(&reqs);
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Offline stand-in for the subset of `criterion` this workspace's
+//! benches use: `Criterion`, benchmark groups, `iter`/`iter_batched`,
+//! `Throughput`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: a short warm-up, then timed batches until
+//! either a wall-clock budget or an iteration cap is reached; the
+//! mean per-iteration time is printed. No statistics, plots, or
+//! baselines — just fast, dependency-free numbers whose relative
+//! ordering is trustworthy.
+
+use std::time::{Duration, Instant};
+
+/// Per-benchmark wall-clock measurement budget.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+/// Iteration cap (keeps huge per-iteration benches from overrunning).
+const MAX_ITERS: u64 = 10_000;
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup (ignored by this stub).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input per iteration.
+    PerIteration,
+}
+
+/// Passed to the closure under test; runs and times the payload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Time `f` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up.
+        for _ in 0..3 {
+            std::hint::black_box(f());
+        }
+        let start = Instant::now();
+        let mut n = 0u64;
+        while start.elapsed() < MEASURE_BUDGET && n < MAX_ITERS {
+            std::hint::black_box(f());
+            n += 1;
+        }
+        self.iters = n.max(1);
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` over inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        let mut n = 0u64;
+        while total < MEASURE_BUDGET && n < MAX_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+            n += 1;
+        }
+        self.iters = n.max(1);
+        self.elapsed = total;
+    }
+
+    fn per_iter(&self) -> Duration {
+        self.elapsed / self.iters.max(1) as u32
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let per = b.per_iter();
+    let mut line = format!("{name:<44} {:>12}/iter  ({} iters)", fmt_duration(per), b.iters);
+    if let Some(t) = throughput {
+        let secs = per.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  {:.0} elem/s", n as f64 / secs));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  {:.1} MiB/s", n as f64 / secs / (1 << 20) as f64));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark registry.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(name, &b, None);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sample count hint (ignored by this stub).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one named benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&format!("{}/{name}", self.name), &b, self.throughput);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export so `use criterion::black_box` also works.
+pub use std::hint::black_box;
+
+/// Define a group-runner function from bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

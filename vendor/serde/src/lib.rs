@@ -1,0 +1,13 @@
+//! Offline stand-in for `serde`: exposes the `Serialize` /
+//! `Deserialize` names (trait + no-op derive macro) that the
+//! workspace's `#[derive(...)]` attributes and `use serde::{...}`
+//! imports resolve against. No actual serialization machinery exists
+//! or is needed — see `vendor/serde_derive`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; the no-op derive never implements it.
+pub trait Serialize {}
+
+/// Marker trait; the no-op derive never implements it.
+pub trait Deserialize<'de>: Sized {}
