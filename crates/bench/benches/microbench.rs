@@ -23,21 +23,40 @@ fn bench_sim_executor(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_executor");
     const TASKS: usize = 10_000;
     g.throughput(Throughput::Elements(TASKS as u64));
+    let drive = |sim: &mut Simulator| {
+        let mut prev = None;
+        for i in 0..TASKS {
+            let r = sim.pool().id(i % 8);
+            let mut spec = TaskSpec::new(r, 0.001, TaskKind::Compute);
+            if let Some(p) = prev {
+                if i % 3 == 0 {
+                    spec = spec.after(p);
+                }
+            }
+            prev = Some(sim.submit(spec));
+        }
+        sim.run_until_idle()
+    };
     g.bench_function("fifo_chain_10k_tasks", |b| {
         b.iter(|| {
             let mut sim = Simulator::without_trace();
-            let res: Vec<_> = (0..8).map(|i| sim.add_resource(format!("r{i}"))).collect();
-            let mut prev = None;
-            for i in 0..TASKS {
-                let mut spec = TaskSpec::new(res[i % 8], 0.001, TaskKind::Compute);
-                if let Some(p) = prev {
-                    if i % 3 == 0 {
-                        spec = spec.after(p);
-                    }
-                }
-                prev = Some(sim.submit(spec));
-            }
-            black_box(sim.run_until_idle())
+            (0..8).for_each(|i| {
+                sim.add_resource(format!("r{i}"));
+            });
+            black_box(drive(&mut sim))
+        })
+    });
+    // The sweep-worker steady state: one pooled executor reset and
+    // reused per candidate, arena/heap/queue capacity retained.
+    g.bench_function("fifo_chain_10k_tasks_pooled", |b| {
+        let mut sim = Simulator::without_trace();
+        (0..8).for_each(|i| {
+            sim.add_resource(format!("r{i}"));
+        });
+        black_box(drive(&mut sim));
+        b.iter(|| {
+            sim.reset();
+            black_box(drive(&mut sim))
         })
     });
     g.finish();
@@ -163,6 +182,24 @@ fn bench_engines(c: &mut Criterion) {
     g.finish();
 }
 
+/// The `sims_per_sec` unit of work from `perf_report` — the shared
+/// [`seesaw_bench::simsbench::SimsBench`] scenario: construct an
+/// engine from shared `Arc` specs and run one candidate evaluation,
+/// with the thread's executor/roofline-cache pools warm.
+fn bench_single_candidate_eval(c: &mut Criterion) {
+    use seesaw_bench::simsbench::SimsBench;
+    let bench = SimsBench::new();
+    let mut g = c.benchmark_group("single_candidate_eval");
+    g.sample_size(30);
+    g.bench_function("seesaw_p4_t4_construct_and_run", |b| {
+        b.iter(|| black_box(bench.run_seesaw_once()))
+    });
+    g.bench_function("vllm_t2p2_construct_and_run", |b| {
+        b.iter(|| black_box(bench.run_vllm_once()))
+    });
+    g.finish();
+}
+
 fn bench_workload_gen(c: &mut Criterion) {
     c.bench_function("workload_gen_sharegpt_2000", |b| {
         b.iter(|| black_box(WorkloadGen::sharegpt(1).generate(2000)))
@@ -177,6 +214,7 @@ criterion_group!(
     bench_roofline,
     bench_autotune_probe,
     bench_engines,
+    bench_single_candidate_eval,
     bench_workload_gen
 );
 criterion_main!(benches);

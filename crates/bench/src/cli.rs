@@ -11,17 +11,22 @@ pub struct SweepArgs {
     pub jobs: Option<usize>,
     /// `--out PATH`, when the binary accepts it.
     pub out: Option<String>,
+    /// `--baseline PATH`, when the binary accepts `--out` (regression
+    /// gate against a committed artifact).
+    pub baseline: Option<String>,
 }
 
 /// Parse `std::env::args`: an optional positional `subsample`
 /// (defaulting to `default_subsample`), `--jobs`/`-j N` (N ≥ 1), and
-/// — only when `accept_out` — `--out`/`-o PATH`. Prints `usage` and
-/// exits 2 on anything malformed.
+/// — only when `accept_out` — `--out`/`-o PATH` and
+/// `--baseline`/`-b PATH`. Prints `usage` and exits 2 on anything
+/// malformed.
 pub fn parse_sweep_args(usage: &str, default_subsample: usize, accept_out: bool) -> SweepArgs {
     let mut parsed = SweepArgs {
         subsample: default_subsample,
         jobs: None,
         out: None,
+        baseline: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -39,6 +44,12 @@ pub fn parse_sweep_args(usage: &str, default_subsample: usize, accept_out: bool)
             "--out" | "-o" if accept_out => {
                 parsed.out = args.next().or_else(|| {
                     eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--baseline" | "-b" if accept_out => {
+                parsed.baseline = args.next().or_else(|| {
+                    eprintln!("--baseline needs a path");
                     std::process::exit(2);
                 });
             }

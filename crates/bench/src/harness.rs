@@ -15,6 +15,7 @@ use seesaw_hw::ClusterSpec;
 use seesaw_model::ModelConfig;
 use seesaw_parallel::feasible;
 use seesaw_workload::Request;
+use std::sync::Arc;
 
 /// Policies included in the baseline sweep. The paper enables chunked
 /// prefill for vLLM and tunes the chunk size (§6.1), so the sweep
@@ -46,10 +47,17 @@ pub fn vllm_sweep_with(
     model: &ModelConfig,
     reqs: &[Request],
 ) -> Vec<EngineReport> {
+    // One Arc'd copy of the specs shared by every candidate engine
+    // (and every run's roofline + simulator), instead of a deep clone
+    // per candidate.
+    let cluster = Arc::new(cluster.clone());
+    let model = Arc::new(model.clone());
     let mut engines = Vec::new();
-    for cfg in feasible::feasible_configs(model, cluster) {
+    for cfg in feasible::feasible_configs(&model, &cluster) {
         for policy in baseline_policies() {
-            if let Ok(engine) = VllmEngine::new(cluster.clone(), model.clone(), cfg, policy) {
+            if let Ok(engine) =
+                VllmEngine::new(Arc::clone(&cluster), Arc::clone(&model), cfg, policy)
+            {
                 engines.push(engine);
             }
         }
@@ -98,9 +106,7 @@ pub fn seesaw_auto_with(
     let probe = &reqs[..reqs.len().min(32)];
     let spec = SeesawSpec::auto_probed_with(runner, cluster, model, probe)
         .expect("feasible Seesaw pair");
-    SeesawEngine::new(cluster.clone(), model.clone(), spec)
-        .expect("spec validated")
-        .run(reqs)
+    seesaw_with(cluster, model, spec, reqs)
 }
 
 /// A Seesaw run with an explicit spec.

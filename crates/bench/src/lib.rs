@@ -9,10 +9,14 @@
 //! * [`table::Table`] — aligned markdown table printer.
 //! * [`harness`] — the vLLM configuration/policy sweep ("best static
 //!   baseline", as the paper tunes it) and the Seesaw auto-probed run.
+//! * [`simsbench`] — the canonical `sims_per_sec` single-candidate
+//!   workload shared by `perf_report`, the criterion microbench, and
+//!   the determinism tests.
 
 pub mod cli;
 pub mod figs;
 pub mod harness;
+pub mod simsbench;
 pub mod table;
 
 /// Default request counts per dataset, matching §6.1 ("we sample 2000

@@ -1,0 +1,80 @@
+//! The canonical `sims_per_sec` unit of work, shared by
+//! `perf_report` (the metric), the criterion microbench
+//! (`single_candidate_eval`), and the determinism tests — one
+//! definition so all three always measure/guard the same thing.
+//!
+//! Fixed seed: 24 × 1024-in/64-out requests, LLaMA2-13B on 4×A10;
+//! one Seesaw candidate (P4→T4) and one vLLM candidate (D1T2P2,
+//! prefill-prioritized). Specs are `Arc`-shared so repeated
+//! construction exercises the pooled-executor / warm-cache hot path
+//! exactly like a sweep worker.
+
+use seesaw_engine::seesaw::{SeesawEngine, SeesawSpec};
+use seesaw_engine::vllm::VllmEngine;
+use seesaw_engine::{EngineReport, SchedulingPolicy};
+use seesaw_hw::ClusterSpec;
+use seesaw_model::{presets, ModelConfig};
+use seesaw_parallel::ParallelConfig;
+use seesaw_workload::{Request, WorkloadGen};
+use std::sync::Arc;
+
+/// Human-readable description recorded in `BENCH_sweep.json`.
+pub const WORKLOAD_LABEL: &str = "a10x4 llama2_13b constant(1024,64) x24";
+
+/// The fixed benchmark scenario: `Arc`-shared specs + request set.
+#[derive(Debug)]
+pub struct SimsBench {
+    /// Hardware spec handle shared by every candidate.
+    pub cluster: Arc<ClusterSpec>,
+    /// Model spec handle shared by every candidate.
+    pub model: Arc<ModelConfig>,
+    /// The fixed-seed request set.
+    pub reqs: Vec<Request>,
+}
+
+impl Default for SimsBench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimsBench {
+    /// Build the canonical scenario.
+    pub fn new() -> Self {
+        SimsBench {
+            cluster: Arc::new(ClusterSpec::a10x4()),
+            model: Arc::new(presets::llama2_13b()),
+            reqs: WorkloadGen::constant(1024, 64).generate(24),
+        }
+    }
+
+    /// The Seesaw candidate's spec (P4 → T4).
+    pub fn seesaw_spec(&self) -> SeesawSpec {
+        SeesawSpec::new(ParallelConfig::pp(4), ParallelConfig::tp(4))
+    }
+
+    /// One Seesaw single-candidate evaluation: construct from the
+    /// shared handles + run.
+    pub fn run_seesaw_once(&self) -> EngineReport {
+        SeesawEngine::new(
+            Arc::clone(&self.cluster),
+            Arc::clone(&self.model),
+            self.seesaw_spec(),
+        )
+        .expect("valid spec")
+        .run(&self.reqs)
+    }
+
+    /// One vLLM single-candidate evaluation (D1T2P2,
+    /// prefill-prioritized): construct from the shared handles + run.
+    pub fn run_vllm_once(&self) -> EngineReport {
+        VllmEngine::new(
+            Arc::clone(&self.cluster),
+            Arc::clone(&self.model),
+            ParallelConfig::new(1, 2, 2),
+            SchedulingPolicy::PrefillPrioritized,
+        )
+        .expect("valid config")
+        .run(&self.reqs)
+    }
+}

@@ -153,7 +153,10 @@ pub fn best_seesaw_pair_probed_with(
         v.iter().take(3).map(|&(c, _)| c).collect()
     };
     // Materialize every probeable engine up front (construction is
-    // cheap; running is what costs), then probe concurrently.
+    // cheap; running is what costs), then probe concurrently. All
+    // engines share one Arc'd copy of the specs.
+    let cluster_arc = std::sync::Arc::new(cluster.clone());
+    let model_arc = std::sync::Arc::new(model.clone());
     let mut engines: Vec<(ParallelConfig, ParallelConfig, crate::seesaw::SeesawEngine)> =
         Vec::new();
     for &cp in &tops(&by_prefill) {
@@ -162,9 +165,11 @@ pub fn best_seesaw_pair_probed_with(
                 continue;
             }
             let spec = crate::seesaw::SeesawSpec::new(cp, cd);
-            if let Ok(engine) =
-                crate::seesaw::SeesawEngine::new(cluster.clone(), model.clone(), spec)
-            {
+            if let Ok(engine) = crate::seesaw::SeesawEngine::new(
+                std::sync::Arc::clone(&cluster_arc),
+                std::sync::Arc::clone(&model_arc),
+                spec,
+            ) {
                 engines.push((cp, cd, engine));
             }
         }

@@ -17,19 +17,34 @@
 
 use seesaw_hw::ClusterSpec;
 use seesaw_parallel::ParallelConfig;
-use seesaw_sim::{ResourceId, SimTime, Simulator, TaskHandle, TaskKind, TaskSpec};
+use seesaw_sim::{ResourceId, SimTime, Simulator, TaskHandle, TaskKind};
+use std::sync::Arc;
 
 /// The simulated cluster: resources plus the underlying simulator.
+///
+/// The simulator itself is checked out of the calling thread's
+/// [`seesaw_sim::ExecutorPool`] and returned on drop, so consecutive
+/// candidate evaluations on one sweep worker reuse the task arena,
+/// event heap, resource registry (when the GPU count matches), and
+/// trace buffers instead of reallocating them per run.
 #[derive(Debug)]
 pub struct ClusterSim {
     /// The discrete-event simulator.
     pub sim: Simulator,
-    /// Hardware description.
-    pub cluster: ClusterSpec,
+    /// Hardware description (shared handle, not a deep copy).
+    pub cluster: Arc<ClusterSpec>,
     compute: Vec<ResourceId>,
     h2d: Vec<ResourceId>,
     d2h: Vec<ResourceId>,
     staging: Vec<ResourceId>,
+    /// Reusable per-stage task-handle buffer for `submit_pass`.
+    scratch: Vec<TaskHandle>,
+}
+
+impl Drop for ClusterSim {
+    fn drop(&mut self) {
+        seesaw_sim::release_pooled(std::mem::take(&mut self.sim));
+    }
 }
 
 impl ClusterSim {
@@ -40,26 +55,47 @@ impl ClusterSim {
     /// sweep throughput only needs the clock. Use
     /// [`ClusterSim::with_trace`] when the execution trace itself is
     /// the product (breakdown figures, timeline debugging).
-    pub fn new(cluster: ClusterSpec) -> Self {
-        Self::build(cluster, false)
+    pub fn new(cluster: impl Into<Arc<ClusterSpec>>) -> Self {
+        Self::build(cluster.into(), false)
     }
 
     /// Instantiate with span recording enabled.
-    pub fn with_trace(cluster: ClusterSpec) -> Self {
-        Self::build(cluster, true)
+    pub fn with_trace(cluster: impl Into<Arc<ClusterSpec>>) -> Self {
+        Self::build(cluster.into(), true)
     }
 
-    fn build(cluster: ClusterSpec, trace: bool) -> Self {
-        let mut sim = if trace {
-            Simulator::new()
-        } else {
-            Simulator::without_trace()
-        };
+    fn build(cluster: Arc<ClusterSpec>, trace: bool) -> Self {
+        let mut sim = seesaw_sim::acquire_pooled();
+        sim.set_tracing(trace);
         let n = cluster.num_gpus;
-        let compute = (0..n).map(|i| sim.add_resource(format!("gpu{i}.compute"))).collect();
-        let h2d = (0..n).map(|i| sim.add_resource(format!("gpu{i}.h2d"))).collect();
-        let d2h = (0..n).map(|i| sim.add_resource(format!("gpu{i}.d2h"))).collect();
-        let staging = (0..n).map(|i| sim.add_resource(format!("gpu{i}.staging"))).collect();
+        // Resource ids are laid out deterministically (compute block,
+        // then h2d, d2h, staging), so a pooled simulator with the same
+        // resource count has exactly this registry already — skip
+        // re-registering (and re-formatting the names). The layout
+        // check below keeps this safe against any future caller that
+        // releases differently-shaped simulators onto the same
+        // thread's pool.
+        let registry_matches = n > 0
+            && sim.pool().len() == 4 * n
+            && sim.pool().name(sim.pool().id(0)) == "gpu0.compute";
+        if !registry_matches {
+            sim.reset_resources();
+            for i in 0..n {
+                sim.add_resource(format!("gpu{i}.compute"));
+            }
+            for i in 0..n {
+                sim.add_resource(format!("gpu{i}.h2d"));
+            }
+            for i in 0..n {
+                sim.add_resource(format!("gpu{i}.d2h"));
+            }
+            for i in 0..n {
+                sim.add_resource(format!("gpu{i}.staging"));
+            }
+        }
+        let block =
+            |b: usize| -> Vec<ResourceId> { (0..n).map(|i| sim.pool().id(b * n + i)).collect() };
+        let (compute, h2d, d2h, staging) = (block(0), block(1), block(2), block(3));
         ClusterSim {
             sim,
             cluster,
@@ -67,20 +103,13 @@ impl ClusterSim {
             h2d,
             d2h,
             staging,
+            scratch: Vec::new(),
         }
     }
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.sim.now()
-    }
-
-    /// GPUs forming pipeline stage `pp_rank` of replica `dp_rank`
-    /// under `cfg` (its TP group), as flat indices.
-    pub fn stage_gpus(&self, cfg: ParallelConfig, dp_rank: usize, pp_rank: usize) -> Vec<usize> {
-        (0..cfg.tp)
-            .map(|t| cfg.gpu_index(dp_rank, pp_rank, t))
-            .collect()
     }
 
     /// Submit one micro-batch's traversal of all pipeline stages of
@@ -97,23 +126,22 @@ impl ClusterSim {
         kind: TaskKind,
     ) -> TaskHandle {
         assert_eq!(stage_durations.len(), cfg.pp, "one duration per stage");
+        let mut parts = std::mem::take(&mut self.scratch);
         let mut prev = dep;
         for (s, &dur) in stage_durations.iter().enumerate() {
-            let gpus = self.stage_gpus(cfg, dp_rank, s);
-            let mut parts = Vec::with_capacity(gpus.len());
-            for g in gpus {
-                let mut spec = TaskSpec::new(self.compute[g], dur, kind).tag(g as u64);
-                if let Some(p) = prev {
-                    spec = spec.after(p);
-                }
-                parts.push(self.sim.submit(spec));
+            parts.clear();
+            for t in 0..cfg.tp {
+                let g = cfg.gpu_index(dp_rank, s, t);
+                parts.push(self.sim.submit_on(self.compute[g], dur, kind, g as u64, prev));
             }
             prev = Some(if parts.len() == 1 {
                 parts[0]
             } else {
-                self.sim.submit(TaskSpec::sync(parts))
+                self.sim.submit_sync(&parts)
             });
         }
+        parts.clear();
+        self.scratch = parts;
         prev.expect("pp >= 1 guarantees at least one stage")
     }
 
@@ -125,11 +153,7 @@ impl ClusterSim {
         dep: Option<TaskHandle>,
         kind: TaskKind,
     ) -> TaskHandle {
-        let mut spec = TaskSpec::new(self.d2h[gpu], duration, kind).tag(gpu as u64);
-        if let Some(d) = dep {
-            spec = spec.after(d);
-        }
-        self.sim.submit(spec)
+        self.sim.submit_on(self.d2h[gpu], duration, kind, gpu as u64, dep)
     }
 
     /// Submit a host-to-device transfer on GPU `gpu`'s H2D DMA engine.
@@ -140,11 +164,7 @@ impl ClusterSim {
         dep: Option<TaskHandle>,
         kind: TaskKind,
     ) -> TaskHandle {
-        let mut spec = TaskSpec::new(self.h2d[gpu], duration, kind).tag(gpu as u64);
-        if let Some(d) = dep {
-            spec = spec.after(d);
-        }
-        self.sim.submit(spec)
+        self.sim.submit_on(self.h2d[gpu], duration, kind, gpu as u64, dep)
     }
 
     /// Submit a host-side staging copy on GPU `gpu`'s staging thread.
@@ -154,12 +174,8 @@ impl ClusterSim {
         duration: f64,
         dep: Option<TaskHandle>,
     ) -> TaskHandle {
-        let mut spec = TaskSpec::new(self.staging[gpu], duration, TaskKind::StagingCopy)
-            .tag(gpu as u64);
-        if let Some(d) = dep {
-            spec = spec.after(d);
-        }
-        self.sim.submit(spec)
+        self.sim
+            .submit_on(self.staging[gpu], duration, TaskKind::StagingCopy, gpu as u64, dep)
     }
 
     /// Submit a fixed-duration overhead task on a GPU's compute engine
@@ -170,12 +186,8 @@ impl ClusterSim {
         duration: f64,
         dep: Option<TaskHandle>,
     ) -> TaskHandle {
-        let mut spec =
-            TaskSpec::new(self.compute[gpu], duration, TaskKind::Overhead).tag(gpu as u64);
-        if let Some(d) = dep {
-            spec = spec.after(d);
-        }
-        self.sim.submit(spec)
+        self.sim
+            .submit_on(self.compute[gpu], duration, TaskKind::Overhead, gpu as u64, dep)
     }
 
     /// Mean busy fraction of the GPUs' compute engines over the run so
@@ -188,11 +200,11 @@ impl ClusterSim {
         sum / self.compute.len() as f64
     }
 
-    /// Join several handles into one.
-    pub fn join(&mut self, handles: Vec<TaskHandle>) -> TaskHandle {
+    /// Join several handles into one (no dependency list allocated).
+    pub fn join(&mut self, handles: &[TaskHandle]) -> TaskHandle {
         match handles.len() {
             1 => handles[0],
-            _ => self.sim.submit(TaskSpec::sync(handles)),
+            _ => self.sim.submit_sync(handles),
         }
     }
 }
@@ -266,10 +278,13 @@ mod tests {
 
     #[test]
     fn stage_gpus_are_tp_group() {
-        let cs = ClusterSim::new(ClusterSpec::a10x8());
+        // The TP-group mapping the pass/swap loops iterate inline.
         let cfg = ParallelConfig::new(2, 2, 2);
-        assert_eq!(cs.stage_gpus(cfg, 0, 0), vec![0, 1]);
-        assert_eq!(cs.stage_gpus(cfg, 0, 1), vec![2, 3]);
-        assert_eq!(cs.stage_gpus(cfg, 1, 0), vec![4, 5]);
+        let stage = |d: usize, s: usize| -> Vec<usize> {
+            (0..cfg.tp).map(|t| cfg.gpu_index(d, s, t)).collect()
+        };
+        assert_eq!(stage(0, 0), vec![0, 1]);
+        assert_eq!(stage(0, 1), vec![2, 3]);
+        assert_eq!(stage(1, 0), vec![4, 5]);
     }
 }

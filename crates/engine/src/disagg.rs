@@ -17,6 +17,7 @@ use seesaw_model::ModelConfig;
 use seesaw_parallel::{FitError, ParallelConfig};
 use seesaw_roofline::{Roofline, ThroughputModel};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One evaluated disaggregation split.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,14 +54,18 @@ impl DisaggReport {
 /// The disaggregated-deployment analyzer.
 #[derive(Debug)]
 pub struct DisaggEngine {
-    cluster: ClusterSpec,
-    model: ModelConfig,
+    cluster: Arc<ClusterSpec>,
+    model: Arc<ModelConfig>,
 }
 
 impl DisaggEngine {
-    /// Build the analyzer for a cluster/model pair.
-    pub fn new(cluster: ClusterSpec, model: ModelConfig) -> Self {
-        DisaggEngine { cluster, model }
+    /// Build the analyzer for a cluster/model pair (owned specs or
+    /// `Arc` handles).
+    pub fn new(
+        cluster: impl Into<Arc<ClusterSpec>>,
+        model: impl Into<Arc<ModelConfig>>,
+    ) -> Self {
+        DisaggEngine { cluster: cluster.into(), model: model.into() }
     }
 
     /// Evaluate a specific split (`n_p` prefill GPUs, rest decode) for

@@ -92,16 +92,29 @@ pub fn stage_durations(
     stage: Stage,
     shape: &BatchShape,
 ) -> Vec<f64> {
+    let mut durs = Vec::with_capacity(cfg.pp);
+    stage_durations_into(rl, cfg, stage, shape, &mut durs);
+    durs
+}
+
+/// [`stage_durations`] writing into a caller-owned buffer, so burst
+/// loops reuse one allocation across rounds.
+pub fn stage_durations_into(
+    rl: &Roofline,
+    cfg: ParallelConfig,
+    stage: Stage,
+    shape: &BatchShape,
+    durs: &mut Vec<f64>,
+) {
     let p2p = if cfg.pp > 1 {
         rl.cluster().interconnect.p2p_time(rl.p2p_bytes(shape))
     } else {
         0.0
     };
-    (0..cfg.pp)
-        .map(|s| {
-            rl.stage_time(cfg, s, stage, shape) + if s + 1 < cfg.pp { p2p } else { 0.0 }
-        })
-        .collect()
+    durs.clear();
+    durs.extend((0..cfg.pp).map(|s| {
+        rl.stage_time(cfg, s, stage, shape) + if s + 1 < cfg.pp { p2p } else { 0.0 }
+    }));
 }
 
 /// Per-stage durations for a mixed (chunked prefill + decode) pass.
@@ -156,16 +169,16 @@ pub fn submit_decode_burst(
     let slots = slot_members(replica, cfg.pp);
     let overhead = efficiency::STEP_SCHED_OVERHEAD_S / cfg.pp as f64;
     let mut last: Vec<TaskHandle> = Vec::new();
+    let mut durs: Vec<f64> = Vec::new();
     for r in 0..rounds {
         last.clear();
         for (slot, members) in slots.iter().enumerate() {
             if members.is_empty() {
                 continue;
             }
-            let ctxs: Vec<usize> =
-                members.iter().map(|&i| replica.running[i].ctx + r + 1).collect();
-            let shape = BatchShape::decode(&ctxs);
-            let mut durs = stage_durations(rl, cfg, Stage::Decode, &shape);
+            let shape =
+                BatchShape::decode_iter(members.iter().map(|&i| replica.running[i].ctx + r + 1));
+            stage_durations_into(rl, cfg, Stage::Decode, &shape, &mut durs);
             durs[0] += overhead;
             let tail =
                 cs.submit_pass(cfg, replica.dp_rank, &durs, replica.tails[slot], TaskKind::Compute);
@@ -173,7 +186,7 @@ pub fn submit_decode_burst(
             last.push(tail);
         }
     }
-    Some(cs.join(last))
+    Some(cs.join(&last))
 }
 
 /// Balanced assignment of a prefill batch to up to `pp` micro-batch
@@ -217,8 +230,7 @@ pub fn submit_prefill_batch(
         if members.is_empty() {
             continue;
         }
-        let lens: Vec<usize> = members.iter().map(|&(_, l)| l).collect();
-        let shape = BatchShape::prefill(&lens);
+        let shape = BatchShape::prefill_iter(members.iter().map(|&(_, l)| l));
         let mut durs = stage_durations(rl, cfg, Stage::Prefill, &shape);
         durs[0] += overhead;
         let tail = cs.submit_pass(cfg, replica.dp_rank, &durs, None, TaskKind::Compute);
@@ -249,9 +261,8 @@ pub fn submit_mixed_round(
     let overhead = efficiency::STEP_SCHED_OVERHEAD_S / cfg.pp as f64;
     let mut last = Vec::new();
     for (slot, members) in slots.iter().enumerate() {
-        let ctxs: Vec<usize> =
-            members.iter().map(|&i| replica.running[i].ctx + 1).collect();
-        let dshape = BatchShape::decode(&ctxs);
+        let dshape =
+            BatchShape::decode_iter(members.iter().map(|&i| replica.running[i].ctx + 1));
         let pshape = if slot == chunk_slot % cfg.pp { *chunk } else { BatchShape::empty() };
         if dshape.seqs == 0 && pshape.is_empty() {
             continue;
@@ -263,7 +274,7 @@ pub fn submit_mixed_round(
         replica.tails[slot] = Some(tail);
         last.push(tail);
     }
-    Some(cs.join(last))
+    Some(cs.join(&last))
 }
 
 #[cfg(test)]
@@ -346,7 +357,7 @@ mod tests {
         let mut ids: Vec<u64> = parts.iter().flat_map(|(_, v)| v.clone()).collect();
         ids.sort_unstable();
         assert_eq!(ids, (0..6).collect::<Vec<_>>());
-        let join = cs.join(parts.into_iter().map(|(h, _)| h).collect());
+        let join = cs.join(&parts.into_iter().map(|(h, _)| h).collect::<Vec<_>>());
         assert!(cs.sim.run_until(join).as_secs() > 0.0);
     }
 

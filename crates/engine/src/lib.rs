@@ -69,3 +69,39 @@ impl std::fmt::Display for SchedulingPolicy {
         }
     }
 }
+
+#[cfg(test)]
+mod hot_path_hygiene {
+    /// Source-level guard for the per-simulation hot path: spec deep
+    /// clones must not creep back into the engine run loops. `Arc`
+    /// handle bumps are written `Arc::clone(..)`, so any textual
+    /// `cluster.clone()` / `model.clone()` / `phases.clone()` in these
+    /// files is a deep copy (or an accidental `Arc` clone spelled in a
+    /// way this guard cannot distinguish from one — spell it
+    /// `Arc::clone` instead).
+    #[test]
+    fn engine_run_paths_are_deep_clone_free() {
+        let sources = [
+            ("seesaw.rs", include_str!("seesaw.rs")),
+            ("vllm.rs", include_str!("vllm.rs")),
+            ("cluster_sim.rs", include_str!("cluster_sim.rs")),
+            ("driver.rs", include_str!("driver.rs")),
+        ];
+        let forbidden = ["cluster.clone()", "model.clone()", "phases.clone()"];
+        for (file, text) in sources {
+            // Only the shipped hot path counts; unit tests below the
+            // `#[cfg(test)]` marker may clone freely.
+            let text = text.split("#[cfg(test)]").next().expect("non-empty source");
+            for (lineno, line) in text.lines().enumerate() {
+                for pat in forbidden {
+                    assert!(
+                        !line.contains(pat),
+                        "{file}:{}: hot path contains `{pat}` — share the \
+                         spec via Arc::clone instead of deep-cloning",
+                        lineno + 1
+                    );
+                }
+            }
+        }
+    }
+}

@@ -33,6 +33,7 @@ use seesaw_roofline::Roofline;
 use seesaw_sim::{TaskHandle, TaskKind};
 use seesaw_workload::{Request, RequestMap, RunStats};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Decode rounds per burst while the prefetcher is idle.
 const BURST_CAP: usize = 64;
@@ -123,22 +124,29 @@ impl SeesawSpec {
 }
 
 /// The Seesaw inference engine.
+///
+/// Holds `Arc`-shared spec handles: every run (and its `ClusterSim` /
+/// `Roofline`) borrows the same allocations instead of deep-cloning
+/// the cluster and model per simulation.
 #[derive(Debug)]
 pub struct SeesawEngine {
-    cluster: ClusterSpec,
-    model: ModelConfig,
+    cluster: Arc<ClusterSpec>,
+    model: Arc<ModelConfig>,
     spec: SeesawSpec,
     plan_p: MemoryPlan,
     plan_d: MemoryPlan,
 }
 
 impl SeesawEngine {
-    /// Validate both configurations and build the engine.
+    /// Validate both configurations and build the engine. Accepts
+    /// owned specs or `Arc` handles (sweeps share one allocation
+    /// across all candidates).
     pub fn new(
-        cluster: ClusterSpec,
-        model: ModelConfig,
+        cluster: impl Into<Arc<ClusterSpec>>,
+        model: impl Into<Arc<ModelConfig>>,
         spec: SeesawSpec,
     ) -> Result<Self, FitError> {
+        let (cluster, model) = (cluster.into(), model.into());
         if spec.prefill.dp != spec.decode.dp {
             return Err(FitError::Invalid(format!(
                 "Seesaw keeps DP fixed across stages (got {} vs {})",
@@ -215,13 +223,16 @@ struct SeesawRun<'a> {
     swap_out_bytes: u64,
     swap_in_bytes: u64,
     phases: Vec<PhaseSpan>,
+    /// Reusable part buffers for the per-sequence swap chains.
+    scratch_a: Vec<TaskHandle>,
+    scratch_b: Vec<TaskHandle>,
 }
 
 impl<'a> SeesawRun<'a> {
     fn new(eng: &'a SeesawEngine, requests: &[Request]) -> Self {
         let dp = eng.spec.prefill.dp;
-        let cs = ClusterSim::new(eng.cluster.clone());
-        let rl = Roofline::new(eng.cluster.clone(), eng.model.clone());
+        let cs = ClusterSim::new(Arc::clone(&eng.cluster));
+        let rl = Roofline::new(Arc::clone(&eng.cluster), Arc::clone(&eng.model));
         let replicas = (0..dp)
             .map(|d| Replica::new(d, eng.plan_p.kv_tokens_per_replica, eng.spec.prefill.pp))
             .collect();
@@ -249,6 +260,8 @@ impl<'a> SeesawRun<'a> {
             swap_out_bytes: 0,
             swap_in_bytes: 0,
             phases: Vec::new(),
+            scratch_a: Vec::new(),
+            scratch_b: Vec::new(),
         }
     }
 
@@ -432,7 +445,7 @@ impl<'a> SeesawRun<'a> {
             }
             // Keep two batch joins in flight so pipeline stages stay
             // busy across batch boundaries.
-            let join = self.cs.join(joins);
+            let join = self.cs.join(&joins);
             outstanding.push_back(join);
             if outstanding.len() >= 2 {
                 let oldest = outstanding.pop_front().expect("non-empty");
@@ -449,7 +462,7 @@ impl<'a> SeesawRun<'a> {
             .flat_map(|v| v.iter().map(|p| p.buffered.unwrap_or(p.vacate)))
             .collect();
         if !handles.is_empty() {
-            let join = self.cs.join(handles);
+            let join = self.cs.join(&handles);
             self.cs.sim.run_until(join);
         }
         for d in 0..dp {
@@ -478,10 +491,13 @@ impl<'a> SeesawRun<'a> {
         }
         let cfg = self.eng.spec.prefill;
         let tokens = req.input_len;
-        let mut d2h_parts = Vec::new();
-        let mut staging_parts = Vec::new();
+        let mut d2h_parts = std::mem::take(&mut self.scratch_a);
+        let mut staging_parts = std::mem::take(&mut self.scratch_b);
+        d2h_parts.clear();
+        staging_parts.clear();
         for pp_rank in 0..cfg.pp {
-            for gpu in self.cs.stage_gpus(cfg, d, pp_rank) {
+            for t in 0..cfg.tp {
+                let gpu = cfg.gpu_index(d, pp_rank, t);
                 let xfer = self.sizer_p.seq_transfer_time(&self.eng.cluster, gpu, tokens);
                 if xfer <= 0.0 {
                     continue;
@@ -494,9 +510,10 @@ impl<'a> SeesawRun<'a> {
             }
         }
         self.swap_out_bytes += self.sizer_p.seq_bytes_total(tokens);
-        let vacate = self.cs.join(d2h_parts);
-        let buffered = self.cs.join(staging_parts);
-        let _ = d;
+        let vacate = self.cs.join(&d2h_parts);
+        let buffered = self.cs.join(&staging_parts);
+        self.scratch_a = d2h_parts;
+        self.scratch_b = staging_parts;
         PendingSwapOut {
             id,
             vacate,
@@ -572,7 +589,7 @@ impl<'a> SeesawRun<'a> {
                     submitted.push((d, rounds, h));
                 }
             }
-            let join = self.cs.join(submitted.iter().map(|&(_, _, h)| h).collect());
+            let join = self.cs.join(&submitted.iter().map(|&(_, _, h)| h).collect::<Vec<_>>());
             self.cs.sim.run_until(join);
             for (d, rounds, _) in submitted {
                 let finished = self.replicas[d].advance_decode(rounds);
@@ -606,9 +623,11 @@ impl<'a> SeesawRun<'a> {
             } else {
                 self.replicas[d].tails.iter().flatten().next().copied()
             };
-            let mut parts = Vec::new();
+            let mut parts = std::mem::take(&mut self.scratch_a);
+            parts.clear();
             for pp_rank in 0..cfg.pp {
-                for gpu in self.cs.stage_gpus(cfg, d, pp_rank) {
+                for t in 0..cfg.tp {
+                    let gpu = cfg.gpu_index(d, pp_rank, t);
                     let stage_t =
                         self.sizer_d.seq_staging_time(&self.eng.cluster, gpu, seq.tokens);
                     let xfer =
@@ -622,7 +641,8 @@ impl<'a> SeesawRun<'a> {
                 }
             }
             self.swap_in_bytes += self.sizer_d.seq_bytes_total(seq.tokens);
-            let ready = self.cs.join(parts);
+            let ready = self.cs.join(&parts);
+            self.scratch_a = parts;
             inflight.push(PendingSwapIn {
                 id: seq.req_id,
                 tokens: seq.tokens,
@@ -657,7 +677,7 @@ impl<'a> SeesawRun<'a> {
                 None,
             ));
         }
-        let join = self.cs.join(handles);
+        let join = self.cs.join(&handles);
         self.cs.sim.run_until(join);
         self.reshard_wall += self.cs.now() - t0;
         self.transitions += 1;
@@ -678,7 +698,7 @@ impl<'a> SeesawRun<'a> {
             transitions: self.transitions,
             swap_out_bytes: self.swap_out_bytes,
             swap_in_bytes: self.swap_in_bytes,
-            phases: self.phases.clone(),
+            phases: std::mem::take(&mut self.phases),
             gpu_utilization,
         }
     }

@@ -57,6 +57,13 @@ impl Drop for BudgetScope {
     }
 }
 
+/// The host's available parallelism (1 when it cannot be queried) —
+/// the single source of truth for job-count clamping and the
+/// `host_cores` field of `BENCH_sweep.json`.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// One evaluated candidate: the closure's value plus how long this
 /// candidate took on its worker (wall-clock seconds, for
 /// `perf_report`-style trajectory artifacts).
@@ -72,6 +79,9 @@ pub struct SweepResult<T> {
 /// with deterministic, submission-ordered results.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepRunner {
+    /// What the caller asked for (recorded in `BENCH_sweep.json`).
+    requested: usize,
+    /// What actually runs (≤ requested on the clamped constructors).
     jobs: usize,
 }
 
@@ -82,9 +92,15 @@ impl Default for SweepRunner {
 }
 
 impl SweepRunner {
-    /// Runner with an explicit job count (clamped to ≥ 1).
+    /// Runner with an explicit, *unclamped* job count (≥ 1). Used by
+    /// tests that deliberately oversubscribe; binaries resolve
+    /// `--jobs` through [`SweepRunner::with_jobs`], which clamps to
+    /// the host's cores — more worker threads than cores only adds
+    /// contention (PR 1's `BENCH_sweep.json` measured `--jobs 4` at
+    /// 0.81x on a 1-core host).
     pub fn new(jobs: usize) -> Self {
-        SweepRunner { jobs: jobs.max(1) }
+        let jobs = jobs.max(1);
+        SweepRunner { requested: jobs, jobs }
     }
 
     /// Strictly serial runner (reference path for determinism tests).
@@ -92,8 +108,18 @@ impl SweepRunner {
         Self::new(1)
     }
 
+    /// `requested` jobs clamped to the host's available parallelism.
+    fn clamped(requested: usize) -> Self {
+        let requested = requested.max(1);
+        SweepRunner {
+            requested,
+            jobs: requested.min(host_cores()),
+        }
+    }
+
     /// Job count from `SEESAW_JOBS`, else `RAYON_NUM_THREADS`, else
-    /// the host's available parallelism.
+    /// the host's available parallelism; always clamped to the host's
+    /// available parallelism.
     pub fn from_env() -> Self {
         let from_var = |name: &str| {
             std::env::var(name)
@@ -103,20 +129,25 @@ impl SweepRunner {
         };
         let jobs = from_var("SEESAW_JOBS")
             .or_else(|| from_var("RAYON_NUM_THREADS"))
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(1, |n| n.get())
-            });
-        Self::new(jobs)
+            .unwrap_or_else(host_cores);
+        Self::clamped(jobs)
     }
 
-    /// Runner with `jobs` when given, else the environment's choice.
+    /// Runner with `jobs` when given, else the environment's choice —
+    /// clamped to the host's cores either way. This is the `--jobs`
+    /// resolution path for every binary.
     pub fn with_jobs(jobs: Option<usize>) -> Self {
-        jobs.map_or_else(Self::from_env, Self::new)
+        jobs.map_or_else(Self::from_env, Self::clamped)
     }
 
     /// Worker-thread count this runner uses.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// Worker-thread count the caller asked for, before clamping.
+    pub fn requested_jobs(&self) -> usize {
+        self.requested
     }
 
     /// Evaluate `f` over every item, returning per-candidate results
@@ -400,7 +431,23 @@ mod tests {
     #[test]
     fn jobs_resolution() {
         assert_eq!(SweepRunner::new(0).jobs(), 1);
-        assert_eq!(SweepRunner::with_jobs(Some(3)).jobs(), 3);
+        assert_eq!(SweepRunner::new(8).jobs(), 8, "new() never clamps");
         assert!(SweepRunner::from_env().jobs() >= 1);
+    }
+
+    /// `--jobs N` (the `with_jobs` path) remembers the request but
+    /// never runs more workers than the host has cores, so sweep
+    /// defaults cannot oversubscribe a small machine.
+    #[test]
+    fn explicit_jobs_clamp_to_available_cores() {
+        let cores = host_cores();
+        let r = SweepRunner::with_jobs(Some(4 * cores));
+        assert_eq!(r.requested_jobs(), 4 * cores);
+        assert_eq!(r.jobs(), cores);
+        let r = SweepRunner::with_jobs(Some(1));
+        assert_eq!(r.jobs(), 1);
+        let env = SweepRunner::from_env();
+        assert!(env.jobs() <= cores);
+        assert!(env.jobs() <= env.requested_jobs());
     }
 }

@@ -21,6 +21,7 @@ use seesaw_roofline::{BatchShape, Roofline};
 use seesaw_sim::TaskHandle;
 use seesaw_workload::{Request, RequestMap, RunStats};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Maximum decode rounds submitted between scheduling decisions.
 const BURST_CAP: usize = 64;
@@ -30,10 +31,14 @@ const BURST_CAP: usize = 64;
 const MAX_PREFILL_TOKENS: usize = 16384;
 
 /// A static-parallelism engine instance.
+///
+/// Holds `Arc`-shared spec handles: every run (and its `ClusterSim` /
+/// `Roofline`) borrows the same allocations instead of deep-cloning
+/// the cluster and model per simulation.
 #[derive(Debug)]
 pub struct VllmEngine {
-    cluster: ClusterSpec,
-    model: ModelConfig,
+    cluster: Arc<ClusterSpec>,
+    model: Arc<ModelConfig>,
     cfg: ParallelConfig,
     policy: SchedulingPolicy,
     plan: MemoryPlan,
@@ -56,13 +61,15 @@ struct Prefilling {
 
 impl VllmEngine {
     /// Validate the configuration against the cluster and build the
-    /// engine.
+    /// engine. Accepts owned specs or `Arc` handles (sweeps share one
+    /// allocation across all candidates).
     pub fn new(
-        cluster: ClusterSpec,
-        model: ModelConfig,
+        cluster: impl Into<Arc<ClusterSpec>>,
+        model: impl Into<Arc<ModelConfig>>,
         cfg: ParallelConfig,
         policy: SchedulingPolicy,
     ) -> Result<Self, FitError> {
+        let (cluster, model) = (cluster.into(), model.into());
         if cfg.num_gpus() != cluster.num_gpus {
             return Err(FitError::NotEnoughGpus {
                 need: cfg.num_gpus(),
@@ -112,8 +119,8 @@ struct RunState<'a> {
 
 impl<'a> RunState<'a> {
     fn new(eng: &'a VllmEngine, requests: &[Request]) -> Self {
-        let cs = ClusterSim::new(eng.cluster.clone());
-        let rl = Roofline::new(eng.cluster.clone(), eng.model.clone());
+        let cs = ClusterSim::new(Arc::clone(&eng.cluster));
+        let rl = Roofline::new(Arc::clone(&eng.cluster), Arc::clone(&eng.model));
         let replicas = (0..eng.cfg.dp)
             .map(|d| Replica::new(d, eng.plan.kv_tokens_per_replica, eng.cfg.pp))
             .collect();
@@ -207,7 +214,7 @@ impl<'a> RunState<'a> {
                 submit_prefill_batch(&mut self.cs, &self.rl, self.eng.cfg, &mut self.replicas[d], batch);
             joins.extend(parts.into_iter().map(|(h, _)| h));
         }
-        let join = self.cs.join(joins);
+        let join = self.cs.join(&joins);
         Some(InflightPrefill { join, admitted })
     }
 
@@ -284,7 +291,7 @@ impl<'a> RunState<'a> {
             return false;
         }
         let t0 = self.cs.now();
-        let join = self.cs.join(submitted.iter().map(|&(_, _, h)| h).collect());
+        let join = self.cs.join(&submitted.iter().map(|&(_, _, h)| h).collect::<Vec<_>>());
         self.cs.sim.run_until(join);
         self.decode_wall += self.cs.now() - t0;
         for (d, rounds, _) in submitted {
@@ -431,7 +438,7 @@ impl<'a> RunState<'a> {
                 });
             }
         }
-        Some(self.cs.join(handles))
+        Some(self.cs.join(&handles))
     }
 
     fn finish(mut self, requests: &[Request], label: String) -> EngineReport {

@@ -20,11 +20,13 @@
 
 pub mod cluster;
 pub mod efficiency;
+pub mod fxhash;
 pub mod gpu;
 pub mod interconnect;
 pub mod units;
 
 pub use cluster::ClusterSpec;
+pub use fxhash::{FxBuildHasher, FxHasher};
 pub use gpu::GpuSpec;
 pub use interconnect::{HostLink, Interconnect, InterconnectKind};
 pub use units::{ByteSize, GIB, MIB};

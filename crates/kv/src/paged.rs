@@ -1,7 +1,14 @@
 //! Paged (block-based) GPU KV cache accounting.
 
+use seesaw_hw::FxBuildHasher;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// Fx-hashed sequence-id map — engines allocate/free per request per
+/// phase, and SipHash is the dominant cost of that bookkeeping. Order
+/// never leaks into engine output: all aggregate queries are
+/// order-independent integer sums.
+type SeqMap = HashMap<u64, SeqAlloc, FxBuildHasher>;
 
 /// Errors from cache operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -47,7 +54,7 @@ pub struct PagedKvCache {
     block_tokens: usize,
     total_blocks: usize,
     free_blocks: usize,
-    seqs: HashMap<u64, SeqAlloc>,
+    seqs: SeqMap,
 }
 
 impl PagedKvCache {
@@ -63,7 +70,7 @@ impl PagedKvCache {
             block_tokens,
             total_blocks,
             free_blocks: total_blocks,
-            seqs: HashMap::new(),
+            seqs: SeqMap::default(),
         }
     }
 

@@ -54,12 +54,32 @@ impl BatchShape {
     /// A decode micro-batch: one new token per sequence, each with its
     /// current context length.
     pub fn decode(ctx_lens: &[usize]) -> Self {
-        BatchShape {
-            seqs: ctx_lens.len(),
-            new_tokens: ctx_lens.len(),
-            sq_sum: 0.0,
-            ctx_tokens: ctx_lens.iter().sum(),
+        Self::decode_iter(ctx_lens.iter().copied())
+    }
+
+    /// [`BatchShape::decode`] from an iterator of context lengths, so
+    /// hot loops need not materialize a slice.
+    pub fn decode_iter(ctx_lens: impl IntoIterator<Item = usize>) -> Self {
+        let mut shape = Self::empty();
+        for ctx in ctx_lens {
+            shape.seqs += 1;
+            shape.ctx_tokens += ctx;
         }
+        shape.new_tokens = shape.seqs;
+        shape
+    }
+
+    /// [`BatchShape::prefill`] from an iterator of prompt lengths, so
+    /// hot loops need not materialize a slice.
+    pub fn prefill_iter(prompt_lens: impl IntoIterator<Item = usize>) -> Self {
+        let mut shape = Self::empty();
+        for s in prompt_lens {
+            shape.seqs += 1;
+            shape.new_tokens += s;
+            shape.sq_sum += (s as f64) * (s as f64);
+        }
+        shape.ctx_tokens = shape.new_tokens;
+        shape
     }
 
     /// A decode micro-batch summarized by batch size and mean context

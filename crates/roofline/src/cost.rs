@@ -5,10 +5,11 @@ use seesaw_hw::ClusterSpec;
 use seesaw_model::ModelConfig;
 use seesaw_parallel::shard::kv_heads_per_rank;
 use seesaw_parallel::ParallelConfig;
+use seesaw_hw::FxBuildHasher;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 
 /// Which inference stage a pass belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -111,41 +112,6 @@ impl StageBreakdown {
     }
 }
 
-/// FNV/FxHash-style multiplicative hasher for the small integer keys
-/// of the cost cache — much cheaper than SipHash on this hot path.
-/// Internal: the cache's hashing is an implementation detail, not
-/// API.
-#[derive(Debug, Default)]
-pub(crate) struct FxHasher {
-    hash: u64,
-}
-
-const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-
-impl Hasher for FxHasher {
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.write_u64(b as u64);
-        }
-    }
-
-    fn write_u64(&mut self, v: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ v).wrapping_mul(FX_SEED);
-    }
-
-    fn write_usize(&mut self, v: usize) {
-        self.write_u64(v as u64);
-    }
-
-    fn write_u8(&mut self, v: u8) {
-        self.write_u64(v as u64);
-    }
-}
-
 /// Exact memoization key for one `layer_cost` evaluation. `sq_sum` is
 /// keyed by its bit pattern, so cache hits return bit-identical costs
 /// to a fresh evaluation (figure output must not drift).
@@ -172,33 +138,124 @@ impl CostKey {
     }
 }
 
-type CostCache = HashMap<CostKey, LayerCost, BuildHasherDefault<FxHasher>>;
+type CostCache = HashMap<CostKey, LayerCost, FxBuildHasher>;
+
+/// Per-thread retention of cost caches between [`Roofline`] lifetimes,
+/// keyed by spec *value equality* (with an `Arc::ptr_eq` fast path):
+/// a roofline rebuilt for the same cluster/model — whether from the
+/// engine's shared `Arc` handles or from a fresh deep copy, as the
+/// figure grids do per cell — inherits the thread's warm cache.
+/// Layer costs are pure functions of the spec values, and the cache's
+/// keys are exact, so hits are bit-identical to fresh evaluation and
+/// warm-started runs produce byte-identical output.
+struct CachePoolEntry {
+    cluster: Arc<ClusterSpec>,
+    model: Arc<ModelConfig>,
+    cache: CostCache,
+}
+
+impl CachePoolEntry {
+    fn matches(&self, cluster: &Arc<ClusterSpec>, model: &Arc<ModelConfig>) -> bool {
+        (Arc::ptr_eq(&self.cluster, cluster) || *self.cluster == **cluster)
+            && (Arc::ptr_eq(&self.model, model) || *self.model == **model)
+    }
+}
+
+const CACHE_POOL_MAX: usize = 8;
+
+thread_local! {
+    static CACHE_POOL: RefCell<Vec<CachePoolEntry>> = const { RefCell::new(Vec::new()) };
+}
+
+fn cache_pool_take(cluster: &Arc<ClusterSpec>, model: &Arc<ModelConfig>) -> CostCache {
+    CACHE_POOL
+        .try_with(|pool| {
+            let mut pool = pool.borrow_mut();
+            let hit = pool.iter().position(|e| e.matches(cluster, model));
+            // Order-preserving removal (≤ 8 entries) so the capacity
+            // eviction below really drops the oldest entry.
+            hit.map(|i| pool.remove(i).cache).unwrap_or_default()
+        })
+        .unwrap_or_default()
+}
+
+fn cache_pool_put(cluster: Arc<ClusterSpec>, model: Arc<ModelConfig>, cache: CostCache) {
+    if cache.is_empty() {
+        return;
+    }
+    let _ = CACHE_POOL.try_with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if let Some(e) = pool.iter_mut().find(|e| e.matches(&cluster, &model)) {
+            // Keep whichever sibling learned more shapes.
+            if cache.len() > e.cache.len() {
+                e.cache = cache;
+            }
+            return;
+        }
+        if pool.len() == CACHE_POOL_MAX {
+            pool.remove(0); // evict in insertion order
+        }
+        pool.push(CachePoolEntry { cluster, model, cache });
+    });
+}
 
 /// The analytical performance model: cluster + model + Table 3
-/// formulas, with a per-instance memoization cache over
-/// `(stage, shape, tp)` evaluations.
+/// formulas, with a memoization cache over `(stage, shape, tp)`
+/// evaluations.
 ///
-/// The cache is interior-mutable and owned by each `Roofline`
+/// The cluster and model are `Arc`-shared: constructing a roofline
+/// from existing handles is two reference-count bumps, not a deep
+/// copy. The cache is interior-mutable and owned by each `Roofline`
 /// instance: engines and `ThroughputModel`s construct their own
 /// roofline per run, so concurrent sweep workers never contend on a
-/// shared cache (and `Roofline` deliberately is not `Sync`).
-#[derive(Debug, Clone)]
+/// shared cache (and `Roofline` deliberately is not `Sync`). On drop
+/// the learned cache is parked in a per-thread pool and revived by
+/// the next roofline built for the same cluster/model values.
+#[derive(Debug)]
 pub struct Roofline {
     // Private so the memoized costs can never go stale: rebuilding
     // via `Roofline::new` is the only way to change what is modeled.
-    cluster: ClusterSpec,
-    model: ModelConfig,
+    cluster: Arc<ClusterSpec>,
+    model: Arc<ModelConfig>,
     cache: RefCell<CostCache>,
 }
 
+impl Clone for Roofline {
+    fn clone(&self) -> Self {
+        Roofline {
+            cluster: Arc::clone(&self.cluster),
+            model: Arc::clone(&self.model),
+            cache: self.cache.clone(),
+        }
+    }
+}
+
+impl Drop for Roofline {
+    fn drop(&mut self) {
+        cache_pool_put(
+            Arc::clone(&self.cluster),
+            Arc::clone(&self.model),
+            self.cache.take(),
+        );
+    }
+}
+
 impl Roofline {
-    /// Build the model for a cluster/model pair.
-    pub fn new(cluster: ClusterSpec, model: ModelConfig) -> Self {
+    /// Build the model for a cluster/model pair. Accepts owned specs
+    /// or `Arc` handles; rebuilding for a cluster/model this thread
+    /// has evaluated before revives that run's memoized costs.
+    pub fn new(
+        cluster: impl Into<Arc<ClusterSpec>>,
+        model: impl Into<Arc<ModelConfig>>,
+    ) -> Self {
+        let cluster = cluster.into();
+        let model = model.into();
         model.validate().expect("invalid model config");
+        let cache = cache_pool_take(&cluster, &model);
         Roofline {
             cluster,
             model,
-            cache: RefCell::new(CostCache::default()),
+            cache: RefCell::new(cache),
         }
     }
 
@@ -211,6 +268,7 @@ impl Roofline {
     pub fn model(&self) -> &ModelConfig {
         &self.model
     }
+
 
     /// Number of distinct `(stage, shape, tp)` evaluations cached so
     /// far.
@@ -479,6 +537,41 @@ mod tests {
         assert_eq!(c.layer_time(), 0.0);
         let m = r.layer_cost_mixed(&BatchShape::empty(), &BatchShape::empty(), 4);
         assert_eq!(m.layer_time(), 0.0);
+    }
+
+    /// The per-thread cache pool revives memoized costs for rooflines
+    /// rebuilt for the same cluster/model — via the same `Arc`
+    /// handles or a value-equal deep copy — and the revived values
+    /// are bit-identical to fresh evaluation. Different specs never
+    /// inherit.
+    #[test]
+    fn cache_pool_revives_for_equal_specs() {
+        let cluster = Arc::new(ClusterSpec::l4x8());
+        let model = Arc::new(presets::llama2_13b());
+        let shape = BatchShape::decode_uniform(8, 256);
+        let cold = {
+            let r = Roofline::new(Arc::clone(&cluster), Arc::clone(&model));
+            assert_eq!(r.cost_cache_len(), 0, "first build starts cold");
+            let c = r.layer_cost(Stage::Decode, &shape, 2);
+            assert_eq!(r.cost_cache_len(), 1);
+            c
+        };
+        let r = Roofline::new(Arc::clone(&cluster), Arc::clone(&model));
+        assert_eq!(r.cost_cache_len(), 1, "same handles revive the cache");
+        let warm = r.layer_cost(Stage::Decode, &shape, 2);
+        assert_eq!(cold, warm);
+        drop(r);
+
+        // A value-equal deep copy (the figure grids' per-cell
+        // pattern) inherits too, bit-identically.
+        let copy = Roofline::new(ClusterSpec::l4x8(), presets::llama2_13b());
+        assert_eq!(copy.cost_cache_len(), 1, "equal values revive the cache");
+        assert_eq!(copy.layer_cost(Stage::Decode, &shape, 2), cold);
+        drop(copy);
+
+        // A different spec starts cold.
+        let other = Roofline::new(ClusterSpec::a10x8(), presets::llama2_13b());
+        assert_eq!(other.cost_cache_len(), 0);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::resource::{ResourceId, ResourcePool};
 use crate::time::SimTime;
 use crate::trace::{Span, TaskKind, Trace};
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -166,17 +167,33 @@ enum TaskState {
     Done,
 }
 
+/// Sentinel for "no resource" in [`Task::resource`] (pure sync node).
+const NO_RESOURCE: u32 = u32::MAX;
+
+/// One arena entry of the task graph. Indices (resource, dependents)
+/// are stored as `u32` and the completion time piggybacks on the
+/// state machine (`state == Done`), keeping the record compact enough
+/// that a simulation's whole working set stays cache-resident.
 #[derive(Debug)]
 struct Task {
-    resource: Option<ResourceId>,
     duration: f64,
-    kind: TaskKind,
-    tag: u64,
-    remaining_deps: usize,
-    dependents: SmallList<usize>,
-    state: TaskState,
     service_start: SimTime,
-    completion: Option<SimTime>,
+    /// Meaningful only once `state == Done`.
+    completion: SimTime,
+    tag: u64,
+    dependents: SmallList<u32>,
+    /// Resource index, or [`NO_RESOURCE`].
+    resource: u32,
+    remaining_deps: u32,
+    kind: TaskKind,
+    state: TaskState,
+}
+
+impl Task {
+    #[inline]
+    fn done(&self) -> bool {
+        self.state == TaskState::Done
+    }
 }
 
 #[derive(Debug, Default)]
@@ -185,18 +202,42 @@ struct ResState {
     queue: VecDeque<usize>,
 }
 
+/// Completion events are packed into one `u128` min-heap key:
+/// `time_bits(63..0 of the f64) << 64 | seq << 32 | task id`. Times
+/// are non-negative finite by [`SimTime`]'s construction, so their
+/// IEEE-754 bit patterns order identically to the values, and the
+/// unique sequence number breaks ties exactly as the previous
+/// `(SimTime, u64, usize)` tuple did — but each entry is 16 bytes
+/// with a single integer comparison instead of a 32-byte tuple walk.
+#[inline]
+fn pack_event(at: SimTime, seq: u32, id: usize) -> u128 {
+    debug_assert!(id <= u32::MAX as usize, "task id overflows event key");
+    ((at.as_secs().to_bits() as u128) << 64) | ((seq as u128) << 32) | id as u128
+}
+
+#[inline]
+fn unpack_event(key: u128) -> (SimTime, usize) {
+    let t = f64::from_bits((key >> 64) as u64);
+    (SimTime::from_secs(t), (key & u32::MAX as u128) as usize)
+}
+
 /// The discrete-event simulator.
 ///
 /// Holds the resource pool, the task graph, the pending-event heap,
 /// and the execution trace. See the crate docs for the model.
+///
+/// All task/event/trace storage is arena-style (flat vectors indexed
+/// by task id) and survives [`Simulator::reset`] with its capacity
+/// intact, so a pooled simulator re-runs a comparable workload
+/// without touching the allocator.
 #[derive(Debug)]
 pub struct Simulator {
     pool: ResourcePool,
     res_state: Vec<ResState>,
     tasks: Vec<Task>,
-    /// Min-heap of (completion time, sequence, task id).
-    events: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
-    seq: u64,
+    /// Min-heap of packed (completion time, sequence, task id) keys.
+    events: BinaryHeap<Reverse<u128>>,
+    seq: u32,
     now: SimTime,
     trace: Trace,
     outstanding: usize,
@@ -232,6 +273,45 @@ impl Simulator {
         let mut s = Self::new();
         s.trace = Trace::disabled();
         s
+    }
+
+    /// Enable or disable span recording for subsequent tasks.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.trace.set_enabled(enabled);
+    }
+
+    /// Rewind to time zero for a fresh run: drops every task, pending
+    /// event, recorded span, and busy account, but keeps the
+    /// registered resources *and* every buffer's allocated capacity.
+    /// A reset simulator is observationally identical to a newly
+    /// constructed one with the same resources and tracing mode (the
+    /// tracing flag deliberately survives, so reset-in-place loops
+    /// keep their configuration; [`ExecutorPool::acquire`] normalizes
+    /// it at the pool boundary instead).
+    pub fn reset(&mut self) {
+        self.tasks.clear();
+        self.events.clear();
+        self.seq = 0;
+        self.now = SimTime::ZERO;
+        self.trace.clear();
+        self.outstanding = 0;
+        for b in &mut self.busy {
+            *b = 0.0;
+        }
+        for rs in &mut self.res_state {
+            rs.busy = false;
+            rs.queue.clear();
+        }
+    }
+
+    /// [`Simulator::reset`] plus dropping the registered resources, so
+    /// a pooled simulator can be rebuilt for a different cluster
+    /// shape. Task/event/trace capacity is still retained.
+    pub fn reset_resources(&mut self) {
+        self.reset();
+        self.pool = ResourcePool::new();
+        self.res_state.clear();
+        self.busy.clear();
     }
 
     /// Register a resource.
@@ -280,12 +360,13 @@ impl Simulator {
 
     /// Whether a task has completed.
     pub fn completed(&self, h: TaskHandle) -> bool {
-        self.tasks[h.0].completion.is_some()
+        self.tasks[h.0].done()
     }
 
     /// Completion time of a task, if it has finished.
     pub fn completion_time(&self, h: TaskHandle) -> Option<SimTime> {
-        self.tasks[h.0].completion
+        let t = &self.tasks[h.0];
+        t.done().then_some(t.completion)
     }
 
     /// Number of submitted-but-unfinished tasks.
@@ -296,33 +377,69 @@ impl Simulator {
     /// Submit a task; it becomes ready once its dependencies complete
     /// (immediately, at the current time, if they already have).
     pub fn submit(&mut self, spec: TaskSpec) -> TaskHandle {
+        self.submit_parts(spec.resource, spec.duration, spec.kind, spec.tag, spec.deps.as_slice())
+    }
+
+    /// Submit a zero-duration synchronization node joining `deps`,
+    /// without materializing a [`TaskSpec`] (hot-loop join path: no
+    /// dependency list is allocated).
+    pub fn submit_sync(&mut self, deps: &[TaskHandle]) -> TaskHandle {
+        self.submit_parts(None, 0.0, TaskKind::Sync, 0, deps)
+    }
+
+    /// Submit a single task on `resource` with at most one dependency,
+    /// without materializing a [`TaskSpec`] (the engines' hot loop:
+    /// chained passes and transfers are all 0/1-dependency tasks).
+    pub fn submit_on(
+        &mut self,
+        resource: ResourceId,
+        duration: f64,
+        kind: TaskKind,
+        tag: u64,
+        dep: Option<TaskHandle>,
+    ) -> TaskHandle {
+        let deps: &[TaskHandle] = match &dep {
+            Some(d) => std::slice::from_ref(d),
+            None => &[],
+        };
+        self.submit_parts(Some(resource), duration, kind, tag, deps)
+    }
+
+    fn submit_parts(
+        &mut self,
+        resource: Option<ResourceId>,
+        duration: f64,
+        kind: TaskKind,
+        tag: u64,
+        deps: &[TaskHandle],
+    ) -> TaskHandle {
         assert!(
-            spec.duration.is_finite() && spec.duration >= 0.0,
-            "invalid task duration: {}",
-            spec.duration
+            duration.is_finite() && duration >= 0.0,
+            "invalid task duration: {duration}"
         );
-        if let Some(r) = spec.resource {
+        if let Some(r) = resource {
             assert!(r.index() < self.res_state.len(), "unknown resource {r}");
         }
         let id = self.tasks.len();
+        assert!(id < u32::MAX as usize, "task arena exceeds u32 ids");
         let mut remaining = 0;
-        for d in spec.deps.as_slice() {
+        for d in deps {
             assert!(d.0 < id, "dependency on not-yet-submitted task");
-            if self.tasks[d.0].completion.is_none() {
-                self.tasks[d.0].dependents.push(id);
+            if !self.tasks[d.0].done() {
+                self.tasks[d.0].dependents.push(id as u32);
                 remaining += 1;
             }
         }
         self.tasks.push(Task {
-            resource: spec.resource,
-            duration: spec.duration,
-            kind: spec.kind,
-            tag: spec.tag,
-            remaining_deps: remaining,
-            dependents: SmallList::Empty,
-            state: TaskState::Waiting,
+            duration,
             service_start: SimTime::ZERO,
-            completion: None,
+            completion: SimTime::ZERO,
+            tag,
+            dependents: SmallList::Empty,
+            resource: resource.map_or(NO_RESOURCE, |r| r.index() as u32),
+            remaining_deps: remaining,
+            kind,
+            state: TaskState::Waiting,
         });
         self.outstanding += 1;
         if remaining == 0 {
@@ -337,14 +454,14 @@ impl Simulator {
     /// Panics if the event queue drains before `h` completes (a
     /// dependency was never satisfiable).
     pub fn run_until(&mut self, h: TaskHandle) -> SimTime {
-        while self.tasks[h.0].completion.is_none() {
+        while !self.tasks[h.0].done() {
             assert!(
                 self.step(),
                 "simulation deadlock: task {} unreachable",
                 h.0
             );
         }
-        self.tasks[h.0].completion.expect("just completed")
+        self.tasks[h.0].completion
     }
 
     /// Run until no events remain. Returns the final time.
@@ -357,9 +474,10 @@ impl Simulator {
     /// Process one completion event. Returns `false` when the event
     /// queue is empty.
     fn step(&mut self) -> bool {
-        let Some(Reverse((t, _, id))) = self.events.pop() else {
+        let Some(Reverse(key)) = self.events.pop() else {
             return false;
         };
+        let (t, id) = unpack_event(key);
         debug_assert!(t >= self.now, "time went backwards");
         self.now = t;
         self.complete(id);
@@ -367,69 +485,165 @@ impl Simulator {
     }
 
     fn make_ready(&mut self, id: usize) {
-        match self.tasks[id].resource {
-            None => {
-                // Pure sync: completes at the current instant.
-                self.tasks[id].state = TaskState::Running;
-                self.tasks[id].service_start = self.now;
-                self.schedule_completion(id, self.now);
-            }
-            Some(r) => {
-                if self.res_state[r.index()].busy {
-                    self.tasks[id].state = TaskState::Queued;
-                    self.res_state[r.index()].queue.push_back(id);
-                } else {
-                    self.start_service(id, r);
-                }
+        let r = self.tasks[id].resource;
+        if r == NO_RESOURCE {
+            // Pure sync: completes at the current instant.
+            self.tasks[id].state = TaskState::Running;
+            self.tasks[id].service_start = self.now;
+            self.schedule_completion(id, self.now);
+        } else {
+            let rs = &mut self.res_state[r as usize];
+            if rs.busy {
+                rs.queue.push_back(id);
+                self.tasks[id].state = TaskState::Queued;
+            } else {
+                self.start_service(id, r as usize);
             }
         }
     }
 
-    fn start_service(&mut self, id: usize, r: ResourceId) {
-        self.res_state[r.index()].busy = true;
-        self.tasks[id].state = TaskState::Running;
-        self.tasks[id].service_start = self.now;
-        let end = self.now + self.tasks[id].duration;
+    fn start_service(&mut self, id: usize, r: usize) {
+        self.res_state[r].busy = true;
+        let task = &mut self.tasks[id];
+        task.state = TaskState::Running;
+        task.service_start = self.now;
+        let end = self.now + task.duration;
         self.schedule_completion(id, end);
     }
 
     fn schedule_completion(&mut self, id: usize, at: SimTime) {
         self.seq += 1;
-        self.events.push(Reverse((at, self.seq, id)));
+        self.events.push(Reverse(pack_event(at, self.seq, id)));
     }
 
     fn complete(&mut self, id: usize) {
-        debug_assert_eq!(self.tasks[id].state, TaskState::Running);
-        self.tasks[id].state = TaskState::Done;
-        self.tasks[id].completion = Some(self.now);
+        let task = &mut self.tasks[id];
+        debug_assert_eq!(task.state, TaskState::Running);
+        task.state = TaskState::Done;
+        task.completion = self.now;
         self.outstanding -= 1;
-        let span = Span {
-            resource: self.tasks[id].resource,
-            kind: self.tasks[id].kind,
-            start: self.tasks[id].service_start,
-            end: self.now,
-            tag: self.tasks[id].tag,
-        };
-        self.trace.record(span);
+        let (resource, service_start) = (task.resource, task.service_start);
+        if self.trace.is_enabled() {
+            let span = Span {
+                resource: (resource != NO_RESOURCE)
+                    .then(|| self.pool.id(resource as usize)),
+                kind: task.kind,
+                start: service_start,
+                end: self.now,
+                tag: task.tag,
+            };
+            self.trace.record(span);
+        }
 
         // Free the resource and start the next queued task.
-        if let Some(r) = self.tasks[id].resource {
-            self.busy[r.index()] += self.now - self.tasks[id].service_start;
-            self.res_state[r.index()].busy = false;
-            if let Some(next) = self.res_state[r.index()].queue.pop_front() {
+        if resource != NO_RESOURCE {
+            let r = resource as usize;
+            self.busy[r] += self.now - service_start;
+            self.res_state[r].busy = false;
+            if let Some(next) = self.res_state[r].queue.pop_front() {
                 self.start_service(next, r);
             }
         }
 
-        // Wake dependents.
-        let deps = std::mem::take(&mut self.tasks[id].dependents);
-        for &d in deps.as_slice() {
-            self.tasks[d].remaining_deps -= 1;
-            if self.tasks[d].remaining_deps == 0 {
-                self.make_ready(d);
+        // Wake dependents; the single-successor case (linear chains,
+        // the dominant graph shape) goes straight to `wake` with no
+        // slice round-trip.
+        match std::mem::take(&mut self.tasks[id].dependents) {
+            SmallList::Empty => {}
+            SmallList::One(d) => self.wake(d as usize),
+            SmallList::Two([a, b]) => {
+                self.wake(a as usize);
+                self.wake(b as usize);
+            }
+            SmallList::Many(v) => {
+                for &d in &v {
+                    self.wake(d as usize);
+                }
             }
         }
     }
+
+    #[inline]
+    fn wake(&mut self, d: usize) {
+        self.tasks[d].remaining_deps -= 1;
+        if self.tasks[d].remaining_deps == 0 {
+            self.make_ready(d);
+        }
+    }
+}
+
+/// A reuse pool of [`Simulator`] instances: checking one out and
+/// returning it lets repeated simulations reuse the task arena, event
+/// heap, resource queues, and trace buffers instead of reallocating
+/// them per run. Pool membership is bounded; surplus releases simply
+/// drop the simulator.
+#[derive(Debug, Default)]
+pub struct ExecutorPool {
+    free: Vec<Simulator>,
+}
+
+impl ExecutorPool {
+    /// Most simulators retained per pool; beyond this, releases drop.
+    pub const MAX_POOLED: usize = 4;
+
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Check out a simulator: a [`Simulator::reset`] pooled instance
+    /// when one is available (its resources are still registered),
+    /// else a fresh one. Tracing is normalized to enabled — matching
+    /// [`Simulator::new`] — so pool hits and misses are observably
+    /// identical regardless of how the released instance was
+    /// configured.
+    pub fn acquire(&mut self) -> Simulator {
+        match self.free.pop() {
+            Some(mut sim) => {
+                sim.reset();
+                sim.set_tracing(true);
+                sim
+            }
+            None => Simulator::new(),
+        }
+    }
+
+    /// Return a simulator to the pool for reuse.
+    pub fn release(&mut self, sim: Simulator) {
+        if self.free.len() < Self::MAX_POOLED {
+            self.free.push(sim);
+        }
+    }
+
+    /// Number of simulators currently pooled.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Whether the pool holds no simulators.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+}
+
+thread_local! {
+    /// Per-thread executor pool: each sweep worker reuses its own
+    /// simulators with no locking, and the pool dies with the thread.
+    static THREAD_POOL: RefCell<ExecutorPool> = RefCell::new(ExecutorPool::new());
+}
+
+/// Check a simulator out of this thread's [`ExecutorPool`] (a fresh
+/// instance during thread teardown, when the pool is already gone).
+pub fn acquire_pooled() -> Simulator {
+    THREAD_POOL
+        .try_with(|p| p.borrow_mut().acquire())
+        .unwrap_or_else(|_| Simulator::new())
+}
+
+/// Return a simulator to this thread's [`ExecutorPool`] (dropped
+/// during thread teardown, when the pool is already gone).
+pub fn release_pooled(sim: Simulator) {
+    let _ = THREAD_POOL.try_with(|p| p.borrow_mut().release(sim));
 }
 
 #[cfg(test)]
@@ -614,5 +828,135 @@ mod tests {
         let g0 = sim.add_resource("g0");
         let fake = TaskHandle(99);
         sim.submit(TaskSpec::new(g0, 1.0, TaskKind::Compute).after(fake));
+    }
+
+    #[test]
+    fn packed_event_keys_order_like_tuples() {
+        let cases = [
+            (0.0, 1, 2),
+            (0.0, 2, 1),
+            (1.5, 1, 0),
+            (1.5, 1, 3),
+            (2.0, 7, 9),
+            (1e-12, 3, 4),
+            (1e9, 4, 5),
+        ];
+        for &(ta, sa, ia) in &cases {
+            for &(tb, sb, ib) in &cases {
+                let tuple_ord = (SimTime::from_secs(ta), sa, ia)
+                    .cmp(&(SimTime::from_secs(tb), sb, ib));
+                let packed_ord = pack_event(SimTime::from_secs(ta), sa, ia)
+                    .cmp(&pack_event(SimTime::from_secs(tb), sb, ib));
+                assert_eq!(tuple_ord, packed_ord, "({ta},{sa},{ia}) vs ({tb},{sb},{ib})");
+            }
+        }
+        let (t, id) = unpack_event(pack_event(SimTime::from_secs(3.25), 17, 42));
+        assert_eq!(t.as_secs(), 3.25);
+        assert_eq!(id, 42);
+    }
+
+    #[test]
+    fn submit_sync_matches_taskspec_sync() {
+        let mut sim = Simulator::new();
+        let g0 = sim.add_resource("g0");
+        let g1 = sim.add_resource("g1");
+        let a = compute(&mut sim, g0, 1.0);
+        let b = compute(&mut sim, g1, 3.0);
+        let join = sim.submit_sync(&[a, b]);
+        assert_eq!(sim.run_until(join).as_secs(), 3.0);
+    }
+
+    /// A reset simulator replays a workload to the exact same trace
+    /// and final time as its first run (and as a fresh instance).
+    #[test]
+    fn reset_replays_identically() {
+        let workload = |sim: &mut Simulator, g0: ResourceId, g1: ResourceId| {
+            let a = sim.submit(TaskSpec::new(g0, 1.0, TaskKind::Compute));
+            let b = sim.submit(TaskSpec::new(g1, 0.5, TaskKind::SwapOut).after(a));
+            let c = sim.submit(TaskSpec::new(g0, 2.0, TaskKind::Compute));
+            let j = sim.submit(TaskSpec::sync(vec![b, c]));
+            sim.run_until(j);
+            sim.run_until_idle()
+        };
+        let mut sim = Simulator::new();
+        let g0 = sim.add_resource("g0");
+        let g1 = sim.add_resource("g1");
+        let end1 = workload(&mut sim, g0, g1);
+        let spans1: Vec<Span> = sim.trace().spans().to_vec();
+        let busy1 = sim.busy_time(g0);
+
+        sim.reset();
+        assert_eq!(sim.now(), SimTime::ZERO);
+        assert_eq!(sim.outstanding(), 0);
+        assert_eq!(sim.busy_time(g0), 0.0);
+        assert!(sim.trace().spans().is_empty());
+        assert_eq!(sim.pool().len(), 2, "resources survive reset");
+
+        let end2 = workload(&mut sim, g0, g1);
+        assert_eq!(end1, end2);
+        assert_eq!(spans1, sim.trace().spans());
+        assert_eq!(busy1, sim.busy_time(g0));
+    }
+
+    #[test]
+    fn reset_resources_allows_rebuilding_a_different_shape() {
+        let mut sim = Simulator::new();
+        let a = sim.add_resource("a");
+        sim.add_resource("b");
+        compute(&mut sim, a, 1.0);
+        sim.run_until_idle();
+        sim.reset_resources();
+        assert!(sim.pool().is_empty());
+        let r = sim.add_resource("only");
+        compute(&mut sim, r, 2.0);
+        assert_eq!(sim.run_until_idle().as_secs(), 2.0);
+    }
+
+    #[test]
+    fn pool_reuses_instances_and_bounds_retention() {
+        let mut pool = ExecutorPool::new();
+        let mut sim = pool.acquire();
+        let g = sim.add_resource("g");
+        compute(&mut sim, g, 1.0);
+        sim.run_until_idle();
+        pool.release(sim);
+        assert_eq!(pool.len(), 1);
+
+        // The reused instance comes back reset, resources intact.
+        let sim = pool.acquire();
+        assert!(pool.is_empty());
+        assert_eq!(sim.now(), SimTime::ZERO);
+        assert_eq!(sim.pool().len(), 1);
+        pool.release(sim);
+
+        for _ in 0..2 * ExecutorPool::MAX_POOLED {
+            pool.release(Simulator::new());
+        }
+        assert_eq!(pool.len(), ExecutorPool::MAX_POOLED);
+    }
+
+    /// Acquire normalizes tracing, so a pool hit behaves exactly like
+    /// `Simulator::new()` no matter how the released instance was
+    /// configured.
+    #[test]
+    fn pool_acquire_normalizes_tracing() {
+        let mut pool = ExecutorPool::new();
+        pool.release(Simulator::without_trace());
+        let sim = pool.acquire();
+        assert!(sim.trace().is_enabled(), "pool hit must match Simulator::new()");
+    }
+
+    #[test]
+    fn tracing_toggle_applies_to_subsequent_tasks() {
+        let mut sim = Simulator::without_trace();
+        let g = sim.add_resource("g");
+        compute(&mut sim, g, 1.0);
+        sim.run_until_idle();
+        assert!(sim.trace().spans().is_empty());
+        sim.reset();
+        sim.set_tracing(true);
+        compute(&mut sim, g, 1.0);
+        sim.run_until_idle();
+        assert_eq!(sim.trace().spans().len(), 1);
     }
 }

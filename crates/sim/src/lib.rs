@@ -24,7 +24,7 @@ pub mod resource;
 pub mod time;
 pub mod trace;
 
-pub use executor::{SmallList, Simulator, TaskHandle, TaskSpec};
+pub use executor::{acquire_pooled, release_pooled, ExecutorPool, SmallList, Simulator, TaskHandle, TaskSpec};
 pub use resource::{ResourceId, ResourcePool};
 pub use time::SimTime;
 pub use trace::{Span, TaskKind, Trace, TraceSummary};

@@ -58,6 +58,14 @@ impl ResourcePool {
         &self.names[id.0]
     }
 
+    /// The id at a raw index (ids are assigned densely in registration
+    /// order, so this is the inverse of [`ResourceId::index`]). Panics
+    /// when out of range.
+    pub fn id(&self, index: usize) -> ResourceId {
+        assert!(index < self.names.len(), "resource index {index} out of range");
+        ResourceId(index)
+    }
+
     /// Find a resource by exact name.
     pub fn find(&self, name: &str) -> Option<ResourceId> {
         self.names.iter().position(|n| n == name).map(ResourceId)

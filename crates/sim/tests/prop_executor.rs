@@ -3,7 +3,7 @@
 //! dependencies, and work conservation.
 
 use proptest::prelude::*;
-use seesaw_sim::{Simulator, TaskKind, TaskSpec};
+use seesaw_sim::{ExecutorPool, Simulator, TaskKind, TaskSpec};
 
 /// A randomly generated task: resource index, duration, and a set of
 /// earlier tasks to depend on (encoded as offsets).
@@ -36,10 +36,19 @@ fn tasks_strategy(n_res: usize) -> impl Strategy<Value = Vec<GenTask>> {
 
 fn build_and_run(tasks: &[GenTask], n_res: usize) -> Simulator {
     let mut sim = Simulator::new();
-    let res: Vec<_> = (0..n_res).map(|i| sim.add_resource(format!("r{i}"))).collect();
+    (0..n_res).for_each(|i| {
+        sim.add_resource(format!("r{i}"));
+    });
+    run_workload(&mut sim, tasks);
+    sim
+}
+
+/// Drive `tasks` through an already-resourced simulator.
+fn run_workload(sim: &mut Simulator, tasks: &[GenTask]) {
     let mut handles = Vec::new();
     for (i, t) in tasks.iter().enumerate() {
-        let mut spec = TaskSpec::new(res[t.resource], t.duration, TaskKind::Compute);
+        let r = sim.pool().id(t.resource);
+        let mut spec = TaskSpec::new(r, t.duration, TaskKind::Compute);
         for &off in &t.dep_offsets {
             if off <= i && i > 0 {
                 let dep = handles[i - off.min(i)];
@@ -49,7 +58,18 @@ fn build_and_run(tasks: &[GenTask], n_res: usize) -> Simulator {
         handles.push(sim.submit(spec));
     }
     sim.run_until_idle();
-    sim
+}
+
+fn assert_same_outcome(a: &Simulator, b: &Simulator) {
+    assert_eq!(a.now(), b.now(), "final SimTime must match");
+    assert_eq!(a.trace().spans().len(), b.trace().spans().len());
+    for (x, y) in a.trace().spans().iter().zip(b.trace().spans()) {
+        assert_eq!(x.resource, y.resource);
+        assert_eq!(x.kind, y.kind);
+        assert_eq!(x.start, y.start);
+        assert_eq!(x.end, y.end);
+        assert_eq!(x.tag, y.tag);
+    }
 }
 
 proptest! {
@@ -116,5 +136,31 @@ proptest! {
             prop_assert_eq!(x.start, y.start);
             prop_assert_eq!(x.end, y.end);
         }
+    }
+
+    /// A pooled + reset executor replays arbitrary task graphs to the
+    /// exact same trace and final time as a freshly constructed one —
+    /// including back-to-back different graphs through the same
+    /// pooled instance (the sweep-worker reuse pattern).
+    #[test]
+    fn pooled_reset_matches_fresh(
+        first in tasks_strategy(3),
+        second in tasks_strategy(3),
+    ) {
+        let mut pool = ExecutorPool::new();
+
+        // Dirty a simulator with the first graph, return it.
+        let mut sim = pool.acquire();
+        (0..3).for_each(|i| { sim.add_resource(format!("r{i}")); });
+        run_workload(&mut sim, &first);
+        pool.release(sim);
+
+        // The reused (reset) instance must replay the second graph
+        // exactly like a fresh simulator does.
+        let mut reused = pool.acquire();
+        prop_assert_eq!(reused.pool().len(), 3, "resources survive pooling");
+        run_workload(&mut reused, &second);
+        let fresh = build_and_run(&second, 3);
+        assert_same_outcome(&reused, &fresh);
     }
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI performance gate: build release, regenerate the sweep/sims
+# benchmark, and fail when
+#   * parallel figure output diverges from serial (determinism), or
+#   * sims/sec regresses >20% vs the committed BENCH_sweep.json.
+#
+# Usage: scripts/bench.sh [subsample] [--jobs N]
+#   subsample defaults to 8 (the committed artifact's setting).
+#
+# The fresh artifact is written to target/BENCH_sweep.json; after a
+# deliberate performance change, review it and copy it over the
+# committed BENCH_sweep.json to move the baseline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p seesaw-bench --bin perf_report
+
+./target/release/perf_report "$@" \
+    --out target/BENCH_sweep.json \
+    --baseline BENCH_sweep.json
+
+echo "bench.sh: OK (fresh artifact at target/BENCH_sweep.json)"
