@@ -197,6 +197,9 @@ fn bench_single_candidate_eval(c: &mut Criterion) {
     g.bench_function("vllm_t2p2_construct_and_run", |b| {
         b.iter(|| black_box(bench.run_vllm_once()))
     });
+    g.bench_function("serving_point_online_run", |b| {
+        b.iter(|| black_box(bench.run_serving_once()))
+    });
     g.finish();
 }
 

@@ -15,13 +15,17 @@
 //! The sims/sec microbench times repeated *single-candidate*
 //! evaluations (engine construction + full run on a fixed workload)
 //! for one Seesaw and one vLLM candidate, exactly the unit of work a
-//! sweep performs per grid cell. Candidates share `Arc`'d specs and
-//! the per-thread executor/roofline-cache pools stay warm across
-//! iterations — the cache-warm steady state of a sweep worker.
+//! sweep performs per grid cell — plus one online-serving candidate
+//! (fixed-seed Poisson arrivals, arrival-gated admission, latency
+//! percentiles), the unit of work a serving sweep performs per load
+//! point. Candidates share `Arc`'d specs and the per-thread
+//! executor/roofline-cache pools stay warm across iterations — the
+//! cache-warm steady state of a sweep worker.
 //!
-//! With `--baseline PATH`, the report exits non-zero when either
-//! sims/sec figure regresses more than 20% against the committed
-//! artifact (or when parallel output ever diverges from serial).
+//! With `--baseline PATH`, the report exits non-zero when any
+//! sims/sec figure (`seesaw`, `vllm`, `serving`) regresses more than
+//! 20% against the committed artifact (or when parallel output ever
+//! diverges from serial).
 
 use seesaw_bench::simsbench::{SimsBench, WORKLOAD_LABEL};
 use seesaw_bench::{cli, figs};
@@ -77,8 +81,10 @@ fn sims_per_sec(mut f: impl FnMut()) -> f64 {
 }
 
 /// The tier-1 sims/sec microbench — see [`seesaw_bench::simsbench`]
-/// for the canonical scenario definition.
-fn measure_sims_per_sec() -> (f64, f64) {
+/// for the canonical scenario definition. `serving` is the
+/// latency-metric throughput: online serving-sweep load points
+/// (arrival-gated run + percentile computation) per second.
+fn measure_sims_per_sec() -> (f64, f64, f64) {
     let bench = SimsBench::new();
     let seesaw = sims_per_sec(|| {
         std::hint::black_box(bench.run_seesaw_once());
@@ -86,7 +92,10 @@ fn measure_sims_per_sec() -> (f64, f64) {
     let vllm = sims_per_sec(|| {
         std::hint::black_box(bench.run_vllm_once());
     });
-    (seesaw, vllm)
+    let serving = sims_per_sec(|| {
+        std::hint::black_box(bench.run_serving_once());
+    });
+    (seesaw, vllm, serving)
 }
 
 /// Extract `"key": <number>` from a (flat) JSON artifact without a
@@ -138,8 +147,10 @@ fn main() {
     eprintln!("serial: {serial_total:.2}s; running parallel sweep...");
     let (parallel_total, parallel_figs) = run_catalog(subsample, parallel_runner);
     eprintln!("parallel: {parallel_total:.2}s; measuring sims/sec...");
-    let (mut sims_seesaw, mut sims_vllm) = measure_sims_per_sec();
-    eprintln!("sims/sec: seesaw {sims_seesaw:.0}, vllm {sims_vllm:.0}");
+    let (mut sims_seesaw, mut sims_vllm, mut sims_serving) = measure_sims_per_sec();
+    eprintln!(
+        "sims/sec: seesaw {sims_seesaw:.0}, vllm {sims_vllm:.0}, serving {sims_serving:.0}"
+    );
 
     // Resolve the gate's retry *before* composing the artifact, so a
     // run that passes on the re-measurement also records those
@@ -149,16 +160,21 @@ fn main() {
     // measurement windows; a real regression fails both measurements.
     let floor_of = |before: f64| before * (1.0 - SIMS_REGRESSION_TOLERANCE);
     if let Some((_, text)) = &baseline {
-        let below = |current: &[(&str, f64); 2]| {
+        let below = |current: &[(&str, f64); 3]| {
             current.iter().any(|&(name, c)| {
                 json_number(text, name).is_some_and(|b| b > 0.0 && c < floor_of(b))
             })
         };
-        if below(&[("seesaw", sims_seesaw), ("vllm", sims_vllm)]) {
+        if below(&[
+            ("seesaw", sims_seesaw),
+            ("vllm", sims_vllm),
+            ("serving", sims_serving),
+        ]) {
             eprintln!("apparent sims/sec regression; re-measuring once...");
-            let (s2, v2) = measure_sims_per_sec();
+            let (s2, v2, o2) = measure_sims_per_sec();
             sims_seesaw = sims_seesaw.max(s2);
             sims_vllm = sims_vllm.max(v2);
+            sims_serving = sims_serving.max(o2);
         }
     }
 
@@ -194,6 +210,7 @@ fn main() {
     json.push_str("  \"sims_per_sec\": {\n");
     json.push_str(&format!("    \"seesaw\": {sims_seesaw:.1},\n"));
     json.push_str(&format!("    \"vllm\": {sims_vllm:.1},\n"));
+    json.push_str(&format!("    \"serving\": {sims_serving:.1},\n"));
     json.push_str(&format!("    \"iters_per_batch\": {SIMS_BATCH},\n"));
     json.push_str(&format!("    \"batches\": {SIMS_BATCHES},\n"));
     json.push_str(&format!("    \"workload\": \"{}\"\n", json_escape(WORKLOAD_LABEL)));
@@ -218,7 +235,9 @@ fn main() {
         "all_figures {subsample}: serial {serial_total:.2}s, {} jobs {parallel_total:.2}s -> {speedup:.2}x (outputs identical: {outputs_identical})",
         parallel_runner.jobs()
     );
-    println!("sims/sec: seesaw {sims_seesaw:.0}, vllm {sims_vllm:.0}");
+    println!(
+        "sims/sec: seesaw {sims_seesaw:.0}, vllm {sims_vllm:.0}, serving {sims_serving:.0}"
+    );
     println!("wrote {out_path}");
     if !outputs_identical {
         eprintln!("ERROR: parallel output diverged from serial output");
@@ -227,7 +246,11 @@ fn main() {
 
     if let Some((baseline_path, baseline)) = baseline {
         let mut failed = false;
-        for (name, current) in [("seesaw", sims_seesaw), ("vllm", sims_vllm)] {
+        for (name, current) in [
+            ("seesaw", sims_seesaw),
+            ("vllm", sims_vllm),
+            ("serving", sims_serving),
+        ] {
             match json_number(&baseline, name) {
                 Some(before) if before > 0.0 => {
                     let regressed = current < floor_of(before);

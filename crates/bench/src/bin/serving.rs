@@ -1,0 +1,106 @@
+//! `serving` — online-serving sweep: offered load vs SLO attainment
+//! and goodput (see `seesaw_bench::serving`).
+//!
+//! Usage:
+//!   serving [n_requests] [--jobs N] [--loads m1,m2,...]
+//!           [--slo-ttft S] [--slo-tpot S] [--seed S]
+//!
+//! Defaults: 200 ShareGPT-shaped requests, load multipliers
+//! 0.25..4.0× of measured offline capacity, SLO TTFT ≤ 15 s /
+//! TPOT ≤ 50 ms, seed 42. Load points evaluate in parallel on the
+//! sweep runner; output is byte-identical for every `--jobs` value.
+
+use seesaw_bench::serving;
+use seesaw_engine::SweepRunner;
+use seesaw_workload::SloSpec;
+
+struct Args {
+    n_requests: usize,
+    jobs: Option<usize>,
+    multipliers: Vec<f64>,
+    slo: SloSpec,
+    seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serving [n_requests] [--jobs N] [--loads m1,m2,...] \
+         [--slo-ttft S] [--slo-tpot S] [--seed S]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        n_requests: 200,
+        jobs: None,
+        multipliers: serving::DEFAULT_LOAD_MULTIPLIERS.to_vec(),
+        slo: serving::DEFAULT_SLO,
+        seed: crate_seed(),
+    };
+    let mut args = std::env::args().skip(1);
+    let next_f64 = |args: &mut dyn Iterator<Item = String>, what: &str| -> f64 {
+        args.next()
+            .and_then(|v| v.parse().ok())
+            .filter(|&x: &f64| x.is_finite() && x > 0.0)
+            .unwrap_or_else(|| {
+                eprintln!("{what} needs a positive number");
+                std::process::exit(2);
+            })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" | "-j" => {
+                parsed.jobs = args.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0);
+                if parsed.jobs.is_none() {
+                    eprintln!("--jobs needs a positive integer");
+                    std::process::exit(2);
+                }
+            }
+            "--loads" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                let parsed_loads: Option<Vec<f64>> = spec
+                    .split(',')
+                    .map(|s| s.trim().parse::<f64>().ok().filter(|&x| x.is_finite() && x > 0.0))
+                    .collect();
+                match parsed_loads {
+                    Some(loads) if !loads.is_empty() => parsed.multipliers = loads,
+                    _ => {
+                        eprintln!("--loads needs a comma-separated list of positive multipliers");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--slo-ttft" => parsed.slo.ttft_s = next_f64(&mut args, "--slo-ttft"),
+            "--slo-tpot" => parsed.slo.tpot_s = next_f64(&mut args, "--slo-tpot"),
+            "--seed" => {
+                parsed.seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs a non-negative integer");
+                    std::process::exit(2);
+                });
+            }
+            other => match other.parse() {
+                Ok(n) if n > 0 => parsed.n_requests = n,
+                _ => usage(),
+            },
+        }
+    }
+    parsed
+}
+
+fn crate_seed() -> u64 {
+    seesaw_bench::SEED
+}
+
+fn main() {
+    let args = parse_args();
+    let runner = SweepRunner::with_jobs(args.jobs);
+    let sweep = serving::default_sweep_with(
+        &runner,
+        args.n_requests,
+        &args.multipliers,
+        args.slo,
+        args.seed,
+    );
+    print!("{}", serving::render(&sweep));
+}

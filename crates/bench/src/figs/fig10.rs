@@ -90,10 +90,15 @@ pub fn run_with(runner: &SweepRunner, gpu: &str, subsample: usize) -> String {
         ]);
     }
     out.push_str(&t.render());
+    // A degenerate cell (zero/non-finite speedup) downgrades the
+    // geo-mean to "n/a" instead of aborting the whole figure sweep.
+    let gm = match geo_mean(&speedups) {
+        Ok(g) => format!("{g:.2}x"),
+        Err(e) => format!("n/a ({e})"),
+    };
     out.push_str(&format!(
-        "\ngeo-mean speedup on {}: {:.2}x   max: {:.2}x\n",
+        "\ngeo-mean speedup on {}: {gm}   max: {:.2}x\n",
         gpu.to_uppercase(),
-        geo_mean(&speedups),
         speedups.iter().cloned().fold(0.0_f64, f64::max),
     ));
     out

@@ -9,6 +9,8 @@
 //! * [`table::Table`] — aligned markdown table printer.
 //! * [`harness`] — the vLLM configuration/policy sweep ("best static
 //!   baseline", as the paper tunes it) and the Seesaw auto-probed run.
+//! * [`serving`] — the online-serving harness: offered-load sweeps
+//!   against SLO attainment and goodput (the `serving` bin).
 //! * [`simsbench`] — the canonical `sims_per_sec` single-candidate
 //!   workload shared by `perf_report`, the criterion microbench, and
 //!   the determinism tests.
@@ -16,6 +18,7 @@
 pub mod cli;
 pub mod figs;
 pub mod harness;
+pub mod serving;
 pub mod simsbench;
 pub mod table;
 

@@ -8,6 +8,13 @@
 //! prefill-prioritized). Specs are `Arc`-shared so repeated
 //! construction exercises the pooled-executor / warm-cache hot path
 //! exactly like a sweep worker.
+//!
+//! The serving variant replays the same request set with fixed-seed
+//! Poisson arrivals at twice the scenario's offline capacity (a
+//! mildly overloaded point — the regime serving sweeps live in) and
+//! is the unit of work behind `sims_per_sec.serving`: one online
+//! engine run *including* latency-percentile computation, i.e. one
+//! serving-sweep load point per evaluation.
 
 use seesaw_engine::seesaw::{SeesawEngine, SeesawSpec};
 use seesaw_engine::vllm::VllmEngine;
@@ -15,11 +22,15 @@ use seesaw_engine::{EngineReport, SchedulingPolicy};
 use seesaw_hw::ClusterSpec;
 use seesaw_model::{presets, ModelConfig};
 use seesaw_parallel::ParallelConfig;
-use seesaw_workload::{Request, WorkloadGen};
+use seesaw_workload::{ArrivalDist, Request, WorkloadGen};
 use std::sync::Arc;
 
 /// Human-readable description recorded in `BENCH_sweep.json`.
 pub const WORKLOAD_LABEL: &str = "a10x4 llama2_13b constant(1024,64) x24";
+
+/// Offered load of the serving scenario, requests/second (about 2×
+/// the vLLM candidate's offline capacity on this workload).
+pub const SERVING_OFFERED_RPS: f64 = 4.0;
 
 /// The fixed benchmark scenario: `Arc`-shared specs + request set.
 #[derive(Debug)]
@@ -30,6 +41,9 @@ pub struct SimsBench {
     pub model: Arc<ModelConfig>,
     /// The fixed-seed request set.
     pub reqs: Vec<Request>,
+    /// The same requests with fixed-seed Poisson arrivals at
+    /// [`SERVING_OFFERED_RPS`].
+    pub serving_reqs: Vec<Request>,
 }
 
 impl Default for SimsBench {
@@ -41,10 +55,15 @@ impl Default for SimsBench {
 impl SimsBench {
     /// Build the canonical scenario.
     pub fn new() -> Self {
+        let reqs = WorkloadGen::constant(1024, 64).generate(24);
+        let serving_reqs = ArrivalDist::Poisson { rate: SERVING_OFFERED_RPS }
+            .attach(&reqs, crate::SEED ^ seesaw_workload::ARRIVAL_SEED_SALT)
+            .expect("fixed serving arrival process is valid");
         SimsBench {
             cluster: Arc::new(ClusterSpec::a10x4()),
             model: Arc::new(presets::llama2_13b()),
-            reqs: WorkloadGen::constant(1024, 64).generate(24),
+            reqs,
+            serving_reqs,
         }
     }
 
@@ -76,5 +95,20 @@ impl SimsBench {
         )
         .expect("valid config")
         .run(&self.reqs)
+    }
+
+    /// One online-serving evaluation: the vLLM candidate on the
+    /// arrival-laden request set — arrival-gated admission, idle
+    /// gaps, and latency-percentile computation included. This is a
+    /// serving sweep's per-load-point unit of work.
+    pub fn run_serving_once(&self) -> EngineReport {
+        VllmEngine::new(
+            Arc::clone(&self.cluster),
+            Arc::clone(&self.model),
+            ParallelConfig::new(1, 2, 2),
+            SchedulingPolicy::PrefillPrioritized,
+        )
+        .expect("valid config")
+        .run(&self.serving_reqs)
     }
 }

@@ -82,3 +82,75 @@ fn figure_output_is_byte_identical_across_job_counts() {
     let parallel = figs::ablations::abl_buffer_with(&SweepRunner::new(3), 24);
     assert_eq!(serial, parallel);
 }
+
+/// The online-serving sweep inherits the same contract: identical
+/// points (reports, timelines, latency percentiles, attainment) and
+/// identical rendered output for every job count, warm pools or not.
+#[test]
+fn serving_sweep_is_byte_identical_across_job_counts() {
+    use seesaw_bench::serving;
+    let run = |runner: &SweepRunner| {
+        serving::default_sweep_with(runner, 48, &[0.5, 1.0, 2.0, 4.0], serving::DEFAULT_SLO, 42)
+    };
+    let serial = run(&SweepRunner::serial());
+    let parallel = run(&SweepRunner::new(4));
+    assert_eq!(serial, parallel, "serving points must be runner-invariant");
+    assert_eq!(serving::render(&serial), serving::render(&parallel));
+    // Warm rerun (pools and caches populated) must also reproduce.
+    let warm = run(&SweepRunner::new(4));
+    assert_eq!(serial, warm, "warm-pool serving rerun drifted");
+}
+
+/// The attainment knee of the `serving` bin's *default* sweep
+/// (200 ShareGPT requests, the default load ladder and SLO):
+/// monotone nonincreasing in offered load, starting from full
+/// attainment at light load. (Tiny request sets at extreme loads can
+/// wiggle by a request or two as batch boundaries shift — the
+/// shipped default is the contract.)
+#[test]
+fn serving_attainment_knee_is_monotone() {
+    use seesaw_bench::serving;
+    let sweep = serving::default_sweep_with(
+        &SweepRunner::from_env(),
+        200,
+        serving::DEFAULT_LOAD_MULTIPLIERS,
+        serving::DEFAULT_SLO,
+        seesaw_bench::SEED,
+    );
+    for w in sweep.points.windows(2) {
+        assert!(
+            w[1].attainment <= w[0].attainment + 1e-12,
+            "attainment rose with load: {:.3} @ {:.2}x -> {:.3} @ {:.2}x",
+            w[0].attainment,
+            w[0].load_multiplier,
+            w[1].attainment,
+            w[1].load_multiplier
+        );
+    }
+    let first = &sweep.points[0];
+    let last = sweep.points.last().expect("non-empty");
+    assert!((first.attainment - 1.0).abs() < 1e-12, "light load must meet the SLO");
+    assert!(
+        last.attainment < 0.5 * first.attainment,
+        "4x overload must miss the SLO for most requests, got {}",
+        last.attainment
+    );
+    assert!(
+        last.goodput_rps < first.report.throughput_rps() + 1e-12,
+        "goodput must collapse below light-load throughput under deep overload"
+    );
+}
+
+/// The serving sims/sec scenario (perf_report's `serving` metric)
+/// reproduces exactly across warm-pool repetitions.
+#[test]
+fn repeated_serving_runs_reproduce_the_first_report() {
+    use seesaw_bench::simsbench::SimsBench;
+    let bench = SimsBench::new();
+    let first = bench.run_serving_once();
+    assert_eq!(first.stats.requests, 24);
+    assert!(first.latency.is_some());
+    for _ in 0..3 {
+        assert_eq!(bench.run_serving_once(), first, "warm-pool serving rerun drifted");
+    }
+}

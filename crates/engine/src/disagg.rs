@@ -16,6 +16,7 @@ use seesaw_hw::ClusterSpec;
 use seesaw_model::ModelConfig;
 use seesaw_parallel::{FitError, ParallelConfig};
 use seesaw_roofline::{Roofline, ThroughputModel};
+use seesaw_workload::SloSpec;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -35,6 +36,13 @@ pub struct DisaggReport {
     /// Decode instance rate, requests/s (including inter-instance KV
     /// transfer overhead).
     pub decode_rps: f64,
+    /// Analytic steady-state TTFT estimate: one prompt's prefill time
+    /// plus the prefill→decode KV handoff, seconds. (Excludes
+    /// queueing — an unloaded-system floor, the disaggregated
+    /// counterpart of the simulated engines' measured TTFT.)
+    pub est_ttft_s: f64,
+    /// Analytic steady-state time-per-output-token estimate, seconds.
+    pub est_tpot_s: f64,
 }
 
 impl DisaggReport {
@@ -48,6 +56,13 @@ impl DisaggReport {
     pub fn mismatch(&self) -> f64 {
         let hi = self.prefill_rps.max(self.decode_rps);
         hi / self.combined_rps()
+    }
+
+    /// Whether the analytic latency floor meets `slo`. A split
+    /// failing this misses the SLO at *any* offered load; passing it
+    /// only says the unloaded system complies.
+    pub fn meets_slo_floor(&self, slo: SloSpec) -> bool {
+        self.est_ttft_s <= slo.ttft_s && self.est_tpot_s <= slo.tpot_s
     }
 }
 
@@ -93,7 +108,8 @@ impl DisaggEngine {
         let (dcfg, _) = best_decode_config(&dec_cluster, &self.model, avg_in + avg_out / 2)?;
 
         let tm_p = ThroughputModel::new(Roofline::new(pre_cluster, self.model.clone()));
-        let prefill_rps = tm_p.prefill_tokens_per_sec(pcfg, avg_in.max(1), 4) / avg_in as f64;
+        let prefill_tok_rate = tm_p.prefill_tokens_per_sec(pcfg, avg_in.max(1), 4);
+        let prefill_rps = prefill_tok_rate / avg_in as f64;
 
         let tm_d = ThroughputModel::new(Roofline::new(dec_cluster.clone(), self.model.clone()));
         let step_rate = tm_d.decode_seq_steps_per_sec_max_batch(dcfg, avg_in + avg_out / 2)?;
@@ -112,6 +128,8 @@ impl DisaggEngine {
             decode_config: dcfg,
             prefill_rps,
             decode_rps,
+            est_ttft_s: avg_in as f64 / prefill_tok_rate + xfer,
+            est_tpot_s: 1.0 / step_rate,
         })
     }
 
@@ -235,6 +253,17 @@ mod tests {
         for w in splits.windows(2) {
             assert!(w[0].combined_rps() >= w[1].combined_rps());
         }
+    }
+
+    #[test]
+    fn latency_floor_is_positive_and_slo_gateable() {
+        let eng = DisaggEngine::new(ClusterSpec::a100x8_pcie(), presets::llama2_70b());
+        let r = eng.evaluate_split(4, 3000, 250).unwrap();
+        assert!(r.est_ttft_s > 0.0 && r.est_ttft_s.is_finite());
+        assert!(r.est_tpot_s > 0.0 && r.est_tpot_s.is_finite());
+        // A generous SLO passes the floor; an impossible one fails.
+        assert!(r.meets_slo_floor(SloSpec { ttft_s: 1e6, tpot_s: 1e6 }));
+        assert!(!r.meets_slo_floor(SloSpec { ttft_s: 0.0, tpot_s: 0.0 }));
     }
 
     #[test]

@@ -8,6 +8,26 @@ use seesaw_kv::PagedKvCache;
 use seesaw_parallel::ParallelConfig;
 use seesaw_roofline::{BatchShape, Roofline, Stage};
 use seesaw_sim::{TaskHandle, TaskKind};
+use seesaw_workload::Request;
+
+/// Engines admit from the queue head and idle to the *head's* arrival
+/// time, so a request slice must be nondecreasing in `arrival_s`
+/// (every in-repo generator emits arrivals that way; offline all-zero
+/// streams trivially qualify). An out-of-order slice would silently
+/// charge later-queued-but-earlier-arriving requests the head's wait
+/// as TTFT — reject it up front instead.
+pub fn assert_arrivals_sorted(requests: &[Request]) {
+    if let Some(w) = requests
+        .windows(2)
+        .find(|w| w[0].arrival_s > w[1].arrival_s)
+    {
+        panic!(
+            "requests must be sorted by arrival time: request {} arrives at {}s after \
+             request {} at {}s",
+            w[1].id, w[1].arrival_s, w[0].id, w[0].arrival_s
+        );
+    }
+}
 
 /// A sequence currently resident in GPU KV cache and decoding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

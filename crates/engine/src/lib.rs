@@ -15,7 +15,14 @@
 //!
 //! Every engine consumes a [`seesaw_workload::Request`] set and
 //! produces an [`EngineReport`] with end-to-end throughput (the
-//! paper's metric) plus phase wall-times and transfer accounting.
+//! paper's metric) plus phase wall-times, transfer accounting, and a
+//! per-request latency timeline (TTFT/TPOT/e2e percentiles).
+//!
+//! Requests may carry arrival times (`Request::arrival_s`, online
+//! serving): engines only admit a request once the simulated clock
+//! has reached its arrival, idle the cluster when the queue is empty,
+//! and the recorded timeline then measures queueing + service latency
+//! under load. All-zero arrivals reproduce the offline path exactly.
 //!
 //! # Simulation granularity
 //!
@@ -34,10 +41,12 @@ pub mod driver;
 pub mod report;
 pub mod seesaw;
 pub mod sweep;
+pub mod timing;
 pub mod vllm;
 
 pub use report::{EngineReport, Phase, PhaseSpan};
 pub use sweep::{SweepResult, SweepRunner};
+pub use timing::TimingRecorder;
 
 use serde::{Deserialize, Serialize};
 

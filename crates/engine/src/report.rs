@@ -1,6 +1,6 @@
 //! Run reports common to every engine.
 
-use seesaw_workload::RunStats;
+use seesaw_workload::{LatencyStats, RequestTiming, RunStats, SloSpec};
 use serde::{Deserialize, Serialize};
 
 /// Engine phase, for the execution timeline.
@@ -70,6 +70,15 @@ pub struct EngineReport {
     pub phases: Vec<PhaseSpan>,
     /// Mean busy fraction of the GPUs' compute engines over the run.
     pub gpu_utilization: f64,
+    /// Per-request arrival/first-token/completion timestamps, sorted
+    /// by request id (round-granular: a request completes at the end
+    /// of the decode burst that retired it).
+    pub timeline: Vec<RequestTiming>,
+    /// Latency percentiles over [`EngineReport::timeline`] (`None`
+    /// when the run processed no requests). Offline runs report them
+    /// too — every arrival is 0.0, so TTFT is the absolute
+    /// first-token time.
+    pub latency: Option<LatencyStats>,
 }
 
 impl EngineReport {
@@ -93,6 +102,16 @@ impl EngineReport {
             - self.mixed_wall_s
             - self.reshard_wall_s)
             .max(0.0)
+    }
+
+    /// Fraction of the timeline meeting `slo` (0.0 with no requests).
+    pub fn slo_attainment(&self, slo: SloSpec) -> f64 {
+        slo.attainment(&self.timeline)
+    }
+
+    /// SLO-meeting requests per second over the run's duration.
+    pub fn goodput_rps(&self, slo: SloSpec) -> f64 {
+        slo.goodput_rps(&self.timeline, self.stats.duration_s)
     }
 }
 
@@ -119,11 +138,58 @@ mod tests {
             swap_in_bytes: 0,
             phases: Vec::new(),
             gpu_utilization: 0.5,
+            timeline: Vec::new(),
+            latency: None,
         };
         let r = mk(10.0, 4.0, 5.0);
         assert!((r.other_wall_s() - 1.0).abs() < 1e-12);
         assert!((r.throughput_rps() - 1.0).abs() < 1e-12);
         let over = mk(8.0, 4.0, 5.0);
         assert_eq!(over.other_wall_s(), 0.0);
+    }
+
+    #[test]
+    fn slo_accessors_ride_on_the_timeline() {
+        let timeline = vec![
+            RequestTiming {
+                id: 0,
+                arrival_s: 0.0,
+                first_token_s: 0.5,
+                completion_s: 1.5,
+                output_len: 11,
+            },
+            RequestTiming {
+                id: 1,
+                arrival_s: 0.0,
+                first_token_s: 5.0,
+                completion_s: 6.0,
+                output_len: 11,
+            },
+        ];
+        let latency = LatencyStats::from_timeline(&timeline);
+        let rep = EngineReport {
+            label: "x".into(),
+            stats: RunStats {
+                requests: 2,
+                input_tokens: 100,
+                output_tokens: 22,
+                duration_s: 10.0,
+            },
+            prefill_wall_s: 0.0,
+            decode_wall_s: 0.0,
+            mixed_wall_s: 0.0,
+            reshard_wall_s: 0.0,
+            transitions: 0,
+            swap_out_bytes: 0,
+            swap_in_bytes: 0,
+            phases: Vec::new(),
+            gpu_utilization: 0.5,
+            timeline,
+            latency,
+        };
+        let slo = SloSpec { ttft_s: 1.0, tpot_s: 0.2 };
+        assert!((rep.slo_attainment(slo) - 0.5).abs() < 1e-12);
+        assert!((rep.goodput_rps(slo) - 0.1).abs() < 1e-12);
+        assert_eq!(rep.latency.unwrap().count, 2);
     }
 }

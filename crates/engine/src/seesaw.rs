@@ -23,15 +23,18 @@
 
 use crate::autotune;
 use crate::cluster_sim::ClusterSim;
-use crate::driver::{submit_decode_burst, submit_prefill_batch, Replica, RunSeq};
+use crate::driver::{
+    assert_arrivals_sorted, submit_decode_burst, submit_prefill_batch, Replica, RunSeq,
+};
 use crate::report::{EngineReport, Phase, PhaseSpan};
+use crate::timing::TimingRecorder;
 use seesaw_hw::{efficiency, ClusterSpec};
 use seesaw_kv::{BufferedSeq, CpuKvBuffer, KvLayout, PagedKvCache, SwapSizer};
 use seesaw_model::ModelConfig;
 use seesaw_parallel::{FitError, MemoryPlan, ParallelConfig, ReshardPlan};
 use seesaw_roofline::Roofline;
-use seesaw_sim::{TaskHandle, TaskKind};
-use seesaw_workload::{Request, RequestMap, RunStats};
+use seesaw_sim::{SimTime, TaskHandle, TaskKind};
+use seesaw_workload::{LatencyStats, Request, RequestMap, RunStats};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -223,6 +226,7 @@ struct SeesawRun<'a> {
     swap_out_bytes: u64,
     swap_in_bytes: u64,
     phases: Vec<PhaseSpan>,
+    rec: TimingRecorder,
     /// Reusable part buffers for the per-sequence swap chains.
     scratch_a: Vec<TaskHandle>,
     scratch_b: Vec<TaskHandle>,
@@ -230,6 +234,7 @@ struct SeesawRun<'a> {
 
 impl<'a> SeesawRun<'a> {
     fn new(eng: &'a SeesawEngine, requests: &[Request]) -> Self {
+        assert_arrivals_sorted(requests);
         let dp = eng.spec.prefill.dp;
         let cs = ClusterSim::new(Arc::clone(&eng.cluster));
         let rl = Roofline::new(Arc::clone(&eng.cluster), Arc::clone(&eng.model));
@@ -260,6 +265,7 @@ impl<'a> SeesawRun<'a> {
             swap_out_bytes: 0,
             swap_in_bytes: 0,
             phases: Vec::new(),
+            rec: TimingRecorder::with_capacity(requests.len()),
             scratch_a: Vec::new(),
             scratch_b: Vec::new(),
         }
@@ -285,10 +291,29 @@ impl<'a> SeesawRun<'a> {
                 self.reshard(self.eng.spec.decode, self.eng.spec.prefill);
             } else if self.waiting.is_empty() {
                 break;
+            } else {
+                // Nothing buffered and nothing admissible: only
+                // future arrivals remain, so the cluster idles until
+                // the next one. (Offline, buffered_any == false with
+                // waiting non-empty cannot occur: prefill always
+                // makes progress or panics.)
+                self.wait_for_next_arrival();
             }
-            // (buffered_any == false with waiting non-empty cannot
-            // occur: prefill always makes progress or panics.)
         }
+    }
+
+    /// Idle the cluster until the head request arrives (online
+    /// serving). Only reached when a prefill phase could admit
+    /// nothing and buffered nothing, which for an already-available
+    /// request would have panicked inside the phase instead.
+    fn wait_for_next_arrival(&mut self) {
+        let t = self
+            .waiting
+            .front()
+            .expect("an idle, unfinished engine must have pending arrivals")
+            .arrival_s;
+        self.cs.sim.run_until_idle();
+        self.cs.sim.advance_to(SimTime::from_secs(t));
     }
 
     // ------------------------------------------------------------------
@@ -343,7 +368,15 @@ impl<'a> SeesawRun<'a> {
             let mut admitted: Vec<Vec<(u64, usize)>> = vec![Vec::new(); dp];
             let mut budget = vec![MAX_PREFILL_TOKENS; dp];
             let mut buffer_full = false;
+            let mut arrivals_pending = false;
             while let Some(&req) = self.waiting.front() {
+                // Online serving: requests become schedulable only
+                // once their arrival time has passed. (Offline
+                // arrival_s == 0.0 never trips this.)
+                if req.arrival_s > self.cs.now().as_secs() {
+                    arrivals_pending = true;
+                    break;
+                }
                 let mut best: Option<usize> = None;
                 for d in 0..dp {
                     if budget[d] >= req.input_len
@@ -397,8 +430,11 @@ impl<'a> SeesawRun<'a> {
 
             let nothing_admitted = admitted.iter().all(|a| a.is_empty());
             if nothing_admitted {
-                if buffer_full || self.waiting.is_empty() {
-                    break; // phase over
+                if buffer_full || self.waiting.is_empty() || arrivals_pending {
+                    // Phase over. With arrivals pending the outer
+                    // loop decodes whatever was buffered (or idles
+                    // until the next arrival if nothing was).
+                    break;
                 }
                 // GPU KV is the bottleneck: wait for the oldest
                 // swap-out to vacate space.
@@ -435,6 +471,12 @@ impl<'a> SeesawRun<'a> {
                     joins.push(pass);
                     for id in ids {
                         let req = self.meta.req(id);
+                        // The pass exit emits the slot's first tokens
+                        // (and finishes single-token requests).
+                        self.rec.first_token(id, pass);
+                        if req.output_len <= 1 {
+                            self.rec.completed(id, pass);
+                        }
                         let p = self.submit_swap_out(d, id, req, pass);
                         if p.buffered.is_some() {
                             buffered_any = true;
@@ -591,9 +633,14 @@ impl<'a> SeesawRun<'a> {
             }
             let join = self.cs.join(&submitted.iter().map(|&(_, _, h)| h).collect::<Vec<_>>());
             self.cs.sim.run_until(join);
-            for (d, rounds, _) in submitted {
+            for (d, rounds, h) in submitted {
                 let finished = self.replicas[d].advance_decode(rounds);
                 self.completed += finished.len();
+                // Bursts are capped at the minimum remaining count,
+                // so retirees finish in the burst's last round.
+                for seq in finished {
+                    self.rec.completed(seq.id, h);
+                }
             }
             for d in 0..dp {
                 self.prefetch(d, &mut inflight[d]);
@@ -688,6 +735,9 @@ impl<'a> SeesawRun<'a> {
         let end = self.cs.sim.run_until_idle();
         assert_eq!(self.completed, requests.len(), "all requests must finish");
         let gpu_utilization = self.cs.mean_compute_utilization();
+        let timeline =
+            std::mem::take(&mut self.rec).resolve(&self.cs.sim, &self.meta);
+        let latency = LatencyStats::from_timeline(&timeline);
         EngineReport {
             label,
             stats: RunStats::from_requests(requests, end.as_secs()),
@@ -700,6 +750,8 @@ impl<'a> SeesawRun<'a> {
             swap_in_bytes: self.swap_in_bytes,
             phases: std::mem::take(&mut self.phases),
             gpu_utilization,
+            timeline,
+            latency,
         }
     }
 }

@@ -10,16 +10,18 @@
 
 use crate::cluster_sim::ClusterSim;
 use crate::driver::{
-    submit_decode_burst, submit_mixed_round, submit_prefill_batch, Replica, RunSeq,
+    assert_arrivals_sorted, submit_decode_burst, submit_mixed_round, submit_prefill_batch,
+    Replica, RunSeq,
 };
 use crate::report::EngineReport;
+use crate::timing::TimingRecorder;
 use crate::SchedulingPolicy;
 use seesaw_hw::ClusterSpec;
 use seesaw_model::ModelConfig;
 use seesaw_parallel::{FitError, MemoryPlan, ParallelConfig};
 use seesaw_roofline::{BatchShape, Roofline};
-use seesaw_sim::TaskHandle;
-use seesaw_workload::{Request, RequestMap, RunStats};
+use seesaw_sim::{SimTime, TaskHandle};
+use seesaw_workload::{LatencyStats, Request, RequestMap, RunStats};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -115,10 +117,12 @@ struct RunState<'a> {
     prefill_wall: f64,
     decode_wall: f64,
     mixed_wall: f64,
+    rec: TimingRecorder,
 }
 
 impl<'a> RunState<'a> {
     fn new(eng: &'a VllmEngine, requests: &[Request]) -> Self {
+        assert_arrivals_sorted(requests);
         let cs = ClusterSim::new(Arc::clone(&eng.cluster));
         let rl = Roofline::new(Arc::clone(&eng.cluster), Arc::clone(&eng.model));
         let replicas = (0..eng.cfg.dp)
@@ -137,6 +141,7 @@ impl<'a> RunState<'a> {
             prefill_wall: 0.0,
             decode_wall: 0.0,
             mixed_wall: 0.0,
+            rec: TimingRecorder::with_capacity(requests.len()),
         }
     }
 
@@ -144,6 +149,23 @@ impl<'a> RunState<'a> {
         self.waiting.is_empty()
             && self.replicas.iter().all(|r| r.running.is_empty())
             && self.prefilling.iter().all(|p| p.is_empty())
+    }
+
+    /// Idle the cluster until the head request arrives. Only called
+    /// when no admission, prefill, or decode progress is possible —
+    /// which, for requests available *now*, would have panicked in
+    /// `admit` instead — so the head arrival must lie in the future.
+    fn wait_for_next_arrival(&mut self) {
+        let t = self
+            .waiting
+            .front()
+            .expect("an idle, unfinished engine must have pending arrivals")
+            .arrival_s;
+        // Drain any stragglers (e.g. in-flight mixed rounds) first;
+        // if they carried the clock past the arrival, no idle gap
+        // exists and admission can proceed immediately.
+        self.cs.sim.run_until_idle();
+        self.cs.sim.advance_to(SimTime::from_secs(t));
     }
 
     /// Admit waiting requests into replica KV caches (full
@@ -154,6 +176,12 @@ impl<'a> RunState<'a> {
         let mut admitted: Vec<Vec<(u64, usize)>> = vec![Vec::new(); dp];
         let mut budget = vec![token_budget; dp];
         'outer: while let Some(&req) = self.waiting.front() {
+            // Online serving: a request is only schedulable once its
+            // arrival time has passed in simulated time. (Offline
+            // workloads carry arrival_s == 0.0 and never break here.)
+            if req.arrival_s > self.cs.now().as_secs() {
+                break 'outer;
+            }
             let reserve = req.total_len();
             // Pick the replica with the most free KV that can take it.
             let mut best: Option<usize> = None;
@@ -212,7 +240,18 @@ impl<'a> RunState<'a> {
             }
             let parts =
                 submit_prefill_batch(&mut self.cs, &self.rl, self.eng.cfg, &mut self.replicas[d], batch);
-            joins.extend(parts.into_iter().map(|(h, _)| h));
+            for (h, ids) in parts {
+                // The slot's pass exit is where its sequences' first
+                // tokens appear (and where single-token requests
+                // finish outright).
+                for &id in &ids {
+                    self.rec.first_token(id, h);
+                    if self.meta.req(id).output_len <= 1 {
+                        self.rec.completed(id, h);
+                    }
+                }
+                joins.push(h);
+            }
         }
         let join = self.cs.join(&joins);
         Some(InflightPrefill { join, admitted })
@@ -294,29 +333,43 @@ impl<'a> RunState<'a> {
         let join = self.cs.join(&submitted.iter().map(|&(_, _, h)| h).collect::<Vec<_>>());
         self.cs.sim.run_until(join);
         self.decode_wall += self.cs.now() - t0;
-        for (d, rounds, _) in submitted {
+        for (d, rounds, h) in submitted {
             let finished = self.replicas[d].advance_decode(rounds);
             self.completed += finished.len();
+            // The burst is capped at the minimum remaining count, so
+            // retirees emit their last token in its final round.
+            for seq in finished {
+                self.rec.completed(seq.id, h);
+            }
         }
         true
     }
 
     fn run_prefill_prioritized(&mut self) {
         while !self.all_done() {
-            self.do_prefill_pipelined();
+            let prefilled = self.do_prefill_pipelined();
             if self.all_done() {
                 break;
             }
-            self.do_decode_burst();
+            let decoded = self.do_decode_burst();
+            if !prefilled && !decoded {
+                // Nothing running and nothing admissible: the only
+                // remaining work is a future arrival.
+                self.wait_for_next_arrival();
+            }
         }
     }
 
     fn run_decode_prioritized(&mut self) {
         while !self.all_done() {
             // Fill the batch once, then decode it to completion.
-            self.do_prefill_pipelined();
+            let mut progressed = self.do_prefill_pipelined();
             while self.replicas.iter().any(|r| !r.running.is_empty()) {
                 self.do_decode_burst();
+                progressed = true;
+            }
+            if !progressed {
+                self.wait_for_next_arrival();
             }
         }
     }
@@ -363,7 +416,17 @@ impl<'a> RunState<'a> {
                 }
                 if !self.do_decode_burst() {
                     // Nothing running and nothing chunking, but
-                    // waiting non-empty: loop back to admission.
+                    // waiting non-empty: either the drain above just
+                    // made the head request admissible, or its
+                    // arrival is still in the future and the cluster
+                    // idles until it.
+                    if self
+                        .waiting
+                        .front()
+                        .is_some_and(|r| r.arrival_s > self.cs.now().as_secs())
+                    {
+                        self.wait_for_next_arrival();
+                    }
                     continue;
                 }
             }
@@ -421,15 +484,23 @@ impl<'a> RunState<'a> {
         if handles.is_empty() {
             return None;
         }
+        let join = self.cs.join(&handles);
         for d in decoded {
             let finished = self.replicas[d].advance_decode(1);
             self.completed += finished.len();
+            for seq in finished {
+                self.rec.completed(seq.id, join);
+            }
         }
         for (d, id, prompt) in graduated {
             let req = self.meta.req(id);
+            // The round that finishes a prompt's last chunk emits its
+            // first token.
+            self.rec.first_token(id, join);
             if req.output_len <= 1 {
                 self.replicas[d].kv.free(id).expect("was allocated");
                 self.completed += 1;
+                self.rec.completed(id, join);
             } else {
                 self.replicas[d].running.push(RunSeq {
                     id,
@@ -438,13 +509,15 @@ impl<'a> RunState<'a> {
                 });
             }
         }
-        Some(self.cs.join(&handles))
+        Some(join)
     }
 
     fn finish(mut self, requests: &[Request], label: String) -> EngineReport {
         let end = self.cs.sim.run_until_idle();
         assert_eq!(self.completed, requests.len(), "all requests must finish");
         let gpu_utilization = self.cs.mean_compute_utilization();
+        let timeline = self.rec.resolve(&self.cs.sim, &self.meta);
+        let latency = LatencyStats::from_timeline(&timeline);
         EngineReport {
             label,
             stats: RunStats::from_requests(requests, end.as_secs()),
@@ -457,6 +530,8 @@ impl<'a> RunState<'a> {
             swap_in_bytes: 0,
             phases: Vec::new(),
             gpu_utilization,
+            timeline,
+            latency,
         }
     }
 }

@@ -471,6 +471,22 @@ impl Simulator {
         self.now
     }
 
+    /// Advance the clock to `t` while the simulator is idle (no
+    /// pending events) — modeling a cluster waiting for the next
+    /// request arrival in an online-serving run. A `t` at or before
+    /// the current time is a no-op, so callers may pass the next
+    /// arrival time unconditionally after a drain.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(
+            self.events.is_empty(),
+            "advance_to requires an idle simulator ({} events pending)",
+            self.events.len()
+        );
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
     /// Process one completion event. Returns `false` when the event
     /// queue is empty.
     fn step(&mut self) -> bool {
@@ -710,6 +726,33 @@ mod tests {
         assert_eq!(sim.outstanding(), 1);
         sim.run_until_idle();
         assert!(sim.completed(slow));
+    }
+
+    #[test]
+    fn advance_to_moves_idle_clock_forward_only() {
+        let mut sim = Simulator::new();
+        let g0 = sim.add_resource("g0");
+        let a = compute(&mut sim, g0, 1.0);
+        sim.run_until(a);
+        sim.advance_to(SimTime::from_secs(5.0));
+        assert_eq!(sim.now().as_secs(), 5.0);
+        // Earlier targets are a no-op, never a rewind.
+        sim.advance_to(SimTime::from_secs(2.0));
+        assert_eq!(sim.now().as_secs(), 5.0);
+        // Work submitted after the idle gap starts at the new time.
+        let b = compute(&mut sim, g0, 1.0);
+        assert_eq!(sim.run_until(b).as_secs(), 6.0);
+        // Idle time counts against utilization.
+        assert!((sim.utilization(g0) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an idle simulator")]
+    fn advance_to_rejects_pending_events() {
+        let mut sim = Simulator::new();
+        let g0 = sim.add_resource("g0");
+        compute(&mut sim, g0, 1.0);
+        sim.advance_to(SimTime::from_secs(5.0));
     }
 
     #[test]

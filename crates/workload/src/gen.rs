@@ -1,5 +1,6 @@
 //! Seeded request generators matching the paper's workloads.
 
+use crate::arrival::{ArrivalDist, ArrivalSampler};
 use crate::request::Request;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -32,6 +33,39 @@ pub enum LengthDist {
 }
 
 impl LengthDist {
+    /// Validate the distribution's bounds. Sampling a `lo > hi` range
+    /// panics deep inside `rng.gen_range` mid-generation; validating
+    /// at [`WorkloadGen`] construction surfaces the mistake with a
+    /// clear message instead.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            LengthDist::Constant(n) => {
+                if n == 0 {
+                    return Err("constant length must be at least 1 token".into());
+                }
+            }
+            LengthDist::Uniform { lo, hi } => {
+                if lo > hi {
+                    return Err(format!("uniform length bounds inverted: lo {lo} > hi {hi}"));
+                }
+            }
+            LengthDist::LogNormal { median, sigma, lo, hi } => {
+                if lo > hi {
+                    return Err(format!(
+                        "lognormal clip bounds inverted: lo {lo} > hi {hi}"
+                    ));
+                }
+                if !(median.is_finite() && median > 0.0) {
+                    return Err(format!("lognormal median must be finite and > 0, got {median}"));
+                }
+                if !(sigma.is_finite() && sigma >= 0.0) {
+                    return Err(format!("lognormal sigma must be finite and >= 0, got {sigma}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn sample(&self, rng: &mut StdRng) -> usize {
         match *self {
             LengthDist::Constant(n) => n,
@@ -53,7 +87,15 @@ impl LengthDist {
     }
 }
 
-/// A seeded workload generator: one distribution per marginal.
+/// XOR'd into the workload seed to derive the independent arrival-RNG
+/// seed, so length and arrival streams never share draws. Public so
+/// callers sampling arrivals *outside* the generator (e.g. the
+/// serving sweep scaling one pattern across load points) can decouple
+/// their arrival stream from the same workload seed identically.
+pub const ARRIVAL_SEED_SALT: u64 = 0xA221_7A15_712E_A300;
+
+/// A seeded workload generator: one distribution per marginal, plus
+/// an optional arrival process for online-serving workloads.
 #[derive(Debug, Clone)]
 pub struct WorkloadGen {
     /// Name used in reports (e.g. `"sharegpt"`).
@@ -63,19 +105,50 @@ pub struct WorkloadGen {
     /// Output (generation) length distribution.
     pub output: LengthDist,
     rng: StdRng,
+    /// Arrival sampler (`None` = offline: every request at t = 0).
+    /// Draws from its own RNG, so attaching arrivals leaves the
+    /// length stream byte-identical to the offline generator.
+    arrivals: Option<ArrivalSampler>,
+    seed: u64,
     next_id: u64,
 }
 
 impl WorkloadGen {
-    /// Generator with explicit marginals.
+    /// Generator with explicit marginals. Panics on invalid length
+    /// bounds — use [`WorkloadGen::try_new`] for a recoverable error.
     pub fn new(name: impl Into<String>, input: LengthDist, output: LengthDist, seed: u64) -> Self {
-        WorkloadGen {
+        Self::try_new(name, input, output, seed)
+            .unwrap_or_else(|e| panic!("invalid workload distribution: {e}"))
+    }
+
+    /// Generator with explicit marginals, validating both length
+    /// distributions up front.
+    pub fn try_new(
+        name: impl Into<String>,
+        input: LengthDist,
+        output: LengthDist,
+        seed: u64,
+    ) -> Result<Self, String> {
+        input.validate().map_err(|e| format!("input lengths: {e}"))?;
+        output.validate().map_err(|e| format!("output lengths: {e}"))?;
+        Ok(WorkloadGen {
             name: name.into(),
             input,
             output,
             rng: StdRng::seed_from_u64(seed),
+            arrivals: None,
+            seed,
             next_id: 0,
-        }
+        })
+    }
+
+    /// Attach an arrival process (validated up front): subsequently
+    /// generated requests carry nondecreasing `arrival_s` times drawn
+    /// from `dist`, seeded independently from the length stream.
+    pub fn with_arrivals(mut self, dist: ArrivalDist) -> Result<Self, String> {
+        dist.validate()?;
+        self.arrivals = Some(ArrivalSampler::new(dist, self.seed ^ ARRIVAL_SEED_SALT));
+        Ok(self)
     }
 
     /// ShareGPT-like chat workload: inputs and outputs of comparable,
@@ -138,11 +211,15 @@ impl WorkloadGen {
             .map(|_| {
                 let id = self.next_id;
                 self.next_id += 1;
-                Request::new(
+                let req = Request::new(
                     id,
                     self.input.sample(&mut self.rng).max(1),
                     self.output.sample(&mut self.rng).max(1),
-                )
+                );
+                match &mut self.arrivals {
+                    Some(s) => req.with_arrival(s.next_time()),
+                    None => req,
+                }
             })
             .collect()
     }
@@ -211,6 +288,95 @@ mod tests {
             assert!((50..=200).contains(&r.input_len));
             assert!((1..=10).contains(&r.output_len));
         }
+    }
+
+    #[test]
+    fn inverted_uniform_bounds_fail_at_construction() {
+        let err = WorkloadGen::try_new(
+            "bad",
+            LengthDist::Uniform { lo: 100, hi: 10 },
+            LengthDist::Constant(7),
+            0,
+        )
+        .unwrap_err();
+        assert!(err.contains("lo 100 > hi 10"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn inverted_lognormal_clip_fails_at_construction() {
+        let err = WorkloadGen::try_new(
+            "bad",
+            LengthDist::Constant(7),
+            LengthDist::LogNormal { median: 100.0, sigma: 1.0, lo: 500, hi: 4 },
+            0,
+        )
+        .unwrap_err();
+        assert!(err.contains("lo 500 > hi 4"), "unexpected error: {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload distribution")]
+    fn new_panics_with_clear_message_on_bad_bounds() {
+        WorkloadGen::new(
+            "bad",
+            LengthDist::Uniform { lo: 9, hi: 3 },
+            LengthDist::Constant(7),
+            0,
+        );
+    }
+
+    #[test]
+    fn invalid_arrival_rate_fails_at_construction() {
+        use crate::arrival::ArrivalDist;
+        let err = WorkloadGen::sharegpt(0)
+            .with_arrivals(ArrivalDist::Poisson { rate: -2.0 })
+            .err()
+            .expect("negative rate must be rejected");
+        assert!(err.contains("rate"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn arrivals_do_not_perturb_the_length_stream() {
+        use crate::arrival::ArrivalDist;
+        let offline = WorkloadGen::sharegpt(11).generate(64);
+        let online = WorkloadGen::sharegpt(11)
+            .with_arrivals(ArrivalDist::Poisson { rate: 4.0 })
+            .unwrap()
+            .generate(64);
+        assert_eq!(offline.len(), online.len());
+        for (a, b) in offline.iter().zip(&online) {
+            assert_eq!((a.id, a.input_len, a.output_len), (b.id, b.input_len, b.output_len));
+            assert_eq!(a.arrival_s, 0.0);
+        }
+        assert!(online.iter().any(|r| r.arrival_s > 0.0));
+        assert!(online.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+    }
+
+    #[test]
+    fn zero_interval_arrivals_match_offline_byte_for_byte() {
+        use crate::arrival::ArrivalDist;
+        let offline = WorkloadGen::sharegpt(11).generate(64);
+        let zeros = WorkloadGen::sharegpt(11)
+            .with_arrivals(ArrivalDist::Constant { interval: 0.0 })
+            .unwrap()
+            .generate(64);
+        assert_eq!(offline, zeros, "all-zero arrivals must equal the legacy path");
+    }
+
+    #[test]
+    fn arrival_stream_is_seed_deterministic() {
+        use crate::arrival::ArrivalDist;
+        let dist = ArrivalDist::Gamma { rate: 2.0, cv: 2.0 };
+        let gen = |seed| {
+            WorkloadGen::sharegpt(seed)
+                .with_arrivals(dist.clone())
+                .unwrap()
+                .generate(64)
+        };
+        assert_eq!(gen(5), gen(5));
+        let a: Vec<f64> = gen(5).iter().map(|r| r.arrival_s).collect();
+        let b: Vec<f64> = gen(6).iter().map(|r| r.arrival_s).collect();
+        assert_ne!(a, b, "different seeds must produce different arrival streams");
     }
 
     #[test]

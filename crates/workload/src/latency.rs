@@ -1,0 +1,283 @@
+//! Per-request latency metrics for online serving runs: TTFT, TPOT,
+//! end-to-end latency, their percentiles, and SLO/goodput accounting.
+//!
+//! Engines record one [`RequestTiming`] per completed request
+//! (arrival, first-token, and completion timestamps in simulated
+//! seconds); [`LatencyStats`] summarizes a timeline with nearest-rank
+//! percentiles. SLO attainment and goodput — requests meeting a
+//! TTFT/TPOT SLO per second — are the serving sweep's headline
+//! metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// Simulated-time timeline of one request's life.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestTiming {
+    /// Request id.
+    pub id: u64,
+    /// When the request became available, seconds.
+    pub arrival_s: f64,
+    /// When its first output token was produced, seconds.
+    pub first_token_s: f64,
+    /// When its last output token was produced, seconds.
+    pub completion_s: f64,
+    /// Tokens generated (for TPOT normalization).
+    pub output_len: usize,
+}
+
+impl RequestTiming {
+    /// Time to first token: queueing + prefill, seconds.
+    pub fn ttft(&self) -> f64 {
+        self.first_token_s - self.arrival_s
+    }
+
+    /// Time per output token after the first (a.k.a. TBT), seconds.
+    /// Zero for single-token outputs (no inter-token gap exists).
+    pub fn tpot(&self) -> f64 {
+        if self.output_len > 1 {
+            (self.completion_s - self.first_token_s) / (self.output_len - 1) as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// End-to-end latency (arrival to last token), seconds.
+    pub fn e2e(&self) -> f64 {
+        self.completion_s - self.arrival_s
+    }
+}
+
+/// Nearest-rank percentile of `xs` (`p` in percent, 0 < p ≤ 100):
+/// the smallest element with at least `p`% of the sample at or below
+/// it. Input order is irrelevant (a sorted copy is taken). Returns
+/// `None` for an empty slice.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency samples"));
+    Some(percentile_of_sorted(&sorted, p))
+}
+
+/// Nearest-rank percentile of an already-ascending non-empty sample.
+fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(
+        p > 0.0 && p <= 100.0 && p.is_finite(),
+        "percentile must be in (0, 100], got {p}"
+    );
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Five-number summary of one latency marginal (all seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest-rank p50).
+    pub p50: f64,
+    /// Nearest-rank p90.
+    pub p90: f64,
+    /// Nearest-rank p99.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl LatencySummary {
+    /// Summarize a sample set; all-zero for an empty one. Sorts the
+    /// samples once and indexes every rank (summaries run on every
+    /// engine report, so per-percentile re-sorting would be paid on
+    /// the sweep hot path).
+    pub fn of(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return LatencySummary { mean: 0.0, p50: 0.0, p90: 0.0, p99: 0.0, max: 0.0 };
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency samples"));
+        LatencySummary {
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50: percentile_of_sorted(&sorted, 50.0),
+            p90: percentile_of_sorted(&sorted, 90.0),
+            p99: percentile_of_sorted(&sorted, 99.0),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Latency summary of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Requests summarized.
+    pub count: usize,
+    /// Time-to-first-token marginal.
+    pub ttft: LatencySummary,
+    /// Time-per-output-token marginal (multi-token requests only;
+    /// single-token outputs have no inter-token gap).
+    pub tpot: LatencySummary,
+    /// End-to-end latency marginal.
+    pub e2e: LatencySummary,
+}
+
+impl LatencyStats {
+    /// Summarize a timeline; `None` when it is empty.
+    pub fn from_timeline(timeline: &[RequestTiming]) -> Option<Self> {
+        if timeline.is_empty() {
+            return None;
+        }
+        let ttft: Vec<f64> = timeline.iter().map(RequestTiming::ttft).collect();
+        let tpot: Vec<f64> = timeline
+            .iter()
+            .filter(|t| t.output_len > 1)
+            .map(RequestTiming::tpot)
+            .collect();
+        let e2e: Vec<f64> = timeline.iter().map(RequestTiming::e2e).collect();
+        Some(LatencyStats {
+            count: timeline.len(),
+            ttft: LatencySummary::of(&ttft),
+            tpot: LatencySummary::of(&tpot),
+            e2e: LatencySummary::of(&e2e),
+        })
+    }
+}
+
+/// A latency service-level objective on TTFT and TPOT.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloSpec {
+    /// Maximum acceptable time to first token, seconds.
+    pub ttft_s: f64,
+    /// Maximum acceptable time per output token, seconds.
+    pub tpot_s: f64,
+}
+
+impl SloSpec {
+    /// Whether one request met both objectives.
+    pub fn met_by(&self, t: &RequestTiming) -> bool {
+        t.ttft() <= self.ttft_s && t.tpot() <= self.tpot_s
+    }
+
+    /// Fraction of the timeline meeting the SLO (0.0 for an empty
+    /// timeline).
+    pub fn attainment(&self, timeline: &[RequestTiming]) -> f64 {
+        if timeline.is_empty() {
+            return 0.0;
+        }
+        let met = timeline.iter().filter(|t| self.met_by(t)).count();
+        met as f64 / timeline.len() as f64
+    }
+
+    /// Goodput: SLO-meeting requests completed per second over
+    /// `duration_s` (0.0 when no time elapsed).
+    pub fn goodput_rps(&self, timeline: &[RequestTiming], duration_s: f64) -> f64 {
+        if duration_s <= 0.0 {
+            return 0.0;
+        }
+        timeline.iter().filter(|t| self.met_by(t)).count() as f64 / duration_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing(id: u64, arrival: f64, first: f64, done: f64, out: usize) -> RequestTiming {
+        RequestTiming {
+            id,
+            arrival_s: arrival,
+            first_token_s: first,
+            completion_s: done,
+            output_len: out,
+        }
+    }
+
+    #[test]
+    fn per_request_metrics() {
+        let t = timing(0, 1.0, 1.5, 3.5, 5);
+        assert!((t.ttft() - 0.5).abs() < 1e-12);
+        assert!((t.tpot() - 0.5).abs() < 1e-12);
+        assert!((t.e2e() - 2.5).abs() < 1e-12);
+        // Single-token outputs have no inter-token gap.
+        assert_eq!(timing(1, 0.0, 2.0, 2.0, 1).tpot(), 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank_n1() {
+        assert_eq!(percentile(&[3.0], 50.0), Some(3.0));
+        assert_eq!(percentile(&[3.0], 99.0), Some(3.0));
+        assert_eq!(percentile(&[3.0], 100.0), Some(3.0));
+    }
+
+    #[test]
+    fn percentile_nearest_rank_n2() {
+        // rank = ceil(0.5 * 2) = 1 -> lower element.
+        assert_eq!(percentile(&[1.0, 2.0], 50.0), Some(1.0));
+        // rank = ceil(0.9 * 2) = 2 -> upper element.
+        assert_eq!(percentile(&[1.0, 2.0], 90.0), Some(2.0));
+        assert_eq!(percentile(&[1.0, 2.0], 100.0), Some(2.0));
+    }
+
+    #[test]
+    fn percentile_handles_ties_and_unsorted_input() {
+        let xs = [5.0, 1.0, 5.0, 2.0, 5.0];
+        assert_eq!(percentile(&xs, 50.0), Some(5.0));
+        assert_eq!(percentile(&xs, 20.0), Some(1.0));
+        assert_eq!(percentile(&xs, 99.0), Some(5.0));
+        let all_same = [7.0; 9];
+        for p in [1.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(percentile(&all_same, p), Some(7.0));
+        }
+    }
+
+    #[test]
+    fn percentile_empty_is_none() {
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn percentile_p99_picks_tail_of_100() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 99.0), Some(99.0));
+        assert_eq!(percentile(&xs, 50.0), Some(50.0));
+        assert_eq!(percentile(&xs, 100.0), Some(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn percentile_rejects_zero_p() {
+        percentile(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn stats_from_timeline() {
+        let tl = vec![
+            timing(0, 0.0, 1.0, 2.0, 11),
+            timing(1, 0.5, 1.0, 3.0, 21),
+            timing(2, 1.0, 4.0, 4.0, 1),
+        ];
+        let s = LatencyStats::from_timeline(&tl).unwrap();
+        assert_eq!(s.count, 3);
+        // TTFTs: 1.0, 0.5, 3.0 -> p50 = 1.0, max = 3.0.
+        assert_eq!(s.ttft.p50, 1.0);
+        assert_eq!(s.ttft.max, 3.0);
+        // TPOT excludes the single-token request: 0.1, 0.1.
+        assert!((s.tpot.p50 - 0.1).abs() < 1e-12);
+        assert!((s.tpot.mean - 0.1).abs() < 1e-12);
+        assert!(LatencyStats::from_timeline(&[]).is_none());
+    }
+
+    #[test]
+    fn slo_attainment_and_goodput() {
+        let slo = SloSpec { ttft_s: 1.0, tpot_s: 0.2 };
+        let tl = vec![
+            timing(0, 0.0, 0.5, 1.5, 11),  // ttft 0.5, tpot 0.1 -> met
+            timing(1, 0.0, 2.0, 3.0, 11),  // ttft 2.0 -> missed
+            timing(2, 0.0, 1.0, 6.0, 11),  // tpot 0.5 -> missed
+            timing(3, 1.0, 1.5, 1.5, 1),   // ttft 0.5, single token -> met
+        ];
+        assert!((slo.attainment(&tl) - 0.5).abs() < 1e-12);
+        assert!((slo.goodput_rps(&tl, 4.0) - 0.5).abs() < 1e-12);
+        assert_eq!(slo.attainment(&[]), 0.0);
+        assert_eq!(slo.goodput_rps(&tl, 0.0), 0.0);
+    }
+}

@@ -14,10 +14,14 @@
 //! constant-length workloads of §6.5. All generators are seeded and
 //! deterministic.
 
+pub mod arrival;
 pub mod gen;
+pub mod latency;
 pub mod metrics;
 pub mod request;
 
-pub use gen::{LengthDist, WorkloadGen};
+pub use arrival::{ArrivalDist, ArrivalSampler};
+pub use gen::{LengthDist, WorkloadGen, ARRIVAL_SEED_SALT};
+pub use latency::{percentile, LatencyStats, LatencySummary, RequestTiming, SloSpec};
 pub use metrics::RunStats;
 pub use request::{LengthStats, Request, RequestMap};

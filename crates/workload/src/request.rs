@@ -2,11 +2,16 @@
 
 use serde::{Deserialize, Serialize};
 
-/// One offline inference request: a prompt of `input_len` tokens that
-/// will generate `output_len` tokens. (Offline / throughput-oriented
-/// workloads have no arrival process: everything is available at
-/// t = 0, matching the paper's setting.)
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// One inference request: a prompt of `input_len` tokens that will
+/// generate `output_len` tokens, available to the engine from
+/// `arrival_s` seconds of simulated time.
+///
+/// Offline / throughput-oriented workloads (the paper's setting) have
+/// no arrival process: every request carries `arrival_s == 0.0` and is
+/// available at t = 0. Online serving workloads attach an arrival
+/// stream (see [`crate::ArrivalDist`]); engines then only admit a
+/// request once the simulated clock has reached its arrival time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Request {
     /// Unique id within a run.
     pub id: u64,
@@ -14,10 +19,13 @@ pub struct Request {
     pub input_len: usize,
     /// Number of tokens to generate.
     pub output_len: usize,
+    /// Simulated time at which the request becomes available, seconds
+    /// (0.0 = offline).
+    pub arrival_s: f64,
 }
 
 impl Request {
-    /// Construct a request.
+    /// Construct an offline request (available at t = 0).
     pub fn new(id: u64, input_len: usize, output_len: usize) -> Self {
         assert!(input_len > 0, "requests need at least one prompt token");
         assert!(output_len > 0, "requests generate at least one token");
@@ -25,7 +33,18 @@ impl Request {
             id,
             input_len,
             output_len,
+            arrival_s: 0.0,
         }
+    }
+
+    /// The same request arriving at `arrival_s` seconds.
+    pub fn with_arrival(mut self, arrival_s: f64) -> Self {
+        assert!(
+            arrival_s.is_finite() && arrival_s >= 0.0,
+            "arrival time must be finite and non-negative, got {arrival_s}"
+        );
+        self.arrival_s = arrival_s;
+        self
     }
 
     /// Final sequence length once generation completes.
@@ -183,6 +202,21 @@ mod tests {
     #[should_panic(expected = "at least one prompt token")]
     fn zero_input_rejected() {
         Request::new(0, 0, 10);
+    }
+
+    #[test]
+    fn arrival_defaults_to_offline_and_can_be_set() {
+        let r = Request::new(0, 100, 10);
+        assert_eq!(r.arrival_s, 0.0);
+        let r = r.with_arrival(2.5);
+        assert_eq!(r.arrival_s, 2.5);
+        assert_eq!(r.input_len, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_arrival_rejected() {
+        Request::new(0, 100, 10).with_arrival(-1.0);
     }
 
     #[test]
