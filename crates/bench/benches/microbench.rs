@@ -200,6 +200,9 @@ fn bench_single_candidate_eval(c: &mut Criterion) {
     g.bench_function("serving_point_online_run", |b| {
         b.iter(|| black_box(bench.run_serving_once()))
     });
+    g.bench_function("fleet_cell_4replica_jsq", |b| {
+        b.iter(|| black_box(bench.run_fleet_once()))
+    });
     g.finish();
 }
 

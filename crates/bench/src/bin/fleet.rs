@@ -1,0 +1,185 @@
+//! `fleet` — multi-replica serving sweeps: capacity scaling (replica
+//! count × offered load) and router-policy head-to-head (see
+//! `seesaw_bench::fleet` and the `crates/fleet` subsystem).
+//!
+//! Usage:
+//!   fleet [n_requests] [--jobs N] [--engine seesaw|vllm|disagg]
+//!         [--replicas n1,n2,...] [--loads m1,m2,...]
+//!         [--policy rr|jsq|po2|lew] [--compare-replicas N]
+//!         [--compare-load M] [--slo-ttft S] [--slo-tpot S]
+//!         [--seed S] [--json]
+//!
+//! Defaults: 200 ShareGPT-shaped requests per cell on vLLM-baseline
+//! replicas (LLaMA2-13B on 4×A10 each), replica counts 1/2/4/8, load
+//! multipliers 0.5..1.5× of `N ×` per-replica offline capacity, JSQ
+//! routing for the scaling table, and a 4-replica 0.9× head-to-head
+//! of all four policies. Output is byte-identical for every `--jobs`
+//! value; `--json` emits both experiments as one machine-readable
+//! document.
+
+use seesaw_bench::fleet;
+use seesaw_bench::serving::EngineKind;
+use seesaw_engine::SweepRunner;
+use seesaw_fleet::RouterPolicy;
+use seesaw_workload::SloSpec;
+
+struct Args {
+    n_requests: usize,
+    jobs: Option<usize>,
+    engine: EngineKind,
+    replica_counts: Vec<usize>,
+    multipliers: Vec<f64>,
+    policy: RouterPolicy,
+    compare_replicas: usize,
+    compare_load: f64,
+    slo: SloSpec,
+    seed: u64,
+    json: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fleet [n_requests] [--jobs N] [--engine seesaw|vllm|disagg] \
+         [--replicas n1,n2,...] [--loads m1,m2,...] [--policy rr|jsq|po2|lew] \
+         [--compare-replicas N] [--compare-load M] [--slo-ttft S] [--slo-tpot S] \
+         [--seed S] [--json]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_policy(s: &str) -> RouterPolicy {
+    match s {
+        "rr" | "round-robin" => RouterPolicy::RoundRobin,
+        "jsq" => RouterPolicy::JoinShortestQueue,
+        "po2" | "p2c" => RouterPolicy::PowerOfTwoChoices { seed: 0 },
+        "lew" | "least-work" => RouterPolicy::LeastEstimatedWork,
+        other => {
+            eprintln!("unknown policy '{other}' (expected rr|jsq|po2|lew)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        n_requests: 200,
+        jobs: None,
+        engine: EngineKind::Vllm,
+        replica_counts: fleet::DEFAULT_REPLICA_COUNTS.to_vec(),
+        multipliers: fleet::DEFAULT_LOAD_MULTIPLIERS.to_vec(),
+        policy: RouterPolicy::JoinShortestQueue,
+        compare_replicas: fleet::DEFAULT_COMPARE_REPLICAS,
+        compare_load: fleet::DEFAULT_COMPARE_LOAD,
+        slo: seesaw_bench::serving::DEFAULT_SLO,
+        seed: seesaw_bench::SEED,
+        json: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let next_f64 = |args: &mut dyn Iterator<Item = String>, what: &str| -> f64 {
+        args.next()
+            .and_then(|v| v.parse().ok())
+            .filter(|&x: &f64| x.is_finite() && x > 0.0)
+            .unwrap_or_else(|| {
+                eprintln!("{what} needs a positive number");
+                std::process::exit(2);
+            })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" | "-j" => {
+                parsed.jobs = args.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0);
+                if parsed.jobs.is_none() {
+                    eprintln!("--jobs needs a positive integer");
+                    std::process::exit(2);
+                }
+            }
+            "--engine" | "-e" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                parsed.engine = spec.parse().unwrap_or_else(|e: String| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+            }
+            "--replicas" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                let counts: Option<Vec<usize>> = spec
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>().ok().filter(|&n| n > 0))
+                    .collect();
+                match counts {
+                    Some(c) if !c.is_empty() => parsed.replica_counts = c,
+                    _ => {
+                        eprintln!("--replicas needs a comma-separated list of positive counts");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--loads" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                let loads: Option<Vec<f64>> = spec
+                    .split(',')
+                    .map(|s| s.trim().parse::<f64>().ok().filter(|&x| x.is_finite() && x > 0.0))
+                    .collect();
+                match loads {
+                    Some(l) if !l.is_empty() => parsed.multipliers = l,
+                    _ => {
+                        eprintln!("--loads needs a comma-separated list of positive multipliers");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--policy" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                parsed.policy = parse_policy(&spec);
+            }
+            "--compare-replicas" => {
+                parsed.compare_replicas = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--compare-replicas needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--compare-load" => parsed.compare_load = next_f64(&mut args, "--compare-load"),
+            "--slo-ttft" => parsed.slo.ttft_s = next_f64(&mut args, "--slo-ttft"),
+            "--slo-tpot" => parsed.slo.tpot_s = next_f64(&mut args, "--slo-tpot"),
+            "--seed" => {
+                parsed.seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs a non-negative integer");
+                    std::process::exit(2);
+                });
+            }
+            "--json" => parsed.json = true,
+            other => match other.parse() {
+                Ok(n) if n > 0 => parsed.n_requests = n,
+                _ => usage(),
+            },
+        }
+    }
+    parsed
+}
+
+fn main() {
+    let args = parse_args();
+    let runner = SweepRunner::with_jobs(args.jobs);
+    let (scaling, comparison) = fleet::default_experiments_with(
+        &runner,
+        args.engine,
+        args.n_requests,
+        &args.replica_counts,
+        &args.multipliers,
+        args.policy,
+        args.compare_replicas,
+        args.compare_load,
+        args.slo,
+        args.seed,
+    );
+    if args.json {
+        print!("{}", fleet::to_json(&scaling, &comparison));
+    } else {
+        print!("{}", fleet::render_scaling(&scaling));
+        print!("{}", fleet::render_comparison(&comparison));
+    }
+}

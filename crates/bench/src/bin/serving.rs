@@ -2,30 +2,35 @@
 //! and goodput (see `seesaw_bench::serving`).
 //!
 //! Usage:
-//!   serving [n_requests] [--jobs N] [--loads m1,m2,...]
-//!           [--slo-ttft S] [--slo-tpot S] [--seed S]
+//!   serving [n_requests] [--jobs N] [--engine seesaw|vllm|disagg]
+//!           [--loads m1,m2,...] [--slo-ttft S] [--slo-tpot S]
+//!           [--seed S] [--json]
 //!
-//! Defaults: 200 ShareGPT-shaped requests, load multipliers
-//! 0.25..4.0× of measured offline capacity, SLO TTFT ≤ 15 s /
-//! TPOT ≤ 50 ms, seed 42. Load points evaluate in parallel on the
-//! sweep runner; output is byte-identical for every `--jobs` value.
+//! Defaults: 200 ShareGPT-shaped requests on the vLLM baseline, load
+//! multipliers 0.25..4.0× of measured offline capacity, SLO
+//! TTFT ≤ 15 s / TPOT ≤ 50 ms, seed 42. Load points evaluate in
+//! parallel on the sweep runner; output is byte-identical for every
+//! `--jobs` value. `--json` emits the machine-readable sweep instead
+//! of the table.
 
-use seesaw_bench::serving;
+use seesaw_bench::serving::{self, EngineKind};
 use seesaw_engine::SweepRunner;
 use seesaw_workload::SloSpec;
 
 struct Args {
     n_requests: usize,
     jobs: Option<usize>,
+    engine: EngineKind,
     multipliers: Vec<f64>,
     slo: SloSpec,
     seed: u64,
+    json: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serving [n_requests] [--jobs N] [--loads m1,m2,...] \
-         [--slo-ttft S] [--slo-tpot S] [--seed S]"
+        "usage: serving [n_requests] [--jobs N] [--engine seesaw|vllm|disagg] \
+         [--loads m1,m2,...] [--slo-ttft S] [--slo-tpot S] [--seed S] [--json]"
     );
     std::process::exit(2);
 }
@@ -34,9 +39,11 @@ fn parse_args() -> Args {
     let mut parsed = Args {
         n_requests: 200,
         jobs: None,
+        engine: EngineKind::Vllm,
         multipliers: serving::DEFAULT_LOAD_MULTIPLIERS.to_vec(),
         slo: serving::DEFAULT_SLO,
         seed: crate_seed(),
+        json: false,
     };
     let mut args = std::env::args().skip(1);
     let next_f64 = |args: &mut dyn Iterator<Item = String>, what: &str| -> f64 {
@@ -71,6 +78,14 @@ fn parse_args() -> Args {
                     }
                 }
             }
+            "--engine" | "-e" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                parsed.engine = spec.parse().unwrap_or_else(|e: String| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+            }
+            "--json" => parsed.json = true,
             "--slo-ttft" => parsed.slo.ttft_s = next_f64(&mut args, "--slo-ttft"),
             "--slo-tpot" => parsed.slo.tpot_s = next_f64(&mut args, "--slo-tpot"),
             "--seed" => {
@@ -95,12 +110,17 @@ fn crate_seed() -> u64 {
 fn main() {
     let args = parse_args();
     let runner = SweepRunner::with_jobs(args.jobs);
-    let sweep = serving::default_sweep_with(
+    let sweep = serving::default_sweep_of_with(
         &runner,
+        args.engine,
         args.n_requests,
         &args.multipliers,
         args.slo,
         args.seed,
     );
-    print!("{}", serving::render(&sweep));
+    if args.json {
+        print!("{}", serving::to_json(&sweep));
+    } else {
+        print!("{}", serving::render(&sweep));
+    }
 }

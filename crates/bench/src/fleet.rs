@@ -1,0 +1,359 @@
+//! Fleet-serving harness: the default multi-replica scenario, its
+//! capacity-scaling and router-comparison sweeps, and their
+//! table/JSON renderings (the `fleet` bin).
+//!
+//! Two experiments, mirroring how capacity planning actually works:
+//!
+//! * **Scaling curve** — replica count × offered load (as a multiple
+//!   of `N ×` single-replica offline capacity), goodput and SLO
+//!   attainment per cell. A perfectly balanced fleet keeps its
+//!   goodput knee at the same multiplier for every N; the table makes
+//!   routing losses visible as the knee sliding left with N.
+//! * **Router head-to-head** — all four policies on the same fleet
+//!   size and request stream at one fixed (default: knee-adjacent)
+//!   load, with per-replica imbalance statistics.
+//!
+//! Everything rides the default serving scenario (LLaMA2-13B on
+//! 4×A10 per replica, ShareGPT-shaped lengths) and is byte-identical
+//! for every `--jobs` value.
+
+use crate::jsonfmt;
+use crate::serving::{default_engine_of, default_requests, default_specs, EngineKind};
+use crate::table::{f2, f3, Table};
+use seesaw_engine::SweepRunner;
+use seesaw_fleet::{
+    offline_capacity, policy_comparison_at_capacity_with, policy_comparison_with,
+    scaling_sweep_at_capacity_with, scaling_sweep_with, FleetPoint, FleetScalingSweep,
+    RouterPolicy,
+};
+use seesaw_workload::SloSpec;
+
+/// Default replica counts for the scaling sweep.
+pub const DEFAULT_REPLICA_COUNTS: &[usize] = &[1, 2, 4, 8];
+
+/// Default load multipliers (of `N ×` single-replica capacity) for
+/// the scaling sweep.
+pub const DEFAULT_LOAD_MULTIPLIERS: &[f64] = &[0.5, 0.75, 1.0, 1.5];
+
+/// Default fleet size for the router comparison.
+pub const DEFAULT_COMPARE_REPLICAS: usize = 4;
+
+/// Default offered load for the router comparison: just past the
+/// knee, where routing quality separates the policies.
+pub const DEFAULT_COMPARE_LOAD: f64 = 0.9;
+
+/// Run the default scaling sweep for `kind` replicas.
+#[allow(clippy::too_many_arguments)]
+pub fn default_scaling_sweep_with(
+    runner: &SweepRunner,
+    kind: EngineKind,
+    n_requests: usize,
+    replica_counts: &[usize],
+    multipliers: &[f64],
+    policy: RouterPolicy,
+    slo: SloSpec,
+    seed: u64,
+) -> FleetScalingSweep {
+    let (cluster, model) = default_specs();
+    let (name, base) = default_requests(n_requests, seed);
+    scaling_sweep_with(
+        runner,
+        &|_| default_engine_of(kind, &cluster, &model),
+        &name,
+        &base,
+        replica_counts,
+        multipliers,
+        policy,
+        slo,
+        seed,
+    )
+}
+
+/// Run the default router head-to-head for `kind` replicas.
+pub fn default_policy_comparison_with(
+    runner: &SweepRunner,
+    kind: EngineKind,
+    n_requests: usize,
+    n_replicas: usize,
+    multiplier: f64,
+    slo: SloSpec,
+    seed: u64,
+) -> Vec<FleetPoint> {
+    let (cluster, model) = default_specs();
+    let (_, base) = default_requests(n_requests, seed);
+    policy_comparison_with(
+        runner,
+        &|_| default_engine_of(kind, &cluster, &model),
+        &base,
+        n_replicas,
+        multiplier,
+        &RouterPolicy::all_default(),
+        slo,
+        seed,
+    )
+}
+
+/// Run both default fleet experiments — scaling sweep and router
+/// head-to-head — measuring the single-replica offline capacity
+/// *once* and threading it through both (the `fleet` bin's body).
+#[allow(clippy::too_many_arguments)]
+pub fn default_experiments_with(
+    runner: &SweepRunner,
+    kind: EngineKind,
+    n_requests: usize,
+    replica_counts: &[usize],
+    multipliers: &[f64],
+    policy: RouterPolicy,
+    compare_replicas: usize,
+    compare_load: f64,
+    slo: SloSpec,
+    seed: u64,
+) -> (FleetScalingSweep, Vec<FleetPoint>) {
+    let (cluster, model) = default_specs();
+    let build = |_: usize| default_engine_of(kind, &cluster, &model);
+    let (name, base) = default_requests(n_requests, seed);
+    let (capacity_rps, label) = offline_capacity(&build, &base);
+    let scaling = scaling_sweep_at_capacity_with(
+        runner,
+        &build,
+        &name,
+        &base,
+        (capacity_rps, &label),
+        replica_counts,
+        multipliers,
+        policy,
+        slo,
+        seed,
+    );
+    let comparison = policy_comparison_at_capacity_with(
+        runner,
+        &build,
+        &base,
+        capacity_rps,
+        compare_replicas,
+        compare_load,
+        &RouterPolicy::all_default(),
+        slo,
+        seed,
+    );
+    (scaling, comparison)
+}
+
+/// Render the scaling sweep as the `fleet` bin's first table.
+pub fn render_scaling(sweep: &FleetScalingSweep) -> String {
+    let mut out = format!(
+        "\n=== fleet: replica count x offered load ({} replicas of {} on {}, {} requests, {} routing) ===\n\
+         per-replica capacity (offline) = {} rps; SLO: TTFT <= {}s, TPOT <= {}s\n\
+         load = multiple of N x per-replica capacity\n",
+        sweep
+            .replica_counts
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join("/"),
+        sweep.label,
+        sweep.workload,
+        sweep.points.first().map_or(0, |p| p.report.stats.requests),
+        sweep.policy,
+        f3(sweep.capacity_rps),
+        sweep.slo.ttft_s,
+        sweep.slo.tpot_s,
+    );
+    let mut t = Table::new(&[
+        "N",
+        "load",
+        "offered rps",
+        "throughput",
+        "ttft p99",
+        "tpot p99",
+        "SLO att",
+        "goodput",
+        "goodput/N",
+    ]);
+    for p in &sweep.points {
+        let lat = p.report.latency.expect("non-empty run");
+        t.row(&[
+            p.n_replicas.to_string(),
+            format!("{:.2}x", p.load_multiplier),
+            f3(p.offered_rps),
+            f3(p.report.throughput_rps()),
+            f2(lat.ttft.p99),
+            format!("{:.4}", lat.tpot.p99),
+            format!("{:.1}%", 100.0 * p.attainment),
+            f3(p.goodput_rps),
+            f3(p.goodput_rps / p.n_replicas as f64),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Render the router comparison as the `fleet` bin's second table.
+pub fn render_comparison(points: &[FleetPoint]) -> String {
+    let Some(first) = points.first() else {
+        return String::from("\n=== fleet: router comparison (no points) ===\n");
+    };
+    let mut out = format!(
+        "\n=== fleet: router policy head-to-head ({} replicas, {:.2}x load, {} requests) ===\n\
+         imbalance: request-count spread (min/max per replica), cv = coeff. of variation\n",
+        first.n_replicas,
+        first.load_multiplier,
+        first.report.stats.requests,
+    );
+    let mut t = Table::new(&[
+        "policy",
+        "ttft p50",
+        "ttft p99",
+        "e2e p99",
+        "SLO att",
+        "goodput",
+        "req min/max",
+        "cv req",
+        "cv tok",
+        "skew",
+    ]);
+    for p in points {
+        let lat = p.report.latency.expect("non-empty run");
+        let imb = p.report.imbalance();
+        t.row(&[
+            p.report.policy.to_string(),
+            f3(lat.ttft.p50),
+            f2(lat.ttft.p99),
+            f2(lat.e2e.p99),
+            format!("{:.1}%", 100.0 * p.attainment),
+            f3(p.goodput_rps),
+            format!("{}/{}", imb.min_requests, imb.max_requests),
+            format!("{:.3}", imb.cv_requests),
+            format!("{:.3}", imb.cv_tokens),
+            format!("{:.3}", imb.makespan_skew),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// One fleet point as a JSON object (shared by both sweeps' `--json`).
+fn point_json(p: &FleetPoint, policy_field: bool) -> String {
+    let imb = p.report.imbalance();
+    let policy = if policy_field {
+        format!("\"policy\": \"{}\", ", jsonfmt::esc(&p.report.policy.to_string()))
+    } else {
+        String::new()
+    };
+    format!(
+        "{{{policy}\"n_replicas\": {}, \"load_multiplier\": {}, \"offered_rps\": {}, \
+         \"throughput_rps\": {}, \"attainment\": {}, \"goodput_rps\": {}, \
+         \"imbalance\": {{\"min_requests\": {}, \"max_requests\": {}, \"cv_requests\": {}, \
+         \"cv_tokens\": {}, \"makespan_skew\": {}}}, \"latency\": {}}}",
+        p.n_replicas,
+        jsonfmt::num(p.load_multiplier),
+        jsonfmt::num(p.offered_rps),
+        jsonfmt::num(p.report.throughput_rps()),
+        jsonfmt::num(p.attainment),
+        jsonfmt::num(p.goodput_rps),
+        imb.min_requests,
+        imb.max_requests,
+        jsonfmt::num(imb.cv_requests),
+        jsonfmt::num(imb.cv_tokens),
+        jsonfmt::num(imb.makespan_skew),
+        jsonfmt::latency_stats(p.report.latency.as_ref()),
+    )
+}
+
+/// Both fleet experiments as one machine-readable JSON document (the
+/// `fleet` bin's `--json` output).
+pub fn to_json(scaling: &FleetScalingSweep, comparison: &[FleetPoint]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"label\": \"{}\",\n", jsonfmt::esc(&scaling.label)));
+    out.push_str(&format!("  \"workload\": \"{}\",\n", jsonfmt::esc(&scaling.workload)));
+    out.push_str(&format!("  \"policy\": \"{}\",\n", jsonfmt::esc(&scaling.policy.to_string())));
+    out.push_str(&format!("  \"slo\": {},\n", jsonfmt::slo(scaling.slo)));
+    out.push_str(&format!(
+        "  \"capacity_rps\": {},\n",
+        jsonfmt::num(scaling.capacity_rps)
+    ));
+    out.push_str("  \"scaling\": [\n");
+    for (i, p) in scaling.points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {}{}\n",
+            point_json(p, false),
+            if i + 1 < scaling.points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"router_comparison\": [\n");
+    for (i, p) in comparison.iter().enumerate() {
+        out.push_str(&format!(
+            "    {}{}\n",
+            point_json(p, true),
+            if i + 1 < comparison.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scaling_sweep_renders_and_is_jobs_invariant() {
+        let run = |runner: &SweepRunner| {
+            default_scaling_sweep_with(
+                runner,
+                EngineKind::Vllm,
+                16,
+                &[1, 2],
+                &[0.5, 1.5],
+                RouterPolicy::JoinShortestQueue,
+                crate::serving::DEFAULT_SLO,
+                42,
+            )
+        };
+        let serial = run(&SweepRunner::serial());
+        let parallel = run(&SweepRunner::new(4));
+        assert_eq!(serial, parallel);
+        assert_eq!(render_scaling(&serial), render_scaling(&parallel));
+        assert_eq!(serial.points.len(), 4);
+        let rendered = render_scaling(&serial);
+        assert!(rendered.contains("goodput/N"));
+    }
+
+    #[test]
+    fn comparison_covers_all_policies_and_json_is_wellformed() {
+        let points = default_policy_comparison_with(
+            &SweepRunner::serial(),
+            EngineKind::Vllm,
+            16,
+            2,
+            0.9,
+            crate::serving::DEFAULT_SLO,
+            42,
+        );
+        assert_eq!(points.len(), 4);
+        let rendered = render_comparison(&points);
+        for p in ["round-robin", "jsq", "po2", "least-work"] {
+            assert!(rendered.contains(p), "missing {p} in\n{rendered}");
+        }
+        let scaling = default_scaling_sweep_with(
+            &SweepRunner::serial(),
+            EngineKind::Vllm,
+            16,
+            &[1],
+            &[0.5],
+            RouterPolicy::JoinShortestQueue,
+            crate::serving::DEFAULT_SLO,
+            42,
+        );
+        let json = to_json(&scaling, &points);
+        // Cheap structural checks: balanced braces/brackets, all four
+        // policies present, no NaN leakage.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"router_comparison\""));
+        assert!(json.contains("\"least-work\""));
+        assert!(!json.contains("NaN"));
+    }
+}

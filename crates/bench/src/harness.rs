@@ -10,7 +10,7 @@
 
 use seesaw_engine::seesaw::{SeesawEngine, SeesawSpec};
 use seesaw_engine::vllm::VllmEngine;
-use seesaw_engine::{EngineReport, SchedulingPolicy, SweepRunner};
+use seesaw_engine::{EngineReport, OnlineEngine, SchedulingPolicy, SweepRunner};
 use seesaw_hw::ClusterSpec;
 use seesaw_model::ModelConfig;
 use seesaw_parallel::feasible;
@@ -49,16 +49,18 @@ pub fn vllm_sweep_with(
 ) -> Vec<EngineReport> {
     // One Arc'd copy of the specs shared by every candidate engine
     // (and every run's roofline + simulator), instead of a deep clone
-    // per candidate.
+    // per candidate. Candidates are held behind the `OnlineEngine`
+    // trait — the same interface fleet replicas use — so the sweep
+    // body is backend-agnostic.
     let cluster = Arc::new(cluster.clone());
     let model = Arc::new(model.clone());
-    let mut engines = Vec::new();
+    let mut engines: Vec<Box<dyn OnlineEngine>> = Vec::new();
     for cfg in feasible::feasible_configs(&model, &cluster) {
         for policy in baseline_policies() {
             if let Ok(engine) =
                 VllmEngine::new(Arc::clone(&cluster), Arc::clone(&model), cfg, policy)
             {
-                engines.push(engine);
+                engines.push(Box::new(engine));
             }
         }
     }

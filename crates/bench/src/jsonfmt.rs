@@ -1,0 +1,82 @@
+//! Minimal hand-rolled JSON rendering for the `--json` outputs of the
+//! `serving` and `fleet` bins.
+//!
+//! The vendored `serde` is a no-op marker stand-in (this build
+//! environment has no network, see `vendor/serde`), so sweeps render
+//! their JSON explicitly — the same approach `perf_report` uses for
+//! `BENCH_sweep.json`. Numbers are fixed-precision so output diffs
+//! cleanly across runs and platforms.
+
+use seesaw_workload::{LatencyStats, LatencySummary, SloSpec};
+
+/// Escape a string for a JSON string literal.
+pub fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// A finite number at 6 decimal places; `null` otherwise (JSON has no
+/// NaN/inf).
+pub fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+/// One latency marginal as an object.
+pub fn latency_summary(l: &LatencySummary) -> String {
+    format!(
+        "{{\"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
+        num(l.mean),
+        num(l.p50),
+        num(l.p90),
+        num(l.p99),
+        num(l.max)
+    )
+}
+
+/// Full latency statistics as an object (`null` when absent).
+pub fn latency_stats(l: Option<&LatencyStats>) -> String {
+    match l {
+        None => "null".into(),
+        Some(l) => format!(
+            "{{\"count\": {}, \"ttft\": {}, \"tpot\": {}, \"e2e\": {}}}",
+            l.count,
+            latency_summary(&l.ttft),
+            latency_summary(&l.tpot),
+            latency_summary(&l.e2e)
+        ),
+    }
+}
+
+/// An SLO as an object.
+pub fn slo(s: SloSpec) -> String {
+    format!(
+        "{{\"ttft_s\": {}, \"tpot_s\": {}}}",
+        num(s.ttft_s),
+        num(s.tpot_s)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_and_formats() {
+        assert_eq!(esc(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(num(0.5), "0.500000");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn summary_shape() {
+        let l = LatencySummary { mean: 1.0, p50: 1.0, p90: 2.0, p99: 3.0, max: 3.5 };
+        let s = latency_summary(&l);
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains("\"p99\": 3.000000"));
+        assert_eq!(latency_stats(None), "null");
+    }
+}

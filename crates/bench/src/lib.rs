@@ -10,14 +10,20 @@
 //! * [`harness`] — the vLLM configuration/policy sweep ("best static
 //!   baseline", as the paper tunes it) and the Seesaw auto-probed run.
 //! * [`serving`] — the online-serving harness: offered-load sweeps
-//!   against SLO attainment and goodput (the `serving` bin).
+//!   against SLO attainment and goodput (the `serving` bin), for any
+//!   engine backend (`--engine seesaw|vllm|disagg`).
+//! * [`fleet`] — the multi-replica tier: capacity-scaling and
+//!   router-policy sweeps over `seesaw_fleet::Fleet` (the `fleet`
+//!   bin).
 //! * [`simsbench`] — the canonical `sims_per_sec` single-candidate
 //!   workload shared by `perf_report`, the criterion microbench, and
 //!   the determinism tests.
 
 pub mod cli;
 pub mod figs;
+pub mod fleet;
 pub mod harness;
+pub mod jsonfmt;
 pub mod serving;
 pub mod simsbench;
 pub mod table;

@@ -20,9 +20,12 @@
 //! [`SweepRunner`]; output is byte-identical for every `--jobs`
 //! value.
 
+use crate::jsonfmt;
 use crate::table::{f2, f3, Table};
+use seesaw_engine::disagg::DisaggEngine;
+use seesaw_engine::seesaw::{SeesawEngine, SeesawSpec};
 use seesaw_engine::vllm::VllmEngine;
-use seesaw_engine::{EngineReport, SchedulingPolicy, SweepRunner};
+use seesaw_engine::{EngineReport, OnlineEngine, SchedulingPolicy, SweepRunner};
 use seesaw_hw::ClusterSpec;
 use seesaw_model::presets;
 use seesaw_parallel::ParallelConfig;
@@ -39,7 +42,7 @@ pub const DEFAULT_SLO: SloSpec = SloSpec { ttft_s: 15.0, tpot_s: 0.05 };
 pub const DEFAULT_LOAD_MULTIPLIERS: &[f64] = &[0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0];
 
 /// One evaluated load point.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ServingPoint {
     /// Offered load, requests/second.
     pub offered_rps: f64,
@@ -54,7 +57,7 @@ pub struct ServingPoint {
 }
 
 /// A completed offered-load sweep.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ServingSweep {
     /// Engine configuration label.
     pub label: String,
@@ -69,13 +72,14 @@ pub struct ServingSweep {
     pub points: Vec<ServingPoint>,
 }
 
-/// Sweep `engine` over `multipliers` × its offline capacity on
-/// `base` (an offline request set; its arrival times are ignored).
-/// The arrival pattern is Poisson, sampled once at unit rate from
-/// `seed` and rescaled per point.
+/// Sweep `engine` (any online backend, behind the [`OnlineEngine`]
+/// trait) over `multipliers` × its offline capacity on `base` (an
+/// offline request set; its arrival times are ignored). The arrival
+/// pattern is Poisson, sampled once at unit rate from `seed` and
+/// rescaled per point.
 pub fn sweep_with(
     runner: &SweepRunner,
-    engine: &VllmEngine,
+    engine: &dyn OnlineEngine,
     workload: &str,
     base: &[Request],
     multipliers: &[f64],
@@ -121,6 +125,43 @@ pub fn sweep_with(
     }
 }
 
+/// Which engine backend a serving/fleet sweep exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The paper's re-sharding engine (`P4->T4` on the default
+    /// cluster).
+    Seesaw,
+    /// The static-parallelism baseline (`D1T2P2`,
+    /// prefill-prioritized).
+    Vllm,
+    /// The disaggregated prefill/decode analyzer (best feasible
+    /// split, tandem-queue replay).
+    Disagg,
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineKind::Seesaw => write!(f, "seesaw"),
+            EngineKind::Vllm => write!(f, "vllm"),
+            EngineKind::Disagg => write!(f, "disagg"),
+        }
+    }
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "seesaw" => Ok(EngineKind::Seesaw),
+            "vllm" => Ok(EngineKind::Vllm),
+            "disagg" => Ok(EngineKind::Disagg),
+            other => Err(format!("unknown engine '{other}' (expected seesaw|vllm|disagg)")),
+        }
+    }
+}
+
 /// The default serving scenario: LLaMA2-13B on 4×A10, `D1T2P2`
 /// prefill-prioritized, ShareGPT-shaped lengths — the same
 /// cluster/model pair the sims/sec benchmark pins down.
@@ -134,6 +175,44 @@ pub fn default_engine() -> VllmEngine {
     .expect("default serving config fits")
 }
 
+/// Default-scenario engine of the requested backend on shared spec
+/// handles, as a trait object (replica builders call this once per
+/// replica). Seesaw uses the `P4->T4` pair the sims/sec benchmark
+/// pins down; disagg auto-picks its best feasible split per run.
+pub fn default_engine_of(
+    kind: EngineKind,
+    cluster: &Arc<ClusterSpec>,
+    model: &Arc<seesaw_model::ModelConfig>,
+) -> Box<dyn OnlineEngine> {
+    match kind {
+        EngineKind::Vllm => Box::new(
+            VllmEngine::new(
+                Arc::clone(cluster),
+                Arc::clone(model),
+                ParallelConfig::new(1, 2, 2),
+                SchedulingPolicy::PrefillPrioritized,
+            )
+            .expect("default serving config fits"),
+        ),
+        EngineKind::Seesaw => Box::new(
+            SeesawEngine::new(
+                Arc::clone(cluster),
+                Arc::clone(model),
+                SeesawSpec::new(ParallelConfig::pp(4), ParallelConfig::tp(4)),
+            )
+            .expect("default Seesaw pair fits"),
+        ),
+        EngineKind::Disagg => {
+            Box::new(DisaggEngine::new(Arc::clone(cluster), Arc::clone(model)))
+        }
+    }
+}
+
+/// The default cluster/model pair behind every default scenario.
+pub fn default_specs() -> (Arc<ClusterSpec>, Arc<seesaw_model::ModelConfig>) {
+    (Arc::new(ClusterSpec::a10x4()), Arc::new(presets::llama2_13b()))
+}
+
 /// Default request set for [`default_engine`].
 pub fn default_requests(n: usize, seed: u64) -> (String, Vec<Request>) {
     let mut gen = WorkloadGen::sharegpt(seed);
@@ -141,7 +220,23 @@ pub fn default_requests(n: usize, seed: u64) -> (String, Vec<Request>) {
 }
 
 /// Run the default scenario on `model`-free knobs only (request
-/// count, multipliers, SLO, seed).
+/// count, multipliers, SLO, seed) for the requested backend.
+pub fn default_sweep_of_with(
+    runner: &SweepRunner,
+    kind: EngineKind,
+    n_requests: usize,
+    multipliers: &[f64],
+    slo: SloSpec,
+    seed: u64,
+) -> ServingSweep {
+    let (cluster, model) = default_specs();
+    let engine = default_engine_of(kind, &cluster, &model);
+    let (name, base) = default_requests(n_requests, seed);
+    sweep_with(runner, engine.as_ref(), &name, &base, multipliers, slo, seed)
+}
+
+/// [`default_sweep_of_with`] for the vLLM baseline (the historical
+/// default scenario).
 pub fn default_sweep_with(
     runner: &SweepRunner,
     n_requests: usize,
@@ -149,9 +244,7 @@ pub fn default_sweep_with(
     slo: SloSpec,
     seed: u64,
 ) -> ServingSweep {
-    let engine = default_engine();
-    let (name, base) = default_requests(n_requests, seed);
-    sweep_with(runner, &engine, &name, &base, multipliers, slo, seed)
+    default_sweep_of_with(runner, EngineKind::Vllm, n_requests, multipliers, slo, seed)
 }
 
 /// Render a sweep as the `serving` bin's table.
@@ -195,6 +288,35 @@ pub fn render(sweep: &ServingSweep) -> String {
     out
 }
 
+/// Render a sweep as machine-readable JSON (the `serving` bin's
+/// `--json` output): every point with its throughput, latency
+/// percentiles, attainment, and goodput — diffable and plottable
+/// without table parsing.
+pub fn to_json(sweep: &ServingSweep) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"label\": \"{}\",\n", jsonfmt::esc(&sweep.label)));
+    out.push_str(&format!("  \"workload\": \"{}\",\n", jsonfmt::esc(&sweep.workload)));
+    out.push_str(&format!("  \"slo\": {},\n", jsonfmt::slo(sweep.slo)));
+    out.push_str(&format!("  \"capacity_rps\": {},\n", jsonfmt::num(sweep.capacity_rps)));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in sweep.points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"load_multiplier\": {}, \"offered_rps\": {}, \"throughput_rps\": {}, \
+             \"attainment\": {}, \"goodput_rps\": {}, \"latency\": {}}}{}\n",
+            jsonfmt::num(p.load_multiplier),
+            jsonfmt::num(p.offered_rps),
+            jsonfmt::num(p.report.throughput_rps()),
+            jsonfmt::num(p.attainment),
+            jsonfmt::num(p.goodput_rps),
+            jsonfmt::latency_stats(p.report.latency.as_ref()),
+            if i + 1 < sweep.points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,7 +326,7 @@ mod tests {
         let base = WorkloadGen::constant(768, 48).generate(24);
         sweep_with(
             runner,
-            &engine,
+            &engine as &dyn OnlineEngine,
             "const",
             &base,
             &[0.25, 1.0, 4.0],

@@ -15,10 +15,18 @@
 //! is the unit of work behind `sims_per_sec.serving`: one online
 //! engine run *including* latency-percentile computation, i.e. one
 //! serving-sweep load point per evaluation.
+//!
+//! The fleet variant (`sims_per_sec.fleet`) is one fleet-sweep grid
+//! cell: a 4-replica fleet of the vLLM candidate, join-shortest-queue
+//! routing over the same arrival pattern at 4× the serving rate
+//! (per-replica load unchanged), run serially — routing, stream
+//! split, four replica simulations, and the merged fleet report
+//! included.
 
 use seesaw_engine::seesaw::{SeesawEngine, SeesawSpec};
 use seesaw_engine::vllm::VllmEngine;
-use seesaw_engine::{EngineReport, SchedulingPolicy};
+use seesaw_engine::{EngineReport, SchedulingPolicy, SweepRunner};
+use seesaw_fleet::{Fleet, FleetReport, RouterPolicy};
 use seesaw_hw::ClusterSpec;
 use seesaw_model::{presets, ModelConfig};
 use seesaw_parallel::ParallelConfig;
@@ -32,6 +40,9 @@ pub const WORKLOAD_LABEL: &str = "a10x4 llama2_13b constant(1024,64) x24";
 /// the vLLM candidate's offline capacity on this workload).
 pub const SERVING_OFFERED_RPS: f64 = 4.0;
 
+/// Replicas in the fleet scenario.
+pub const FLEET_REPLICAS: usize = 4;
+
 /// The fixed benchmark scenario: `Arc`-shared specs + request set.
 #[derive(Debug)]
 pub struct SimsBench {
@@ -44,6 +55,9 @@ pub struct SimsBench {
     /// The same requests with fixed-seed Poisson arrivals at
     /// [`SERVING_OFFERED_RPS`].
     pub serving_reqs: Vec<Request>,
+    /// The same requests at [`FLEET_REPLICAS`] × the serving rate
+    /// (per-replica load matches the serving scenario).
+    pub fleet_reqs: Vec<Request>,
 }
 
 impl Default for SimsBench {
@@ -59,11 +73,15 @@ impl SimsBench {
         let serving_reqs = ArrivalDist::Poisson { rate: SERVING_OFFERED_RPS }
             .attach(&reqs, crate::SEED ^ seesaw_workload::ARRIVAL_SEED_SALT)
             .expect("fixed serving arrival process is valid");
+        let fleet_reqs = ArrivalDist::Poisson { rate: FLEET_REPLICAS as f64 * SERVING_OFFERED_RPS }
+            .attach(&reqs, crate::SEED ^ seesaw_workload::ARRIVAL_SEED_SALT)
+            .expect("fixed fleet arrival process is valid");
         SimsBench {
             cluster: Arc::new(ClusterSpec::a10x4()),
             model: Arc::new(presets::llama2_13b()),
             reqs,
             serving_reqs,
+            fleet_reqs,
         }
     }
 
@@ -110,5 +128,31 @@ impl SimsBench {
         )
         .expect("valid config")
         .run(&self.serving_reqs)
+    }
+
+    /// One fleet evaluation: construct a [`FLEET_REPLICAS`]-replica
+    /// fleet of the vLLM candidate and serve the fleet-rate request
+    /// set under join-shortest-queue routing, serially (the metric is
+    /// single-thread grid-cell rate, like the other sims/sec
+    /// figures). This is a fleet sweep's per-cell unit of work:
+    /// service-rate estimation, routing, stream split, four replica
+    /// simulations, and the merged fleet report.
+    pub fn run_fleet_once(&self) -> FleetReport {
+        let fleet = Fleet::homogeneous(FLEET_REPLICAS, |_| {
+            Box::new(
+                VllmEngine::new(
+                    Arc::clone(&self.cluster),
+                    Arc::clone(&self.model),
+                    ParallelConfig::new(1, 2, 2),
+                    SchedulingPolicy::PrefillPrioritized,
+                )
+                .expect("valid config"),
+            ) as _
+        });
+        fleet.run_with(
+            &SweepRunner::serial(),
+            RouterPolicy::JoinShortestQueue,
+            &self.fleet_reqs,
+        )
     }
 }

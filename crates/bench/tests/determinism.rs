@@ -154,3 +154,119 @@ fn repeated_serving_runs_reproduce_the_first_report() {
         assert_eq!(bench.run_serving_once(), first, "warm-pool serving rerun drifted");
     }
 }
+
+/// The fleet sweeps inherit the byte-identity contract: identical
+/// `FleetScalingSweep`/comparison points, rendered tables, and JSON
+/// for every job count — routing is serial, replica runs are
+/// independent, and results collect in deterministic order.
+#[test]
+fn fleet_sweeps_are_byte_identical_across_job_counts() {
+    use seesaw_bench::fleet;
+    use seesaw_bench::serving::EngineKind;
+    use seesaw_fleet::RouterPolicy;
+    let scaling = |runner: &SweepRunner| {
+        fleet::default_scaling_sweep_with(
+            runner,
+            EngineKind::Vllm,
+            32,
+            &[1, 2, 4],
+            &[0.5, 1.0],
+            RouterPolicy::JoinShortestQueue,
+            seesaw_bench::serving::DEFAULT_SLO,
+            seesaw_bench::SEED,
+        )
+    };
+    let comparison = |runner: &SweepRunner| {
+        fleet::default_policy_comparison_with(
+            runner,
+            EngineKind::Vllm,
+            32,
+            4,
+            0.9,
+            seesaw_bench::serving::DEFAULT_SLO,
+            seesaw_bench::SEED,
+        )
+    };
+    let (s1, c1) = (scaling(&SweepRunner::serial()), comparison(&SweepRunner::serial()));
+    let (s4, c4) = (scaling(&SweepRunner::new(4)), comparison(&SweepRunner::new(4)));
+    assert_eq!(s1, s4, "fleet scaling points must be runner-invariant");
+    assert_eq!(c1, c4, "router comparison must be runner-invariant");
+    assert_eq!(fleet::render_scaling(&s1), fleet::render_scaling(&s4));
+    assert_eq!(fleet::render_comparison(&c1), fleet::render_comparison(&c4));
+    assert_eq!(fleet::to_json(&s1, &c1), fleet::to_json(&s4, &c4));
+    // Warm rerun (pools and caches populated) must also reproduce.
+    let warm = scaling(&SweepRunner::new(4));
+    assert_eq!(s1, warm, "warm-pool fleet rerun drifted");
+}
+
+/// A single-replica round-robin fleet is a transparent wrapper around
+/// the bare engine: the corresponding serving-sweep point (same
+/// request pacing) and the fleet cell agree report-for-report.
+#[test]
+fn single_replica_fleet_point_matches_bare_serving_point() {
+    use seesaw_bench::{fleet, serving};
+    use seesaw_fleet::RouterPolicy;
+    let runner = SweepRunner::serial();
+    let slo = serving::DEFAULT_SLO;
+    let bare = serving::default_sweep_with(&runner, 32, &[0.75], slo, seesaw_bench::SEED);
+    let fleet_sweep = fleet::default_scaling_sweep_with(
+        &runner,
+        serving::EngineKind::Vllm,
+        32,
+        &[1],
+        &[0.75],
+        RouterPolicy::RoundRobin,
+        slo,
+        seesaw_bench::SEED,
+    );
+    assert!((fleet_sweep.capacity_rps - bare.capacity_rps).abs() < 1e-12);
+    let bare_point = &bare.points[0];
+    let fleet_point = &fleet_sweep.points[0];
+    // Same engine, same paced stream: the replica's report is
+    // byte-identical to the bare engine's, and the fleet aggregates
+    // coincide.
+    assert_eq!(fleet_point.report.replicas[0], bare_point.report);
+    assert_eq!(fleet_point.report.timeline, bare_point.report.timeline);
+    assert_eq!(fleet_point.report.latency, bare_point.report.latency);
+    assert!((fleet_point.attainment - bare_point.attainment).abs() < 1e-12);
+    assert!((fleet_point.goodput_rps - bare_point.goodput_rps).abs() < 1e-12);
+}
+
+/// The serving sweep's `--json` rendering is deterministic across job
+/// counts and engine backends.
+#[test]
+fn serving_json_is_runner_invariant() {
+    use seesaw_bench::serving::{self, EngineKind};
+    for kind in [EngineKind::Vllm, EngineKind::Disagg] {
+        let run = |runner: &SweepRunner| {
+            serving::default_sweep_of_with(
+                runner,
+                kind,
+                24,
+                &[0.5, 2.0],
+                serving::DEFAULT_SLO,
+                seesaw_bench::SEED,
+            )
+        };
+        let serial = serving::to_json(&run(&SweepRunner::serial()));
+        let parallel = serving::to_json(&run(&SweepRunner::new(4)));
+        assert_eq!(serial, parallel, "{kind:?} JSON must be runner-invariant");
+        assert!(serial.contains("\"points\""));
+    }
+}
+
+/// The fleet sims/sec scenario (perf_report's `fleet` metric)
+/// reproduces exactly across warm-pool repetitions and serves the
+/// whole request set over all four replicas.
+#[test]
+fn repeated_fleet_runs_reproduce_the_first_report() {
+    use seesaw_bench::simsbench::{SimsBench, FLEET_REPLICAS};
+    let bench = SimsBench::new();
+    let first = bench.run_fleet_once();
+    assert_eq!(first.stats.requests, 24);
+    assert_eq!(first.replicas.len(), FLEET_REPLICAS);
+    assert!(first.latency.is_some());
+    for _ in 0..3 {
+        assert_eq!(bench.run_fleet_once(), first, "warm-pool fleet rerun drifted");
+    }
+}

@@ -12,11 +12,13 @@
 //! and is accounted as a decode-side overhead.
 
 use crate::autotune;
+use crate::online::{mean_lengths, OnlineEngine, ServiceRates};
+use crate::report::EngineReport;
 use seesaw_hw::ClusterSpec;
 use seesaw_model::ModelConfig;
 use seesaw_parallel::{FitError, ParallelConfig};
 use seesaw_roofline::{Roofline, ThroughputModel};
-use seesaw_workload::SloSpec;
+use seesaw_workload::{LatencyStats, Request, RequestTiming, RunStats, SloSpec};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -71,6 +73,13 @@ impl DisaggReport {
 pub struct DisaggEngine {
     cluster: Arc<ClusterSpec>,
     model: Arc<ModelConfig>,
+    /// Last [`DisaggEngine::best_split`] result keyed by its
+    /// `(avg_in, avg_out)` — the split search walks every GPU split ×
+    /// feasible config through the roofline, and fleet runs ask for
+    /// the same workload's split once per replica plus once for
+    /// service rates (`Mutex`, not `RefCell`: engines run `&self`
+    /// across sweep threads).
+    split_cache: std::sync::Mutex<Option<((usize, usize), DisaggReport)>>,
 }
 
 impl DisaggEngine {
@@ -80,7 +89,11 @@ impl DisaggEngine {
         cluster: impl Into<Arc<ClusterSpec>>,
         model: impl Into<Arc<ModelConfig>>,
     ) -> Self {
-        DisaggEngine { cluster: cluster.into(), model: model.into() }
+        DisaggEngine {
+            cluster: cluster.into(),
+            model: model.into(),
+            split_cache: std::sync::Mutex::new(None),
+        }
     }
 
     /// Evaluate a specific split (`n_p` prefill GPUs, rest decode) for
@@ -146,6 +159,157 @@ impl DisaggEngine {
                 .expect("finite rates")
         });
         out
+    }
+
+    /// The best feasible split for a workload averaging
+    /// `avg_in`/`avg_out` tokens, or why no split fits. Memoized on
+    /// the workload averages (pure function of them), so a fleet
+    /// cell's N replica runs + service-rate estimate search once.
+    pub fn best_split(&self, avg_in: usize, avg_out: usize) -> Result<DisaggReport, FitError> {
+        if let Some((key, split)) = &*self.split_cache.lock().expect("split cache poisoned") {
+            if *key == (avg_in, avg_out) {
+                return Ok(split.clone());
+            }
+        }
+        let split = self
+            .evaluate_all_splits(avg_in, avg_out)
+            .into_iter()
+            .next()
+            .ok_or_else(|| {
+                FitError::Invalid(format!(
+                    "no feasible disagg split of {} GPUs for this model",
+                    self.cluster.num_gpus
+                ))
+            })?;
+        *self.split_cache.lock().expect("split cache poisoned") =
+            Some(((avg_in, avg_out), split.clone()));
+        Ok(split)
+    }
+
+    /// Serve an arrival-sorted request stream through the best
+    /// feasible split, replayed as a two-stage tandem queue (the
+    /// online counterpart of the simulated engines' `run`).
+    ///
+    /// The analytic model is the same one [`DisaggEngine::evaluate_split`]
+    /// rates instances with: a request occupies the prefill instance
+    /// for `input / prefill_token_rate` seconds (FIFO), its KV then
+    /// crosses the host links (`xfer`), and it occupies the decode
+    /// instance for `xfer + output / step_rate` seconds — so sustained
+    /// throughput converges to `combined_rps` and per-token latency to
+    /// `est_tpot_s`, while queueing under load emerges from the two
+    /// FIFO stages. Deterministic; panics when no split is feasible
+    /// (the disaggregation counterpart of an engine that cannot fit
+    /// the model).
+    pub fn run(&self, requests: &[Request]) -> EngineReport {
+        crate::driver::assert_arrivals_sorted(requests);
+        let (avg_in, avg_out) = mean_lengths(requests);
+        let split = self
+            .best_split(avg_in, avg_out)
+            .unwrap_or_else(|e| panic!("disagg run impossible: {e:?}"));
+        let label = format!(
+            "disagg {}p{}+{}d{}",
+            split.prefill_gpus, split.prefill_config, split.decode_gpus, split.decode_config
+        );
+        if requests.is_empty() {
+            return EngineReport {
+                label,
+                stats: RunStats::from_requests(requests, 0.0),
+                prefill_wall_s: 0.0,
+                decode_wall_s: 0.0,
+                mixed_wall_s: 0.0,
+                reshard_wall_s: 0.0,
+                transitions: 0,
+                swap_out_bytes: 0,
+                swap_in_bytes: 0,
+                phases: Vec::new(),
+                gpu_utilization: 0.0,
+                timeline: Vec::new(),
+                latency: None,
+            };
+        }
+
+        // Recover the per-token rates behind the split's rps figures.
+        let prefill_tok_rate = split.prefill_rps * avg_in as f64;
+        let step_rate = 1.0 / split.est_tpot_s;
+        let xfer = (split.est_ttft_s - avg_in as f64 / prefill_tok_rate).max(0.0);
+
+        let mut prefill_free = 0.0_f64;
+        let mut decode_free = 0.0_f64;
+        let mut prefill_busy = 0.0_f64;
+        let mut decode_busy = 0.0_f64;
+        let mut kv_bytes_total = 0u64;
+        let mut timeline: Vec<RequestTiming> = Vec::with_capacity(requests.len());
+        for r in requests {
+            let t_p = r.input_len as f64 / prefill_tok_rate;
+            let p_start = r.arrival_s.max(prefill_free);
+            let p_done = p_start + t_p;
+            prefill_free = p_done;
+            prefill_busy += t_p;
+
+            // The decode slot includes the KV handoff (exactly how
+            // `decode_rps` accounts it); the first token lands one
+            // decode step after the handoff completes.
+            let t_d = xfer + r.output_len as f64 / step_rate;
+            let d_start = p_done.max(decode_free);
+            decode_free = d_start + t_d;
+            decode_busy += t_d;
+            kv_bytes_total += self.model.kv_bytes_per_token() * r.input_len as u64;
+            timeline.push(RequestTiming {
+                id: r.id,
+                arrival_s: r.arrival_s,
+                first_token_s: d_start + xfer + 1.0 / step_rate,
+                completion_s: d_start + t_d,
+                output_len: r.output_len,
+            });
+        }
+        timeline.sort_by_key(|t| t.id);
+        let duration = timeline
+            .iter()
+            .map(|t| t.completion_s)
+            .fold(0.0_f64, f64::max);
+        let n = self.cluster.num_gpus as f64;
+        let gpu_utilization = if duration > 0.0 {
+            (prefill_busy * split.prefill_gpus as f64 + decode_busy * split.decode_gpus as f64)
+                / (duration * n)
+        } else {
+            0.0
+        };
+        let latency = LatencyStats::from_timeline(&timeline);
+        EngineReport {
+            label,
+            stats: RunStats::from_requests(requests, duration),
+            prefill_wall_s: prefill_busy,
+            decode_wall_s: decode_busy,
+            mixed_wall_s: 0.0,
+            reshard_wall_s: 0.0,
+            transitions: 0,
+            swap_out_bytes: kv_bytes_total,
+            swap_in_bytes: kv_bytes_total,
+            phases: Vec::new(),
+            gpu_utilization: gpu_utilization.min(1.0),
+            timeline,
+            latency,
+        }
+    }
+}
+
+impl OnlineEngine for DisaggEngine {
+    fn label(&self) -> String {
+        "disagg(auto-split)".into()
+    }
+
+    fn run(&self, requests: &[Request]) -> EngineReport {
+        DisaggEngine::run(self, requests)
+    }
+
+    fn service_rates(&self, avg_in: usize, avg_out: usize) -> ServiceRates {
+        let split = self
+            .best_split(avg_in, avg_out)
+            .unwrap_or_else(|e| panic!("disagg service rates impossible: {e:?}"));
+        ServiceRates {
+            prefill_tokens_per_sec: split.prefill_rps * avg_in.max(1) as f64,
+            decode_tokens_per_sec: split.decode_rps * avg_out.max(1) as f64,
+        }
     }
 }
 
@@ -271,5 +435,87 @@ mod tests {
         let eng = DisaggEngine::new(ClusterSpec::a10x8(), presets::llama3_15b());
         assert!(eng.evaluate_split(0, 500, 250).is_err());
         assert!(eng.evaluate_split(8, 500, 250).is_err());
+    }
+
+    #[test]
+    fn tandem_run_completes_with_consistent_timeline() {
+        use seesaw_workload::Request;
+        let eng = DisaggEngine::new(ClusterSpec::a10x4(), presets::llama2_13b());
+        let reqs: Vec<Request> = (0..12)
+            .map(|i| Request::new(i, 700, 48).with_arrival(0.5 * i as f64))
+            .collect();
+        let report = eng.run(&reqs);
+        assert_eq!(report.stats.requests, 12);
+        assert_eq!(report.timeline.len(), 12);
+        assert!(report.label.starts_with("disagg "), "got {}", report.label);
+        for w in report.timeline.windows(2) {
+            assert!(w[0].id < w[1].id, "timeline must be id-sorted");
+        }
+        for t in &report.timeline {
+            assert!(t.first_token_s > t.arrival_s);
+            assert!(t.completion_s > t.first_token_s);
+        }
+        assert!(report.stats.duration_s >= 5.5, "must span the arrival horizon");
+        assert!(report.latency.unwrap().count == 12);
+        assert!(report.gpu_utilization > 0.0 && report.gpu_utilization <= 1.0);
+        assert!(report.swap_out_bytes > 0, "KV handoff must be accounted");
+    }
+
+    /// An unloaded request's latency matches the split's analytic
+    /// floor (TTFT within one decode step, TPOT exactly).
+    #[test]
+    fn tandem_unloaded_latency_matches_analytic_floor() {
+        use seesaw_workload::Request;
+        let eng = DisaggEngine::new(ClusterSpec::a10x4(), presets::llama2_13b());
+        let split = eng.best_split(700, 48).unwrap();
+        let reqs = vec![Request::new(0, 700, 48)];
+        let report = eng.run(&reqs);
+        let t = report.timeline[0];
+        let step = split.est_tpot_s;
+        assert!(
+            (t.first_token_s - (split.est_ttft_s + step)).abs() < 1e-9,
+            "TTFT {} vs floor {}",
+            t.first_token_s,
+            split.est_ttft_s + step
+        );
+        let tpot = (t.completion_s - t.first_token_s) / 47.0;
+        assert!((tpot - step).abs() < 1e-9, "TPOT {tpot} vs est {step}");
+    }
+
+    /// Saturating the tandem pipeline converges to the split's
+    /// combined (bottleneck) rate.
+    #[test]
+    fn tandem_saturated_throughput_approaches_combined_rps() {
+        use seesaw_workload::Request;
+        let eng = DisaggEngine::new(ClusterSpec::a10x4(), presets::llama2_13b());
+        let split = eng.best_split(700, 48).unwrap();
+        let reqs: Vec<Request> = (0..200).map(|i| Request::new(i, 700, 48)).collect();
+        let report = eng.run(&reqs);
+        let ratio = report.throughput_rps() / split.combined_rps();
+        assert!(
+            (0.85..=1.05).contains(&ratio),
+            "saturated tandem at {:.3} rps vs combined {:.3} (ratio {ratio:.3})",
+            report.throughput_rps(),
+            split.combined_rps()
+        );
+    }
+
+    #[test]
+    fn tandem_empty_run_reports_zeros() {
+        let eng = DisaggEngine::new(ClusterSpec::a10x4(), presets::llama2_13b());
+        let report = eng.run(&[]);
+        assert_eq!(report.stats.requests, 0);
+        assert_eq!(report.throughput_rps(), 0.0);
+        assert!(report.latency.is_none());
+    }
+
+    #[test]
+    fn online_trait_rates_are_positive_for_all_engines() {
+        use crate::online::OnlineEngine;
+        let eng = DisaggEngine::new(ClusterSpec::a10x4(), presets::llama2_13b());
+        let rates = eng.service_rates(700, 48);
+        assert!(rates.prefill_tokens_per_sec > 0.0 && rates.prefill_tokens_per_sec.is_finite());
+        assert!(rates.decode_tokens_per_sec > 0.0 && rates.decode_tokens_per_sec.is_finite());
+        assert_eq!(OnlineEngine::label(&eng), "disagg(auto-split)");
     }
 }

@@ -38,12 +38,14 @@ pub mod autotune;
 pub mod cluster_sim;
 pub mod disagg;
 pub mod driver;
+pub mod online;
 pub mod report;
 pub mod seesaw;
 pub mod sweep;
 pub mod timing;
 pub mod vllm;
 
+pub use online::{OnlineEngine, ServiceRates};
 pub use report::{EngineReport, Phase, PhaseSpan};
 pub use sweep::{SweepResult, SweepRunner};
 pub use timing::TimingRecorder;

@@ -1,0 +1,102 @@
+//! The engine-agnostic online-serving interface.
+//!
+//! Every engine in this crate ([`crate::seesaw::SeesawEngine`],
+//! [`crate::vllm::VllmEngine`], [`crate::disagg::DisaggEngine`])
+//! consumes an arrival-sorted request stream and produces an
+//! [`EngineReport`]; [`OnlineEngine`] captures exactly that contract
+//! so harnesses — and the fleet tier's replicas — can hold engines as
+//! trait objects and mix backends freely.
+//!
+//! Cost-aware request routers additionally need a cheap *a-priori*
+//! estimate of what a request will cost on a given engine, before any
+//! simulation runs. [`ServiceRates`] provides that: analytic
+//! roofline-derived token rates (the same Eq. 1/2 closed forms the
+//! auto-tuner ranks candidates with), from which a request's
+//! steady-state capacity occupancy is `in/prefill_rate +
+//! out/decode_rate` seconds.
+
+use crate::report::EngineReport;
+use seesaw_workload::Request;
+use serde::{Deserialize, Serialize};
+
+/// Analytic steady-state service rates of an engine, for cost-aware
+/// routing. Derived from the roofline model (Eq. 1/2), not measured:
+/// routers must rank replicas *before* simulating them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceRates {
+    /// Sustained prefill rate, prompt tokens/second.
+    pub prefill_tokens_per_sec: f64,
+    /// Sustained decode rate, generated tokens/second (aggregate
+    /// across the batch — a request's decode occupancy is its share
+    /// of this budget).
+    pub decode_tokens_per_sec: f64,
+}
+
+impl ServiceRates {
+    /// Estimated capacity occupancy of one request, seconds: the
+    /// slice of the engine's steady-state throughput budget the
+    /// request consumes (prefill and decode phases add, as in the
+    /// paper's Eq. 1/2 request-rate estimate).
+    pub fn est_service_s(&self, req: &Request) -> f64 {
+        req.input_len as f64 / self.prefill_tokens_per_sec
+            + req.output_len as f64 / self.decode_tokens_per_sec
+    }
+}
+
+/// An engine that serves an arrival-sorted request stream to
+/// completion.
+///
+/// Implementations must be deterministic: the same request slice
+/// always produces the same report, and `run` must accept streams
+/// whose `arrival_s` are nondecreasing (all-zero arrivals are the
+/// offline path). `Send + Sync` because fleet replicas run
+/// concurrently on a [`crate::SweepRunner`].
+pub trait OnlineEngine: Send + Sync {
+    /// Configuration label (the paper's notation where applicable,
+    /// e.g. `"T4P2"`, `"P4->T4"`).
+    fn label(&self) -> String;
+
+    /// Process `requests` (sorted by arrival time) to completion.
+    fn run(&self, requests: &[Request]) -> EngineReport;
+
+    /// Analytic service rates for a workload averaging `avg_in`
+    /// prompt and `avg_out` generated tokens — the basis for
+    /// cost-aware routing (`in/prefill + out/decode` seconds per
+    /// request).
+    fn service_rates(&self, avg_in: usize, avg_out: usize) -> ServiceRates;
+}
+
+/// Mean input/output lengths of a request set, rounded, each at least
+/// 1 (the convention every analytic estimate in this workspace uses).
+/// `(1, 1)` for an empty set.
+pub fn mean_lengths(requests: &[Request]) -> (usize, usize) {
+    if requests.is_empty() {
+        return (1, 1);
+    }
+    let n = requests.len() as f64;
+    let avg_in = requests.iter().map(|r| r.input_len as u64).sum::<u64>() as f64 / n;
+    let avg_out = requests.iter().map(|r| r.output_len as u64).sum::<u64>() as f64 / n;
+    ((avg_in.round() as usize).max(1), (avg_out.round() as usize).max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_adds_phases() {
+        let rates = ServiceRates {
+            prefill_tokens_per_sec: 1000.0,
+            decode_tokens_per_sec: 100.0,
+        };
+        let req = Request::new(0, 500, 50);
+        assert!((rates.est_service_s(&req) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_lengths_round_and_clamp() {
+        assert_eq!(mean_lengths(&[]), (1, 1));
+        let reqs = vec![Request::new(0, 100, 10), Request::new(1, 301, 11)];
+        assert_eq!(mean_lengths(&reqs), (201, 11)); // 200.5 rounds up, 10.5 rounds up
+    }
+}

@@ -188,6 +188,33 @@ impl SeesawEngine {
     }
 }
 
+impl crate::online::OnlineEngine for SeesawEngine {
+    fn label(&self) -> String {
+        self.spec.label()
+    }
+
+    fn run(&self, requests: &[Request]) -> EngineReport {
+        SeesawEngine::run(self, requests)
+    }
+
+    fn service_rates(&self, avg_in: usize, avg_out: usize) -> crate::online::ServiceRates {
+        // Prefill runs under `c_p`, decode under `c_d`; the phases
+        // time-share the same GPUs, so the two rates bound the same
+        // budget a static engine's do (cf. Eq. 1/2's request-rate
+        // estimate for a Seesaw pair).
+        let tm = seesaw_roofline::ThroughputModel::new(Roofline::new(
+            Arc::clone(&self.cluster),
+            Arc::clone(&self.model),
+        ));
+        crate::online::ServiceRates {
+            prefill_tokens_per_sec: tm.prefill_tokens_per_sec(self.spec.prefill, avg_in.max(1), 4),
+            decode_tokens_per_sec: tm
+                .decode_seq_steps_per_sec_max_batch(self.spec.decode, avg_in + avg_out / 2)
+                .expect("decode config validated at construction"),
+        }
+    }
+}
+
 /// A sequence whose KV swap-out is in flight.
 #[derive(Debug, Clone, Copy)]
 struct PendingSwapOut {

@@ -13,6 +13,7 @@ use crate::driver::{
     assert_arrivals_sorted, submit_decode_burst, submit_mixed_round, submit_prefill_batch,
     Replica, RunSeq,
 };
+use crate::online::{OnlineEngine, ServiceRates};
 use crate::report::EngineReport;
 use crate::timing::TimingRecorder;
 use crate::SchedulingPolicy;
@@ -102,6 +103,29 @@ impl VllmEngine {
             SchedulingPolicy::ChunkedPrefill { chunk_tokens } => st.run_chunked(chunk_tokens),
         }
         st.finish(requests, self.label())
+    }
+}
+
+impl OnlineEngine for VllmEngine {
+    fn label(&self) -> String {
+        VllmEngine::label(self)
+    }
+
+    fn run(&self, requests: &[Request]) -> EngineReport {
+        VllmEngine::run(self, requests)
+    }
+
+    fn service_rates(&self, avg_in: usize, avg_out: usize) -> ServiceRates {
+        let tm = seesaw_roofline::ThroughputModel::new(Roofline::new(
+            Arc::clone(&self.cluster),
+            Arc::clone(&self.model),
+        ));
+        ServiceRates {
+            prefill_tokens_per_sec: tm.prefill_tokens_per_sec(self.cfg, avg_in.max(1), 4),
+            decode_tokens_per_sec: tm
+                .decode_seq_steps_per_sec_max_batch(self.cfg, avg_in + avg_out / 2)
+                .expect("config validated at construction"),
+        }
     }
 }
 

@@ -1,0 +1,193 @@
+//! The fleet itself: N engine replicas served by one router.
+
+use crate::report::FleetReport;
+use crate::router::{self, RouterPolicy};
+use seesaw_engine::driver::assert_arrivals_sorted;
+use seesaw_engine::online::mean_lengths;
+use seesaw_engine::{OnlineEngine, ServiceRates, SweepRunner};
+use seesaw_workload::{split_stream, Request};
+
+/// N replicas of (possibly heterogeneous) engines behind a router.
+///
+/// A `Fleet` owns its replicas as [`OnlineEngine`] trait objects, so
+/// Seesaw, vLLM, and disaggregated backends mix freely. Running the
+/// fleet is a three-step pipeline:
+///
+/// 1. **Route** — one serial pass over the global arrival-sorted
+///    stream assigns every request to a replica (see
+///    [`crate::router`]).
+/// 2. **Simulate** — per-replica streams (still arrival-sorted; the
+///    split preserves order) run through each replica's existing
+///    online engine path, concurrently on the given
+///    [`SweepRunner`]. Replica simulations share nothing, so this
+///    parallelizes exactly like a candidate sweep.
+/// 3. **Merge** — per-replica timelines combine into a
+///    [`FleetReport`] with fleet-level percentiles and imbalance
+///    statistics.
+pub struct Fleet {
+    replicas: Vec<Box<dyn OnlineEngine>>,
+    /// Whether every replica is known-identical (constructed via
+    /// [`Fleet::homogeneous`]), letting fleet runs compute one
+    /// service-rate estimate instead of N. A label comparison cannot
+    /// substitute: labels name the parallel configuration, not the
+    /// hardware, so two `"T2P2"` replicas may sit on different GPUs.
+    homogeneous: bool,
+}
+
+impl Fleet {
+    /// A fleet over explicit replicas (at least one), possibly
+    /// heterogeneous — each replica's routing cost estimates are
+    /// computed from its own engine.
+    pub fn new(replicas: Vec<Box<dyn OnlineEngine>>) -> Self {
+        assert!(!replicas.is_empty(), "a fleet needs at least one replica");
+        Fleet { replicas, homogeneous: false }
+    }
+
+    /// A homogeneous fleet: `n` identical replicas built by `make`
+    /// (`make` must return equivalently-configured engines — the
+    /// fleet computes routing cost estimates once and shares them).
+    pub fn homogeneous(n: usize, make: impl Fn(usize) -> Box<dyn OnlineEngine>) -> Self {
+        assert!(n > 0, "a fleet needs at least one replica");
+        Fleet {
+            replicas: (0..n).map(make).collect(),
+            homogeneous: true,
+        }
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Whether the fleet has no replicas (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Replica configuration labels, in replica order.
+    pub fn labels(&self) -> Vec<String> {
+        self.replicas.iter().map(|r| r.label()).collect()
+    }
+
+    /// Serve `requests` (sorted by arrival) under `policy`, with
+    /// replica simulations parallelized by the environment's runner.
+    pub fn run(&self, policy: RouterPolicy, requests: &[Request]) -> FleetReport {
+        self.run_with(&SweepRunner::from_env(), policy, requests)
+    }
+
+    /// [`Fleet::run`] on an explicit runner. Deterministic and
+    /// runner-invariant: routing is serial, replica runs are
+    /// independent, and reports are collected in replica order.
+    pub fn run_with(
+        &self,
+        runner: &SweepRunner,
+        policy: RouterPolicy,
+        requests: &[Request],
+    ) -> FleetReport {
+        assert_arrivals_sorted(requests);
+        let n = self.replicas.len();
+        let (avg_in, avg_out) = mean_lengths(requests);
+        // Round-robin is load-oblivious — no service estimates needed.
+        // A known-homogeneous fleet computes one analytic rate and
+        // shares it (rates can be expensive: disagg re-runs its split
+        // search per call); heterogeneous fleets estimate per replica.
+        let rates: Vec<ServiceRates> = if policy == RouterPolicy::RoundRobin {
+            Vec::new()
+        } else if self.homogeneous {
+            vec![self.replicas[0].service_rates(avg_in, avg_out); n]
+        } else {
+            self.replicas
+                .iter()
+                .map(|r| r.service_rates(avg_in, avg_out))
+                .collect()
+        };
+        // `rates` is empty for round-robin (the router never asks it
+        // for estimates); the `get` keeps the closure total rather
+        // than resting an index on that other-crate invariant.
+        let assignment = router::assign(policy, n, requests, |replica, req| {
+            rates.get(replica).map_or(1.0, |r| r.est_service_s(req))
+        });
+        let streams = split_stream(requests, &assignment, n);
+        let indices: Vec<usize> = (0..n).collect();
+        let reports = runner.map(&indices, |&i| self.replicas[i].run(&streams[i]));
+        FleetReport::from_replica_reports(policy, reports, assignment)
+    }
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet").field("replicas", &self.labels()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seesaw_engine::vllm::VllmEngine;
+    use seesaw_engine::SchedulingPolicy;
+    use seesaw_hw::ClusterSpec;
+    use seesaw_model::{presets, ModelConfig};
+    use seesaw_parallel::ParallelConfig;
+    use seesaw_workload::{ArrivalDist, WorkloadGen};
+    use std::sync::Arc;
+
+    fn vllm_replica(
+        cluster: &Arc<ClusterSpec>,
+        model: &Arc<ModelConfig>,
+    ) -> Box<dyn OnlineEngine> {
+        Box::new(
+            VllmEngine::new(
+                Arc::clone(cluster),
+                Arc::clone(model),
+                ParallelConfig::new(1, 2, 2),
+                SchedulingPolicy::PrefillPrioritized,
+            )
+            .expect("valid config"),
+        )
+    }
+
+    fn small_fleet(n: usize) -> Fleet {
+        let cluster = Arc::new(ClusterSpec::a10x4());
+        let model = Arc::new(presets::llama2_13b());
+        Fleet::homogeneous(n, |_| vllm_replica(&cluster, &model))
+    }
+
+    fn online_reqs(n: usize, rate: f64) -> Vec<Request> {
+        let base = WorkloadGen::constant(512, 24).generate(n);
+        ArrivalDist::Poisson { rate }
+            .attach(&base, 7)
+            .expect("valid arrivals")
+    }
+
+    #[test]
+    fn every_request_served_exactly_once() {
+        let fleet = small_fleet(3);
+        let reqs = online_reqs(30, 5.0);
+        let report = fleet.run_with(&SweepRunner::serial(), RouterPolicy::JoinShortestQueue, &reqs);
+        assert_eq!(report.stats.requests, 30);
+        assert_eq!(report.timeline.len(), 30);
+        let mut ids: Vec<u64> = report.timeline.iter().map(|t| t.id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 30, "every id exactly once");
+        assert_eq!(report.assignment.len(), 30);
+    }
+
+    #[test]
+    fn fleet_run_is_runner_invariant() {
+        let fleet = small_fleet(4);
+        let reqs = online_reqs(24, 8.0);
+        for policy in RouterPolicy::all_default() {
+            let serial = fleet.run_with(&SweepRunner::serial(), policy, &reqs);
+            let parallel = fleet.run_with(&SweepRunner::new(4), policy, &reqs);
+            assert_eq!(serial, parallel, "{policy}");
+        }
+    }
+
+    #[test]
+    fn empty_stream_yields_empty_report() {
+        let fleet = small_fleet(2);
+        let report = fleet.run_with(&SweepRunner::serial(), RouterPolicy::RoundRobin, &[]);
+        assert_eq!(report.stats.requests, 0);
+        assert!(report.latency.is_none());
+    }
+}

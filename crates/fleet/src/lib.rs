@@ -1,0 +1,44 @@
+//! Fleet simulation: many engine replicas behind a request router.
+//!
+//! The paper — and every other crate in this workspace — models a
+//! *single* serving instance. Real deployments serve heavy traffic by
+//! running N replicas of an engine behind a load balancer; this crate
+//! is that missing tier (the cluster level MLSYSIM argues for, one up
+//! from the accelerator level):
+//!
+//! * [`Fleet`] owns N replicas, each an engine behind a
+//!   [`seesaw_engine::OnlineEngine`] trait object — Seesaw, vLLM, or
+//!   disaggregated backends, heterogeneous mixes allowed.
+//! * [`Router`] walks the global arrival-sorted stream once and
+//!   assigns every request to a replica under a pluggable
+//!   [`RouterPolicy`]: round-robin, join-shortest-queue,
+//!   power-of-two-choices (seeded), or least-estimated-work using the
+//!   roofline service-rate estimates.
+//! * [`Fleet::run_with`] splits the stream per replica (order- and
+//!   therefore arrival-sortedness-preserving), runs every replica
+//!   through its existing per-engine online path — concurrently, on a
+//!   [`seesaw_engine::SweepRunner`] — and merges the per-replica
+//!   timelines into a [`FleetReport`] with fleet-level latency
+//!   percentiles, SLO attainment, goodput, and per-replica
+//!   load-imbalance statistics.
+//! * [`sweep`] evaluates capacity-scaling grids (replica count ×
+//!   offered load) and router-policy head-to-head comparisons.
+//!
+//! Everything is deterministic: routing is a single serial pass,
+//! replica simulations are independent, and results are collected in
+//! replica order — so fleet output is byte-identical for every
+//! `--jobs` value, and a single-replica round-robin fleet reproduces
+//! the bare engine's report exactly.
+
+pub mod fleet;
+pub mod report;
+pub mod router;
+pub mod sweep;
+
+pub use fleet::Fleet;
+pub use report::{FleetReport, LoadImbalance};
+pub use router::{Router, RouterPolicy};
+pub use sweep::{
+    offline_capacity, policy_comparison_at_capacity_with, policy_comparison_with,
+    scaling_sweep_at_capacity_with, scaling_sweep_with, FleetPoint, FleetScalingSweep,
+};

@@ -1,0 +1,351 @@
+//! Request routing policies over N replicas.
+//!
+//! The router sees the global request stream in arrival order and
+//! assigns each request to a replica *at its arrival instant*, using
+//! only information available then: per-replica bookkeeping of what
+//! has been dispatched, and analytic service-time estimates
+//! ([`seesaw_engine::ServiceRates`]) — never the simulated outcome,
+//! which does not exist yet (replicas simulate after routing). Each
+//! replica is modeled as a virtual FIFO server: a routed request
+//! occupies it for its estimated service time, and requests whose
+//! estimated completion has passed are drained before each decision.
+//! This is exactly the state a production load balancer tracks
+//! (outstanding requests / estimated backlog per backend).
+//!
+//! All policies are deterministic: [`RouterPolicy::PowerOfTwoChoices`]
+//! carries its own RNG seed, and queue-state ties break by a
+//! deterministic round-robin rotor (never "always replica 0", which
+//! would pile every request onto one replica whenever the estimated
+//! queues drain between arrivals — light load must degenerate to
+//! round-robin, not to a hot spot).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seesaw_workload::Request;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// How the fleet router picks a replica for each arriving request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RouterPolicy {
+    /// Request `i` goes to replica `i mod N` — load-oblivious, the
+    /// baseline every balancer is measured against.
+    RoundRobin,
+    /// Fewest outstanding (dispatched, not yet estimated-complete)
+    /// requests wins.
+    JoinShortestQueue,
+    /// Sample two distinct replicas with the seeded RNG and keep the
+    /// one with fewer outstanding requests — the classic
+    /// "power of two choices" balancer (near-JSQ balance at O(1)
+    /// inspection cost).
+    PowerOfTwoChoices {
+        /// RNG seed: same seed, same choices.
+        seed: u64,
+    },
+    /// Least estimated outstanding *work* (sum of roofline-estimated
+    /// service seconds still in flight) wins — JSQ weighted by
+    /// request size, so one huge prompt counts for more than several
+    /// small ones. The only policy that uses the cost model beyond
+    /// queue expiry.
+    LeastEstimatedWork,
+}
+
+impl std::fmt::Display for RouterPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterPolicy::RoundRobin => write!(f, "round-robin"),
+            RouterPolicy::JoinShortestQueue => write!(f, "jsq"),
+            RouterPolicy::PowerOfTwoChoices { .. } => write!(f, "po2"),
+            RouterPolicy::LeastEstimatedWork => write!(f, "least-work"),
+        }
+    }
+}
+
+impl RouterPolicy {
+    /// The four policies at their defaults (po2 seeded with 0), in
+    /// comparison-table order.
+    pub fn all_default() -> Vec<RouterPolicy> {
+        vec![
+            RouterPolicy::RoundRobin,
+            RouterPolicy::JoinShortestQueue,
+            RouterPolicy::PowerOfTwoChoices { seed: 0 },
+            RouterPolicy::LeastEstimatedWork,
+        ]
+    }
+}
+
+/// One replica's virtual FIFO server: requests in estimated flight.
+#[derive(Debug, Default, Clone)]
+struct VirtualQueue {
+    /// `(estimated completion, estimated service)` per in-flight
+    /// request, in dispatch order (FIFO server ⇒ completion order).
+    inflight: VecDeque<(f64, f64)>,
+    /// When the virtual server frees up.
+    busy_until: f64,
+    /// Sum of estimated service seconds still in flight.
+    work: f64,
+}
+
+impl VirtualQueue {
+    /// Drain requests whose estimated completion has passed `now`.
+    fn advance_to(&mut self, now: f64) {
+        while let Some(&(done, service)) = self.inflight.front() {
+            if done > now {
+                break;
+            }
+            self.inflight.pop_front();
+            self.work = (self.work - service).max(0.0);
+        }
+        // Snap a drained queue to exactly 0.0: the running sum leaves
+        // ~1e-17 residues (`(a+b)-a-b != 0` in f64), and the
+        // round-robin tie-break compares keys *exactly* — a residue
+        // would permanently exclude this replica from "empty" ties,
+        // hot-spotting the residue-free ones at light load.
+        if self.inflight.is_empty() {
+            self.work = 0.0;
+        }
+    }
+
+    /// Dispatch a request of estimated service `est` arriving at `now`.
+    fn push(&mut self, now: f64, est: f64) {
+        let start = now.max(self.busy_until);
+        let done = start + est;
+        self.busy_until = done;
+        self.work += est;
+        self.inflight.push_back((done, est));
+    }
+}
+
+/// Streaming router: feed it the arrival-sorted request stream and it
+/// yields a replica index per request.
+#[derive(Debug)]
+pub struct Router {
+    policy: RouterPolicy,
+    queues: Vec<VirtualQueue>,
+    /// Round-robin cursor: the next replica for `RoundRobin`, and the
+    /// tie-break rotor for the queue-state policies.
+    rr_next: usize,
+    rng: Option<StdRng>,
+}
+
+impl Router {
+    /// Router over `n_replicas` under `policy`.
+    pub fn new(policy: RouterPolicy, n_replicas: usize) -> Self {
+        assert!(n_replicas > 0, "a fleet needs at least one replica");
+        let rng = match policy {
+            RouterPolicy::PowerOfTwoChoices { seed } => Some(StdRng::seed_from_u64(seed)),
+            _ => None,
+        };
+        Router {
+            policy,
+            queues: vec![VirtualQueue::default(); n_replicas],
+            rr_next: 0,
+            rng,
+        }
+    }
+
+    /// Number of replicas routed over.
+    pub fn n_replicas(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Route one request (arrivals must be fed in nondecreasing
+    /// order). `est_service` maps `(replica, request)` to the
+    /// roofline-estimated service seconds on that replica — evaluated
+    /// once, for the chosen replica (heterogeneous fleets have
+    /// per-replica rates).
+    pub fn route(&mut self, req: &Request, est_service: impl Fn(usize, &Request) -> f64) -> usize {
+        let now = req.arrival_s;
+        let n = self.queues.len();
+        // Round-robin never consults queue state or service
+        // estimates — skip the bookkeeping entirely (`est_service` is
+        // not called, so load-oblivious fleets need no rates at all).
+        if self.policy == RouterPolicy::RoundRobin {
+            let r = self.rr_next;
+            self.rr_next = (self.rr_next + 1) % n;
+            return r;
+        }
+        for q in &mut self.queues {
+            q.advance_to(now);
+        }
+        let chosen = match self.policy {
+            RouterPolicy::RoundRobin => unreachable!("handled above"),
+            RouterPolicy::JoinShortestQueue => self.argmin_by(|q| q.inflight.len() as f64),
+            RouterPolicy::PowerOfTwoChoices { .. } => {
+                if n == 1 {
+                    0
+                } else {
+                    let rng = self.rng.as_mut().expect("po2 router has an RNG");
+                    let a = rng.gen_range(0..n);
+                    let mut b = rng.gen_range(0..n - 1);
+                    if b >= a {
+                        b += 1;
+                    }
+                    // The first sample wins ties — it is already
+                    // uniform, so tied (e.g. drained) queues spread
+                    // instead of hot-spotting a fixed index.
+                    if self.queues[b].inflight.len() < self.queues[a].inflight.len() {
+                        b
+                    } else {
+                        a
+                    }
+                }
+            }
+            RouterPolicy::LeastEstimatedWork => self.argmin_by(|q| q.work),
+        };
+        let est = est_service(chosen, req);
+        assert!(
+            est.is_finite() && est > 0.0,
+            "service estimate must be positive and finite, got {est}"
+        );
+        self.queues[chosen].push(now, est);
+        chosen
+    }
+
+    /// Replica minimizing `key`; exact ties resolve round-robin (the
+    /// first tied replica at or after the rotor, cyclically), so a
+    /// fleet whose estimated queues keep draining — light load —
+    /// degenerates to round-robin instead of a fixed-index hot spot.
+    fn argmin_by(&mut self, key: impl Fn(&VirtualQueue) -> f64) -> usize {
+        let n = self.queues.len();
+        let min = self
+            .queues
+            .iter()
+            .map(&key)
+            .fold(f64::INFINITY, f64::min);
+        for off in 0..n {
+            let i = (self.rr_next + off) % n;
+            if key(&self.queues[i]) == min {
+                self.rr_next = (i + 1) % n;
+                return i;
+            }
+        }
+        unreachable!("some replica attains the minimum")
+    }
+}
+
+/// Route a whole arrival-sorted stream, returning one replica index
+/// per request.
+pub fn assign(
+    policy: RouterPolicy,
+    n_replicas: usize,
+    reqs: &[Request],
+    est_service: impl Fn(usize, &Request) -> f64,
+) -> Vec<usize> {
+    let mut router = Router::new(policy, n_replicas);
+    reqs.iter().map(|r| router.route(r, &est_service)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reqs_at(gaps: &[f64]) -> Vec<Request> {
+        let mut t = 0.0;
+        gaps.iter()
+            .enumerate()
+            .map(|(i, g)| {
+                t += g;
+                Request::new(i as u64, 100, 10).with_arrival(t)
+            })
+            .collect()
+    }
+
+    const UNIT_EST: fn(usize, &Request) -> f64 = |_, _| 1.0;
+
+    #[test]
+    fn round_robin_cycles() {
+        let reqs = reqs_at(&[0.0; 7]);
+        let a = assign(RouterPolicy::RoundRobin, 3, &reqs, UNIT_EST);
+        assert_eq!(a, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn jsq_spreads_a_burst_then_reuses_idle_replicas() {
+        // Four simultaneous arrivals over two replicas: 2 + 2.
+        let burst = reqs_at(&[0.0, 0.0, 0.0, 0.0]);
+        let a = assign(RouterPolicy::JoinShortestQueue, 2, &burst, UNIT_EST);
+        assert_eq!(a, vec![0, 1, 0, 1]);
+        // With long gaps every queue drains before each arrival:
+        // ties round-robin instead of hot-spotting replica 0.
+        let sparse = reqs_at(&[10.0, 10.0, 10.0]);
+        let a = assign(RouterPolicy::JoinShortestQueue, 2, &sparse, UNIT_EST);
+        assert_eq!(a, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn least_work_accounts_request_size() {
+        // Two arrivals at t=0: the second sees replica 0 holding one
+        // *big* request and prefers replica 1; a third still sees
+        // replica 1's small backlog as lighter than 0's big one.
+        let reqs = reqs_at(&[0.0, 0.0, 0.0]);
+        let sized = |_: usize, r: &Request| if r.id == 0 { 100.0 } else { 1.0 };
+        let a = assign(RouterPolicy::LeastEstimatedWork, 2, &reqs, sized);
+        assert_eq!(a, vec![0, 1, 1]);
+        // JSQ, blind to size, would alternate.
+        let b = assign(RouterPolicy::JoinShortestQueue, 2, &reqs, sized);
+        assert_eq!(b, vec![0, 1, 0]);
+    }
+
+    /// Summing then subtracting estimated work leaves ~1e-17 f64
+    /// residues; a drained queue must compare exactly equal to a
+    /// never-used one or least-work would permanently shun it.
+    #[test]
+    fn least_work_drained_queues_tie_despite_fp_residue() {
+        let reqs = vec![
+            Request::new(0, 100, 10).with_arrival(0.0),
+            Request::new(1, 100, 10).with_arrival(0.0),
+            Request::new(2, 100, 10).with_arrival(0.0),
+            Request::new(3, 100, 10).with_arrival(10.0),
+            Request::new(4, 100, 10).with_arrival(20.0),
+        ];
+        // 0.1 + 0.3 - 0.1 - 0.3 != 0.0 in f64: queue 0 accumulates
+        // exactly that residue across the burst.
+        let est = |_: usize, r: &Request| if r.id == 1 || r.id == 2 { 0.3 } else { 0.1 };
+        let a = assign(RouterPolicy::LeastEstimatedWork, 2, &reqs, est);
+        assert_eq!(&a[..3], &[0, 1, 0], "burst routes by outstanding work");
+        assert_ne!(
+            a[3], a[4],
+            "drained queues must tie and rotate, not hot-spot the residue-free replica"
+        );
+    }
+
+    #[test]
+    fn po2_is_seed_deterministic() {
+        let reqs = reqs_at(&[0.2; 40]);
+        let p = RouterPolicy::PowerOfTwoChoices { seed: 9 };
+        assert_eq!(assign(p, 4, &reqs, UNIT_EST), assign(p, 4, &reqs, UNIT_EST));
+        // Uses more than one replica on a long stream.
+        let a = assign(p, 4, &reqs, UNIT_EST);
+        assert!(a.iter().any(|&r| r != a[0]));
+        // Every choice in range.
+        assert!(a.iter().all(|&r| r < 4));
+    }
+
+    #[test]
+    fn po2_single_replica_never_panics() {
+        let reqs = reqs_at(&[0.0, 0.0]);
+        let a = assign(RouterPolicy::PowerOfTwoChoices { seed: 1 }, 1, &reqs, UNIT_EST);
+        assert_eq!(a, vec![0, 0]);
+    }
+
+    #[test]
+    fn queue_expiry_uses_estimated_completions() {
+        // One replica busy for ~2s (est 1.0 each, back to back): at
+        // t=3 both completed, so JSQ sees empty queues again.
+        let mut router = Router::new(RouterPolicy::JoinShortestQueue, 2);
+        let r0 = Request::new(0, 100, 10).with_arrival(0.0);
+        let r1 = Request::new(1, 100, 10).with_arrival(0.0);
+        let r2 = Request::new(2, 100, 10).with_arrival(3.0);
+        assert_eq!(router.route(&r0, UNIT_EST), 0);
+        assert_eq!(router.route(&r1, UNIT_EST), 1);
+        assert_eq!(router.route(&r2, UNIT_EST), 0, "drained queues tie; rotor returns to 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn bad_estimates_rejected() {
+        let reqs = reqs_at(&[0.0]);
+        assign(RouterPolicy::JoinShortestQueue, 2, &reqs, |_, _| 0.0);
+    }
+}

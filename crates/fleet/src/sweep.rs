@@ -1,0 +1,337 @@
+//! Fleet-level sweeps: capacity scaling (replica count × offered
+//! load) and router-policy head-to-head comparison.
+//!
+//! Both sweeps follow the serving harness's methodology: one
+//! unit-rate Poisson arrival pattern is sampled per seed and *scaled*
+//! per point, so every grid cell replays the same requests in the
+//! same order and differs only in pacing. Offered load is expressed
+//! as a multiple of `N ×` the single replica's measured *offline*
+//! capacity, so the goodput knee of a well-balanced fleet sits near
+//! multiplier 1.0 for every N — deviations from that are exactly the
+//! routing/imbalance losses this tier exists to measure.
+//!
+//! Grid cells are independent fleet runs evaluated on a
+//! [`SweepRunner`]; within each cell the replicas parallelize on the
+//! same runner's nested budget. Output is byte-identical for every
+//! `--jobs` value.
+
+use crate::fleet::Fleet;
+use crate::report::FleetReport;
+use crate::router::RouterPolicy;
+use seesaw_engine::{OnlineEngine, SweepRunner};
+use seesaw_workload::{ArrivalDist, Request, SloSpec, ARRIVAL_SEED_SALT};
+use serde::{Deserialize, Serialize};
+
+/// Builder for one replica (called once per replica per fleet).
+pub type ReplicaBuilder<'a> = &'a (dyn Fn(usize) -> Box<dyn OnlineEngine> + Sync);
+
+/// One evaluated fleet grid cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetPoint {
+    /// Replicas in the fleet.
+    pub n_replicas: usize,
+    /// Offered load as a multiple of `n_replicas ×` single-replica
+    /// offline capacity.
+    pub load_multiplier: f64,
+    /// Offered load, requests/second.
+    pub offered_rps: f64,
+    /// Fraction of requests meeting the SLO.
+    pub attainment: f64,
+    /// SLO-meeting requests per second over the fleet makespan.
+    pub goodput_rps: f64,
+    /// The full fleet run behind the numbers.
+    pub report: FleetReport,
+}
+
+/// A completed replica-count × offered-load scaling sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetScalingSweep {
+    /// Replica configuration label (replica 0's).
+    pub label: String,
+    /// Workload name.
+    pub workload: String,
+    /// Routing policy used at every cell.
+    pub policy: RouterPolicy,
+    /// The SLO every point is judged against.
+    pub slo: SloSpec,
+    /// Measured single-replica *offline* throughput on the base
+    /// request set (the unit the load multipliers scale from).
+    pub capacity_rps: f64,
+    /// Replica counts swept (row order).
+    pub replica_counts: Vec<usize>,
+    /// Load multipliers swept (column order).
+    pub multipliers: Vec<f64>,
+    /// Points in row-major `replica_counts × multipliers` order.
+    pub points: Vec<FleetPoint>,
+}
+
+impl FleetScalingSweep {
+    /// The point at (`n_replicas`, `multiplier`) if it was swept.
+    pub fn point(&self, n_replicas: usize, multiplier: f64) -> Option<&FleetPoint> {
+        self.points
+            .iter()
+            .find(|p| p.n_replicas == n_replicas && p.load_multiplier == multiplier)
+    }
+}
+
+/// Measure the single-replica offline capacity of `build`'s engine on
+/// `base` (arrival times ignored), returning `(capacity_rps, label)`
+/// so callers running several sweeps over the same scenario measure
+/// once and thread the result through the `*_at_capacity_with`
+/// variants.
+pub fn offline_capacity(build: ReplicaBuilder, base: &[Request]) -> (f64, String) {
+    let offline: Vec<Request> = base.iter().map(|r| r.with_arrival(0.0)).collect();
+    let engine = build(0);
+    (engine.run(&offline).throughput_rps(), engine.label())
+}
+
+/// Scale one unit-rate arrival pattern to `rate` and attach it to
+/// `base` (whatever arrival times `base` carried are replaced).
+fn paced(base: &[Request], unit: &[f64], rate: f64) -> Vec<Request> {
+    base.iter()
+        .zip(unit)
+        .map(|(r, &t)| r.with_arrival(t / rate))
+        .collect()
+}
+
+/// Sweep fleets of `replica_counts` homogeneous replicas over
+/// `multipliers ×` their aggregate capacity, under one routing
+/// `policy`. The arrival pattern is Poisson, sampled once at unit
+/// rate from `seed` (salted, like every serving sweep) and rescaled
+/// per cell.
+#[allow(clippy::too_many_arguments)]
+pub fn scaling_sweep_with(
+    runner: &SweepRunner,
+    build: ReplicaBuilder,
+    workload: &str,
+    base: &[Request],
+    replica_counts: &[usize],
+    multipliers: &[f64],
+    policy: RouterPolicy,
+    slo: SloSpec,
+    seed: u64,
+) -> FleetScalingSweep {
+    let (capacity_rps, label) = offline_capacity(build, base);
+    scaling_sweep_at_capacity_with(
+        runner,
+        build,
+        workload,
+        base,
+        (capacity_rps, &label),
+        replica_counts,
+        multipliers,
+        policy,
+        slo,
+        seed,
+    )
+}
+
+/// [`scaling_sweep_with`] with a pre-measured `(capacity_rps, label)`
+/// (from [`offline_capacity`]), so several sweeps over one scenario
+/// do not re-measure the offline run.
+#[allow(clippy::too_many_arguments)]
+pub fn scaling_sweep_at_capacity_with(
+    runner: &SweepRunner,
+    build: ReplicaBuilder,
+    workload: &str,
+    base: &[Request],
+    (capacity_rps, label): (f64, &str),
+    replica_counts: &[usize],
+    multipliers: &[f64],
+    policy: RouterPolicy,
+    slo: SloSpec,
+    seed: u64,
+) -> FleetScalingSweep {
+    assert!(!base.is_empty(), "fleet sweep needs requests");
+    assert!(
+        replica_counts.iter().all(|&n| n > 0),
+        "replica counts must be positive"
+    );
+    assert!(
+        multipliers.iter().all(|&m| m.is_finite() && m > 0.0),
+        "load multipliers must be positive and finite"
+    );
+    assert!(
+        capacity_rps.is_finite() && capacity_rps > 0.0,
+        "capacity must be positive and finite, got {capacity_rps}"
+    );
+    let unit = ArrivalDist::Poisson { rate: 1.0 }
+        .sample_times(base.len(), seed ^ ARRIVAL_SEED_SALT)
+        .expect("unit-rate Poisson is valid");
+    let cells: Vec<(usize, f64)> = replica_counts
+        .iter()
+        .flat_map(|&n| multipliers.iter().map(move |&m| (n, m)))
+        .collect();
+    let points = runner.map(&cells, |&(n, m)| {
+        let rate = m * n as f64 * capacity_rps;
+        let reqs = paced(base, &unit, rate);
+        let fleet = Fleet::homogeneous(n, |i| build(i));
+        let report = fleet.run_with(runner, policy, &reqs);
+        FleetPoint {
+            n_replicas: n,
+            load_multiplier: m,
+            offered_rps: rate,
+            attainment: report.slo_attainment(slo),
+            goodput_rps: report.goodput_rps(slo),
+            report,
+        }
+    });
+    FleetScalingSweep {
+        label: label.into(),
+        workload: workload.into(),
+        policy,
+        slo,
+        capacity_rps,
+        replica_counts: replica_counts.to_vec(),
+        multipliers: multipliers.to_vec(),
+        points,
+    }
+}
+
+/// Run every `policy` head-to-head on the *same* fleet size, request
+/// stream, and offered load (a multiple of the fleet's aggregate
+/// capacity). Returns one [`FleetPoint`] per policy, in `policies`
+/// order (the point's `report.policy` names it).
+#[allow(clippy::too_many_arguments)]
+pub fn policy_comparison_with(
+    runner: &SweepRunner,
+    build: ReplicaBuilder,
+    base: &[Request],
+    n_replicas: usize,
+    multiplier: f64,
+    policies: &[RouterPolicy],
+    slo: SloSpec,
+    seed: u64,
+) -> Vec<FleetPoint> {
+    let (capacity_rps, _) = offline_capacity(build, base);
+    policy_comparison_at_capacity_with(
+        runner, build, base, capacity_rps, n_replicas, multiplier, policies, slo, seed,
+    )
+}
+
+/// [`policy_comparison_with`] with a pre-measured capacity (from
+/// [`offline_capacity`]).
+#[allow(clippy::too_many_arguments)]
+pub fn policy_comparison_at_capacity_with(
+    runner: &SweepRunner,
+    build: ReplicaBuilder,
+    base: &[Request],
+    capacity_rps: f64,
+    n_replicas: usize,
+    multiplier: f64,
+    policies: &[RouterPolicy],
+    slo: SloSpec,
+    seed: u64,
+) -> Vec<FleetPoint> {
+    assert!(!base.is_empty(), "policy comparison needs requests");
+    assert!(n_replicas > 0, "policy comparison needs replicas");
+    assert!(
+        capacity_rps.is_finite() && capacity_rps > 0.0,
+        "capacity must be positive and finite, got {capacity_rps}"
+    );
+    let unit = ArrivalDist::Poisson { rate: 1.0 }
+        .sample_times(base.len(), seed ^ ARRIVAL_SEED_SALT)
+        .expect("unit-rate Poisson is valid");
+    let rate = multiplier * n_replicas as f64 * capacity_rps;
+    let reqs = paced(base, &unit, rate);
+    runner.map(policies, |&policy| {
+        let fleet = Fleet::homogeneous(n_replicas, |i| build(i));
+        let report = fleet.run_with(runner, policy, &reqs);
+        FleetPoint {
+            n_replicas,
+            load_multiplier: multiplier,
+            offered_rps: rate,
+            attainment: report.slo_attainment(slo),
+            goodput_rps: report.goodput_rps(slo),
+            report,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seesaw_engine::vllm::VllmEngine;
+    use seesaw_engine::SchedulingPolicy;
+    use seesaw_hw::ClusterSpec;
+    use seesaw_model::presets;
+    use seesaw_parallel::ParallelConfig;
+    use seesaw_workload::WorkloadGen;
+    use std::sync::Arc;
+
+    fn builder() -> impl Fn(usize) -> Box<dyn OnlineEngine> + Sync {
+        let cluster = Arc::new(ClusterSpec::a10x4());
+        let model = Arc::new(presets::llama2_13b());
+        move |_| {
+            Box::new(
+                VllmEngine::new(
+                    Arc::clone(&cluster),
+                    Arc::clone(&model),
+                    ParallelConfig::new(1, 2, 2),
+                    SchedulingPolicy::PrefillPrioritized,
+                )
+                .expect("valid config"),
+            )
+        }
+    }
+
+    const SLO: SloSpec = SloSpec { ttft_s: 15.0, tpot_s: 0.05 };
+
+    #[test]
+    fn scaling_sweep_covers_the_grid_and_scales_offered_load() {
+        let build = builder();
+        let base = WorkloadGen::constant(768, 48).generate(16);
+        let sweep = scaling_sweep_with(
+            &SweepRunner::serial(),
+            &build,
+            "const",
+            &base,
+            &[1, 2],
+            &[0.5, 2.0],
+            RouterPolicy::JoinShortestQueue,
+            SLO,
+            42,
+        );
+        assert_eq!(sweep.points.len(), 4);
+        // Offered load scales with both axes.
+        let p11 = sweep.point(1, 0.5).unwrap();
+        let p22 = sweep.point(2, 2.0).unwrap();
+        assert!((p22.offered_rps / p11.offered_rps - 8.0).abs() < 1e-9);
+        // Every cell serves the full request set.
+        for p in &sweep.points {
+            assert_eq!(p.report.stats.requests, 16);
+            assert_eq!(p.report.n_replicas(), p.n_replicas);
+        }
+        // At the same multiplier, more replicas must not hurt
+        // attainment (each replica sees ~the same per-replica load).
+        let a1 = sweep.point(1, 0.5).unwrap().attainment;
+        let a2 = sweep.point(2, 0.5).unwrap().attainment;
+        assert!(a2 >= a1 - 0.25, "scaling out collapsed attainment: {a1} -> {a2}");
+    }
+
+    #[test]
+    fn policy_comparison_is_deterministic_and_complete() {
+        let build = builder();
+        let base = WorkloadGen::constant(768, 48).generate(16);
+        let run = |runner: &SweepRunner| {
+            policy_comparison_with(
+                runner,
+                &build,
+                &base,
+                2,
+                1.0,
+                &RouterPolicy::all_default(),
+                SLO,
+                42,
+            )
+        };
+        let serial = run(&SweepRunner::serial());
+        let parallel = run(&SweepRunner::new(4));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), 4);
+        for (p, policy) in serial.iter().zip(RouterPolicy::all_default()) {
+            assert_eq!(p.report.policy, policy);
+            assert_eq!(p.report.stats.requests, 16);
+        }
+    }
+}

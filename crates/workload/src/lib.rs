@@ -19,9 +19,11 @@ pub mod gen;
 pub mod latency;
 pub mod metrics;
 pub mod request;
+pub mod stream;
 
 pub use arrival::{ArrivalDist, ArrivalSampler};
 pub use gen::{LengthDist, WorkloadGen, ARRIVAL_SEED_SALT};
 pub use latency::{percentile, LatencyStats, LatencySummary, RequestTiming, SloSpec};
 pub use metrics::RunStats;
 pub use request::{LengthStats, Request, RequestMap};
+pub use stream::{merge_timelines, split_stream};

@@ -1,0 +1,123 @@
+//! Request-stream splitting and timeline merging for multi-replica
+//! (fleet) serving.
+//!
+//! A fleet router walks one global arrival-sorted stream and assigns
+//! each request to a replica; [`split_stream`] materializes the
+//! per-replica streams. Splitting is *order-preserving*, so every
+//! subsequence of an arrival-sorted stream is itself arrival-sorted —
+//! the invariant the engines' `assert_arrivals_sorted` guard enforces
+//! at admission (and the property `tests/prop_stream.rs` exercises
+//! over random traces).
+//!
+//! After each replica runs, [`merge_timelines`] recombines the
+//! per-replica [`RequestTiming`] timelines into one fleet-level
+//! timeline (id-sorted, matching the single-engine report
+//! convention) for aggregate latency/SLO statistics.
+
+use crate::latency::RequestTiming;
+use crate::request::Request;
+
+/// Split `reqs` into `n_streams` per-replica streams according to
+/// `assignment` (parallel to `reqs`; values in `[0, n_streams)`).
+/// Relative order within each stream matches the global stream, so
+/// arrival-sortedness is preserved per replica.
+pub fn split_stream(reqs: &[Request], assignment: &[usize], n_streams: usize) -> Vec<Vec<Request>> {
+    assert_eq!(
+        reqs.len(),
+        assignment.len(),
+        "assignment must cover every request"
+    );
+    let mut streams: Vec<Vec<Request>> = vec![Vec::new(); n_streams];
+    for (r, &a) in reqs.iter().zip(assignment) {
+        assert!(
+            a < n_streams,
+            "assignment {a} out of range for {n_streams} replicas"
+        );
+        streams[a].push(*r);
+    }
+    streams
+}
+
+/// Merge per-replica timelines into one id-sorted fleet timeline.
+/// Ids must be globally unique (they came from one request stream).
+pub fn merge_timelines<'a, I>(parts: I) -> Vec<RequestTiming>
+where
+    I: IntoIterator<Item = &'a [RequestTiming]>,
+{
+    let mut merged: Vec<RequestTiming> = parts.into_iter().flatten().copied().collect();
+    merged.sort_by_key(|t| t.id);
+    for w in merged.windows(2) {
+        assert!(
+            w[0].id != w[1].id,
+            "duplicate request id {} across replica timelines",
+            w[0].id
+        );
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_preserves_order_and_partitions() {
+        let reqs: Vec<Request> = (0..10)
+            .map(|i| Request::new(i, 100, 10).with_arrival(i as f64 * 0.5))
+            .collect();
+        let assignment: Vec<usize> = (0..10).map(|i| (i % 3) as usize).collect();
+        let streams = split_stream(&reqs, &assignment, 3);
+        assert_eq!(streams.iter().map(Vec::len).sum::<usize>(), 10);
+        for s in &streams {
+            assert!(
+                s.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
+                "split streams must stay arrival-sorted"
+            );
+        }
+        assert_eq!(streams[0].iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn empty_streams_are_fine() {
+        let reqs = vec![Request::new(0, 10, 1)];
+        let streams = split_stream(&reqs, &[2], 4);
+        assert_eq!(streams[2].len(), 1);
+        assert!(streams[0].is_empty() && streams[1].is_empty() && streams[3].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_assignment_rejected() {
+        split_stream(&[Request::new(0, 10, 1)], &[1], 1);
+    }
+
+    #[test]
+    fn merge_sorts_by_id() {
+        let t = |id: u64| RequestTiming {
+            id,
+            arrival_s: 0.0,
+            first_token_s: 1.0,
+            completion_s: 2.0,
+            output_len: 4,
+        };
+        let a = vec![t(3), t(5)];
+        let b = vec![t(0), t(4)];
+        let merged = merge_timelines([a.as_slice(), b.as_slice()]);
+        assert_eq!(merged.iter().map(|x| x.id).collect::<Vec<_>>(), vec![0, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate request id")]
+    fn merge_rejects_duplicate_ids() {
+        let t = |id: u64| RequestTiming {
+            id,
+            arrival_s: 0.0,
+            first_token_s: 1.0,
+            completion_s: 2.0,
+            output_len: 4,
+        };
+        let a = vec![t(3)];
+        let b = vec![t(3)];
+        merge_timelines([a.as_slice(), b.as_slice()]);
+    }
+}

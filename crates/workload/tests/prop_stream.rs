@@ -1,0 +1,88 @@
+//! Property tests for fleet stream splitting: an arrival-sorted
+//! global stream split by *any* assignment stays arrival-sorted per
+//! replica (order preservation), partitions exactly, and merges back
+//! losslessly — so a router can never trip the engines'
+//! `assert_arrivals_sorted` guard.
+
+use proptest::prelude::*;
+use seesaw_workload::{merge_timelines, split_stream, ArrivalDist, Request, RequestTiming};
+
+/// Random nondecreasing arrival trace of `n` requests.
+fn traced_requests(n: usize, seed: u64, rate: f64, cv: f64) -> Vec<Request> {
+    let base: Vec<Request> = (0..n).map(|i| Request::new(i as u64, 64, 8)).collect();
+    ArrivalDist::Gamma { rate, cv }
+        .attach(&base, seed)
+        .expect("valid arrival process")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any assignment of an arrival-sorted stream yields per-replica
+    /// streams that are themselves arrival-sorted and partition the
+    /// input exactly.
+    #[test]
+    fn split_streams_stay_arrival_sorted(
+        n in 1usize..200,
+        n_replicas in 1usize..9,
+        seed in 0u64..1000,
+        rate in 0.1f64..50.0,
+        cv in 0.1f64..4.0,
+        assign_seed in 0u64..1000,
+    ) {
+        let reqs = traced_requests(n, seed, rate, cv);
+        prop_assert!(reqs.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        // Arbitrary assignment, independent of the arrivals.
+        let mut x = assign_seed.wrapping_mul(2).wrapping_add(1);
+        let assignment: Vec<usize> = (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) as usize % n_replicas
+            })
+            .collect();
+        let streams = split_stream(&reqs, &assignment, n_replicas);
+        prop_assert_eq!(streams.len(), n_replicas);
+        prop_assert_eq!(streams.iter().map(Vec::len).sum::<usize>(), n);
+        for (r, s) in streams.iter().enumerate() {
+            prop_assert!(
+                s.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
+                "replica {} stream lost arrival order", r
+            );
+            for req in s {
+                prop_assert_eq!(assignment[req.id as usize], r, "request on the wrong replica");
+            }
+        }
+    }
+
+    /// Splitting then merging per-replica timelines reproduces every
+    /// request exactly once, id-sorted.
+    #[test]
+    fn split_then_merge_is_lossless(
+        n in 1usize..150,
+        n_replicas in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let reqs = traced_requests(n, seed, 2.0, 1.0);
+        let assignment: Vec<usize> = (0..n).map(|i| i % n_replicas).collect();
+        let streams = split_stream(&reqs, &assignment, n_replicas);
+        let timelines: Vec<Vec<RequestTiming>> = streams
+            .iter()
+            .map(|s| {
+                s.iter()
+                    .map(|r| RequestTiming {
+                        id: r.id,
+                        arrival_s: r.arrival_s,
+                        first_token_s: r.arrival_s + 0.1,
+                        completion_s: r.arrival_s + 1.0,
+                        output_len: r.output_len,
+                    })
+                    .collect()
+            })
+            .collect();
+        let merged = merge_timelines(timelines.iter().map(Vec::as_slice));
+        prop_assert_eq!(merged.len(), n);
+        for (i, t) in merged.iter().enumerate() {
+            prop_assert_eq!(t.id, i as u64, "merged timeline must be id-sorted and complete");
+        }
+    }
+}

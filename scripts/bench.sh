@@ -2,9 +2,9 @@
 # CI performance gate: build release, regenerate the sweep/sims
 # benchmark, and fail when
 #   * parallel figure output diverges from serial (determinism), or
-#   * any sims/sec figure (seesaw, vllm, or the online-serving
-#     load-point rate "serving") regresses >20% vs the committed
-#     BENCH_sweep.json.
+#   * any sims/sec figure (seesaw, vllm, the online-serving
+#     load-point rate "serving", or the 4-replica-JSQ fleet grid-cell
+#     rate "fleet") regresses >20% vs the committed BENCH_sweep.json.
 #
 # Usage: scripts/bench.sh [subsample] [--jobs N]
 #   subsample defaults to 8 (the committed artifact's setting).
