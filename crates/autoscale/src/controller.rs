@@ -1,0 +1,660 @@
+//! The autoscaling controller: replay a long arrival trace through a
+//! time-sliced elastic fleet, growing and shrinking the replica count
+//! online.
+//!
+//! Time advances in fixed control windows. Within a window the
+//! controller routes each arrival over the replicas *currently
+//! accepting traffic* (warm, not retiring) using the fleet tier's
+//! resumable [`Router`]; at the window boundary it reads the cheap
+//! observable signals — queue depth, offered load, estimated
+//! utilization, estimated TTFT attainment — and lets the
+//! [`ScalingPolicy`] propose an action, subject to its cooldown:
+//!
+//! * **Scale up** spawns replicas that pay a warm-up delay
+//!   (weight-load time) before accepting traffic; routing flows
+//!   around them until they are ready, so warm-up manifests as
+//!   *delayed capacity* — the still-warming replica leaves the rest
+//!   of the fleet congested, which the measured TTFT/attainment pick
+//!   up. Dispatch goes through
+//!   [`seesaw_engine::OnlineEngine::run_ready`], whose ready-time
+//!   clamp is the engine-level guard of the same contract (a no-op
+//!   here because the router never hands a warming replica traffic,
+//!   but load-bearing for streams assembled without the router).
+//! * **Scale down** marks replicas as retiring: they stop receiving
+//!   new requests and *drain* their in-flight work before
+//!   disappearing — the replica's billed lifetime extends to its last
+//!   completion.
+//!
+//! Routing decisions use only a-priori state (virtual queues and
+//! roofline service estimates), so the whole decision trajectory is
+//! deterministic and independent of the [`SweepRunner`]; the real
+//! engine simulations run once per replica after the trajectory is
+//! fixed, in parallel, and merge into an ordinary [`FleetReport`]
+//! judged by measured (not estimated) latency. A [`ScalingPolicy::Static`]
+//! trajectory never scales, which makes the elastic run collapse
+//! exactly — byte-for-byte — onto the fixed [`seesaw_fleet::Fleet`]
+//! of the same size.
+
+use crate::policy::{ScaleDecision, ScalingPolicy};
+use seesaw_engine::driver::assert_arrivals_sorted;
+use seesaw_engine::online::mean_lengths;
+use seesaw_engine::{OnlineEngine, ServiceRates, SweepRunner};
+use seesaw_fleet::sweep::ReplicaBuilder;
+use seesaw_fleet::{FleetReport, Router, RouterPolicy};
+use seesaw_workload::{windowed_metrics, Request, SloSpec, WindowMetrics};
+use serde::{Deserialize, Serialize};
+
+/// Controller configuration shared by every policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutoscaleConfig {
+    /// Control-window length, seconds: signals are observed and
+    /// decisions taken at these boundaries.
+    pub window_s: f64,
+    /// Warm-up (weight-load) delay a freshly spawned replica pays
+    /// before it accepts traffic, seconds. Replicas provisioned at
+    /// t = 0 start warm.
+    pub warmup_s: f64,
+    /// Fewest replicas the fleet may shrink to (≥ 1).
+    pub min_replicas: usize,
+    /// Most replicas the fleet may grow to.
+    pub max_replicas: usize,
+    /// Request-routing policy inside the fleet.
+    pub router: RouterPolicy,
+    /// The SLO decisions are proxied against and measurements judged
+    /// by.
+    pub slo: SloSpec,
+    /// Measured single-replica offline capacity, requests/second —
+    /// the calibration every signal is computed against (see
+    /// [`seesaw_fleet::offline_capacity`]). The roofline service
+    /// estimates the router ranks replicas with are steady-state
+    /// token rates and run several-fold optimistic against the
+    /// simulated engines; routing only needs their *relative* order,
+    /// but utilization/backlog signals need absolute scale, exactly
+    /// like a production autoscaler is calibrated against measured
+    /// backend throughput.
+    pub capacity_rps: f64,
+}
+
+impl AutoscaleConfig {
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.window_s.is_finite() && self.window_s > 0.0) {
+            return Err(format!(
+                "control window must be finite and > 0, got {}",
+                self.window_s
+            ));
+        }
+        if !(self.warmup_s.is_finite() && self.warmup_s >= 0.0) {
+            return Err(format!(
+                "warm-up delay must be finite and >= 0, got {}",
+                self.warmup_s
+            ));
+        }
+        if self.min_replicas == 0 {
+            return Err("min_replicas must be at least 1".into());
+        }
+        if self.max_replicas < self.min_replicas {
+            return Err(format!(
+                "max_replicas {} must be >= min_replicas {}",
+                self.max_replicas, self.min_replicas
+            ));
+        }
+        if !(self.capacity_rps.is_finite() && self.capacity_rps > 0.0) {
+            return Err(format!(
+                "calibration capacity must be finite and > 0, got {}",
+                self.capacity_rps
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for AutoscaleConfig {
+    /// The `autoscale` bin's defaults: 5-minute control windows,
+    /// 60-second weight-load warm-up, 1–16 replicas,
+    /// join-shortest-queue routing, and the serving harness's SLO.
+    fn default() -> Self {
+        AutoscaleConfig {
+            window_s: 300.0,
+            warmup_s: 60.0,
+            min_replicas: 1,
+            max_replicas: 16,
+            router: RouterPolicy::JoinShortestQueue,
+            slo: SloSpec { ttft_s: 15.0, tpot_s: 0.05 },
+            capacity_rps: 1.0,
+        }
+    }
+}
+
+/// The signals a policy sees at one window boundary — all a-priori
+/// (router virtual-queue) state, the kind a production autoscaler
+/// actually has before any request finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowSignals {
+    /// Window start, seconds (inclusive).
+    pub t0: f64,
+    /// Window end, seconds (exclusive) — the decision instant.
+    pub t1: f64,
+    /// Requests that arrived in the window.
+    pub arrivals: usize,
+    /// Offered load over the window, requests/second.
+    pub offered_rps: f64,
+    /// Estimated outstanding requests at the window end, from the
+    /// capacity-calibrated fluid backlog (work not yet served,
+    /// expressed in mean-request units; near 0 whenever the fleet
+    /// keeps up, growing when offered load exceeds capacity).
+    pub queue_depth: f64,
+    /// Fraction of the window's arrivals whose *estimated* queue wait
+    /// (fluid backlog over accepting replicas at the arrival instant)
+    /// met the TTFT SLO (1.0 when nothing arrived).
+    pub est_attainment: f64,
+    /// Estimated utilization: capacity-calibrated offered
+    /// service-seconds in the window per accepting replica-second.
+    pub utilization_est: f64,
+    /// Replicas accepting traffic at the window end.
+    pub ready: usize,
+    /// Live replicas at the window end (accepting + warming, not
+    /// retiring).
+    pub provisioned: usize,
+}
+
+/// One scale event in the decision log.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScaleEvent {
+    /// When the decision was taken (a window boundary), seconds.
+    pub t_s: f64,
+    /// Live replicas before the event.
+    pub from: usize,
+    /// Live replicas after the event.
+    pub to: usize,
+}
+
+/// One replica's lifetime, as billed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaLifecycle {
+    /// When the replica was provisioned, seconds.
+    pub spawn_s: f64,
+    /// When it began accepting traffic (spawn + warm-up; 0 for the
+    /// initial fleet), seconds.
+    pub ready_s: f64,
+    /// When it was told to retire (`None` = lived to the horizon),
+    /// seconds.
+    pub retire_s: Option<f64>,
+    /// When it actually disappeared: after draining in-flight work
+    /// (measured last completion), or the horizon for survivors.
+    pub end_s: f64,
+    /// Requests it served.
+    pub requests: usize,
+}
+
+impl ReplicaLifecycle {
+    /// Billed lifetime, seconds.
+    pub fn billed_s(&self) -> f64 {
+        self.end_s - self.spawn_s
+    }
+}
+
+/// Outcome of one elastic-fleet trace replay: the merged fleet view
+/// plus the control trajectory and the cost accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElasticFleetReport {
+    /// The scaling policy that drove the trajectory.
+    pub policy: ScalingPolicy,
+    /// Controller configuration.
+    pub config: AutoscaleConfig,
+    /// Merged fleet run (every replica that ever existed, in spawn
+    /// order; the assignment maps requests to those indices).
+    pub fleet: FleetReport,
+    /// Per-window signals, in window order.
+    pub windows: Vec<WindowSignals>,
+    /// Scale events, in time order.
+    pub events: Vec<ScaleEvent>,
+    /// Per-replica lifetimes, in spawn order.
+    pub lifecycles: Vec<ReplicaLifecycle>,
+    /// Measured per-window serving metrics over the merged timeline.
+    /// At least one entry per control window; completions landing
+    /// past the horizon (the drain tail) extend the axis, so this may
+    /// be longer than [`ElasticFleetReport::windows`].
+    pub windowed: Vec<WindowMetrics>,
+    /// The control horizon (last window end), seconds.
+    pub horizon_s: f64,
+    /// Total billed replica-seconds — the frontier's cost axis.
+    pub replica_seconds: f64,
+    /// Most replicas ever live at once.
+    pub peak_replicas: usize,
+}
+
+impl ElasticFleetReport {
+    /// Fraction of all requests meeting the configured SLO
+    /// (measured, not estimated).
+    pub fn attainment(&self) -> f64 {
+        self.fleet.slo_attainment(self.config.slo)
+    }
+
+    /// SLO-meeting requests per second over the fleet makespan.
+    pub fn goodput_rps(&self) -> f64 {
+        self.fleet.goodput_rps(self.config.slo)
+    }
+
+    /// Time-averaged replica count over the horizon.
+    pub fn mean_replicas(&self) -> f64 {
+        if self.horizon_s > 0.0 {
+            self.replica_seconds / self.horizon_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One live replica's controller-side state during the replay.
+struct ReplicaState {
+    engine: Box<dyn OnlineEngine>,
+    rates: ServiceRates,
+    spawn_s: f64,
+    ready_s: f64,
+    retire_s: Option<f64>,
+    stream: Vec<Request>,
+}
+
+impl ReplicaState {
+    fn live(&self) -> bool {
+        self.retire_s.is_none()
+    }
+}
+
+/// The autoscaling controller: a [`ScalingPolicy`] bound to an
+/// [`AutoscaleConfig`], ready to replay traces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoscaleController {
+    /// Shared controller knobs.
+    pub config: AutoscaleConfig,
+    /// The replica-count policy.
+    pub policy: ScalingPolicy,
+}
+
+impl AutoscaleController {
+    /// A controller; panics on invalid configuration or policy (use
+    /// [`AutoscaleConfig::validate`] / [`ScalingPolicy::validate`]
+    /// for recoverable checks).
+    pub fn new(config: AutoscaleConfig, policy: ScalingPolicy) -> Self {
+        config.validate().unwrap_or_else(|e| panic!("invalid autoscale config: {e}"));
+        policy.validate().unwrap_or_else(|e| panic!("invalid scaling policy: {e}"));
+        AutoscaleController { config, policy }
+    }
+
+    /// Replay `requests` (sorted by arrival) on replicas built by
+    /// `build`, parallelizing the final engine simulations on the
+    /// environment's runner.
+    pub fn run(&self, build: ReplicaBuilder, requests: &[Request]) -> ElasticFleetReport {
+        self.run_with(&SweepRunner::from_env(), build, requests)
+    }
+
+    /// [`AutoscaleController::run`] on an explicit runner. The
+    /// decision trajectory is computed serially (it is causal:
+    /// window N+1's routing depends on window N's scaling), so the
+    /// runner only parallelizes the per-replica engine simulations —
+    /// output is byte-identical for every `--jobs` value.
+    pub fn run_with(
+        &self,
+        runner: &SweepRunner,
+        build: ReplicaBuilder,
+        requests: &[Request],
+    ) -> ElasticFleetReport {
+        let cfg = self.config;
+        assert_arrivals_sorted(requests);
+        let (avg_in, avg_out) = mean_lengths(requests);
+        let spawn = |idx: usize, spawn_s: f64, ready_s: f64| -> ReplicaState {
+            let engine = build(idx);
+            let rates = engine.service_rates(avg_in, avg_out);
+            ReplicaState { engine, rates, spawn_s, ready_s, retire_s: None, stream: Vec::new() }
+        };
+
+        let n0 = self.policy.initial_replicas(cfg.min_replicas, cfg.max_replicas);
+        let mut replicas: Vec<ReplicaState> =
+            (0..n0).map(|i| spawn(i, 0.0, 0.0)).collect();
+        let mut router = Router::new(cfg.router, n0);
+        let mut assignment = vec![0usize; requests.len()];
+
+        // Signal calibration: the roofline estimates are steady-state
+        // optimistic, so scale them such that the mean request costs
+        // exactly `1 / capacity_rps` seconds of replica time — the
+        // *measured* cost. The router keeps the raw estimates (their
+        // relative order is what routing needs, and it keeps Static
+        // trajectories byte-identical to the fixed fleet tier).
+        let mean_req = Request::new(u64::MAX, avg_in, avg_out);
+        let calib = 1.0 / (cfg.capacity_rps * replicas[0].rates.est_service_s(&mean_req));
+
+        let last_arrival = requests.last().map_or(0.0, |r| r.arrival_s);
+        let n_windows = (last_arrival / cfg.window_s) as usize + 1;
+        let horizon_s = n_windows as f64 * cfg.window_s;
+
+        let mut windows = Vec::with_capacity(n_windows);
+        let mut events = Vec::new();
+        let mut peak_replicas = n0;
+        let mut windows_since_event = self.policy.cooldown_windows();
+        let mut eligible: Vec<usize> = Vec::new();
+        let mut next = 0usize; // index of the first unrouted request
+        // Calibrated fluid backlog: outstanding replica-seconds of
+        // work, drained at one second per accepting replica-second.
+        let mut backlog_s = 0.0f64;
+        let mut backlog_t = 0.0f64;
+
+        for w in 0..n_windows {
+            let t0 = w as f64 * cfg.window_s;
+            let t1 = t0 + cfg.window_s;
+            let mut arrivals = 0usize;
+            let mut est_work_s = 0.0;
+            let mut waits_ok = 0usize;
+            while next < requests.len() && requests[next].arrival_s < t1 {
+                let req = &requests[next];
+                eligible.clear();
+                eligible.extend(replicas.iter().enumerate().filter_map(|(i, rep)| {
+                    (rep.live() && rep.ready_s <= req.arrival_s).then_some(i)
+                }));
+                assert!(
+                    !eligible.is_empty(),
+                    "no accepting replica at t={} (min_replicas guards this)",
+                    req.arrival_s
+                );
+                backlog_s = (backlog_s
+                    - (req.arrival_s - backlog_t) * eligible.len() as f64)
+                    .max(0.0);
+                backlog_t = req.arrival_s;
+                let routed = router.route_among(req, &eligible, |i, r| {
+                    replicas[i].rates.est_service_s(r)
+                });
+                assignment[next] = routed.replica;
+                let work = calib * replicas[routed.replica].rates.est_service_s(req);
+                waits_ok +=
+                    usize::from(backlog_s / eligible.len() as f64 <= cfg.slo.ttft_s);
+                backlog_s += work;
+                est_work_s += work;
+                replicas[routed.replica].stream.push(*req);
+                arrivals += 1;
+                next += 1;
+            }
+
+            // Observe the boundary state.
+            let queue_state = router.queue_state(t1);
+            let ready = replicas
+                .iter()
+                .filter(|r| r.live() && r.ready_s <= t1)
+                .count();
+            let provisioned = replicas.iter().filter(|r| r.live()).count();
+            backlog_s = (backlog_s - (t1 - backlog_t) * ready.max(1) as f64).max(0.0);
+            backlog_t = t1;
+            let signals = WindowSignals {
+                t0,
+                t1,
+                arrivals,
+                offered_rps: arrivals as f64 / cfg.window_s,
+                queue_depth: backlog_s * cfg.capacity_rps,
+                est_attainment: if arrivals > 0 {
+                    waits_ok as f64 / arrivals as f64
+                } else {
+                    1.0
+                },
+                utilization_est: est_work_s / (ready.max(1) as f64 * cfg.window_s),
+                ready,
+                provisioned,
+            };
+
+            // Decide (cooldown-gated), then act.
+            let decision = if windows_since_event >= self.policy.cooldown_windows() {
+                self.policy.decide(&signals, cfg.min_replicas, cfg.max_replicas)
+            } else {
+                ScaleDecision::Hold
+            };
+            match decision {
+                ScaleDecision::Hold => windows_since_event += 1,
+                ScaleDecision::Up(k) => {
+                    for _ in 0..k {
+                        let idx = router.add_replica();
+                        debug_assert_eq!(idx, replicas.len());
+                        replicas.push(spawn(idx, t1, t1 + cfg.warmup_s));
+                    }
+                    events.push(ScaleEvent { t_s: t1, from: provisioned, to: provisioned + k });
+                    peak_replicas = peak_replicas.max(provisioned + k);
+                    windows_since_event = 0;
+                }
+                ScaleDecision::Down(k) => {
+                    // Retire the emptiest accepting replicas (fastest
+                    // drain); ties prefer the newest (LIFO), all
+                    // deterministic.
+                    let mut victims: Vec<usize> = replicas
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, r)| r.live() && r.ready_s <= t1)
+                        .map(|(i, _)| i)
+                        .collect();
+                    victims.sort_by(|&a, &b| {
+                        let (qa, qb) = (queue_state[a], queue_state[b]);
+                        qa.0.cmp(&qb.0)
+                            .then(qa.1.total_cmp(&qb.1))
+                            .then(b.cmp(&a))
+                    });
+                    for &v in victims.iter().take(k) {
+                        replicas[v].retire_s = Some(t1);
+                    }
+                    events.push(ScaleEvent { t_s: t1, from: provisioned, to: provisioned - k });
+                    windows_since_event = 0;
+                }
+            }
+            windows.push(signals);
+        }
+
+        // The trajectory is fixed; run the real simulations.
+        let indices: Vec<usize> = (0..replicas.len()).collect();
+        let reports = runner.map(&indices, |&i| {
+            replicas[i].engine.run_ready(&replicas[i].stream, replicas[i].ready_s)
+        });
+        let lifecycles: Vec<ReplicaLifecycle> = replicas
+            .iter()
+            .zip(&reports)
+            .map(|(rep, report)| {
+                let last_completion = report
+                    .timeline
+                    .iter()
+                    .map(|t| t.completion_s)
+                    .fold(rep.ready_s, f64::max);
+                let end_s = match rep.retire_s {
+                    Some(retire) => retire.max(last_completion),
+                    None => horizon_s.max(last_completion),
+                };
+                ReplicaLifecycle {
+                    spawn_s: rep.spawn_s,
+                    ready_s: rep.ready_s,
+                    retire_s: rep.retire_s,
+                    end_s,
+                    requests: rep.stream.len(),
+                }
+            })
+            .collect();
+        let replica_seconds: f64 = lifecycles.iter().map(ReplicaLifecycle::billed_s).sum();
+        let fleet = FleetReport::from_replica_reports(cfg.router, reports, assignment);
+        let windowed = windowed_metrics(&fleet.timeline, cfg.slo, cfg.window_s, horizon_s);
+        ElasticFleetReport {
+            policy: self.policy,
+            config: cfg,
+            fleet,
+            windows,
+            events,
+            lifecycles,
+            windowed,
+            horizon_s,
+            replica_seconds,
+            peak_replicas,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seesaw_engine::vllm::VllmEngine;
+    use seesaw_engine::SchedulingPolicy;
+    use seesaw_hw::ClusterSpec;
+    use seesaw_model::{presets, ModelConfig};
+    use seesaw_parallel::ParallelConfig;
+    use seesaw_workload::{ArrivalDist, WorkloadGen};
+    use std::sync::Arc;
+
+    fn builder() -> impl Fn(usize) -> Box<dyn OnlineEngine> + Sync {
+        let cluster = Arc::new(ClusterSpec::a10x4());
+        let model: Arc<ModelConfig> = Arc::new(presets::llama2_13b());
+        move |_| {
+            Box::new(
+                VllmEngine::new(
+                    Arc::clone(&cluster),
+                    Arc::clone(&model),
+                    ParallelConfig::new(1, 2, 2),
+                    SchedulingPolicy::PrefillPrioritized,
+                )
+                .expect("valid config"),
+            )
+        }
+    }
+
+    fn cfg(window_s: f64, warmup_s: f64, max: usize) -> AutoscaleConfig {
+        AutoscaleConfig {
+            window_s,
+            warmup_s,
+            min_replicas: 1,
+            max_replicas: max,
+            router: RouterPolicy::JoinShortestQueue,
+            slo: SloSpec { ttft_s: 15.0, tpot_s: 0.05 },
+            // Roughly the measured offline capacity of the test
+            // scenario (vLLM T2P2, constant 512/32 requests).
+            capacity_rps: 2.5,
+        }
+    }
+
+    fn traced(n: usize, rate: f64, seed: u64) -> Vec<Request> {
+        let base = WorkloadGen::constant(512, 32).generate(n);
+        ArrivalDist::Poisson { rate }
+            .attach(&base, seed)
+            .expect("valid arrivals")
+    }
+
+    #[test]
+    fn static_policy_never_scales_and_serves_everything() {
+        let build = builder();
+        let reqs = traced(40, 2.0, 7);
+        let ctl = AutoscaleController::new(cfg(10.0, 30.0, 8), ScalingPolicy::Static { n: 3 });
+        let report = ctl.run_with(&SweepRunner::serial(), &build, &reqs);
+        assert!(report.events.is_empty());
+        assert_eq!(report.lifecycles.len(), 3);
+        assert_eq!(report.peak_replicas, 3);
+        assert_eq!(report.fleet.stats.requests, 40);
+        assert_eq!(report.fleet.timeline.len(), 40);
+        assert!(report.lifecycles.iter().all(|l| l.ready_s == 0.0));
+        // Cost covers at least 3 replicas x horizon.
+        assert!(report.replica_seconds >= 3.0 * report.horizon_s - 1e-9);
+        assert!(report.windowed.len() >= report.windows.len());
+    }
+
+    #[test]
+    fn overload_triggers_scale_up_and_new_replicas_pay_warmup() {
+        let build = builder();
+        // Sustained overload for one replica (capacity ~0.6 rps on
+        // this workload): the reactive policy must grow the fleet.
+        let reqs = traced(120, 4.0, 3);
+        let ctl =
+            AutoscaleController::new(cfg(5.0, 8.0, 6), ScalingPolicy::reactive_default());
+        let report = ctl.run_with(&SweepRunner::serial(), &build, &reqs);
+        assert!(
+            report.events.iter().any(|e| e.to > e.from),
+            "overload must scale up: {:?}",
+            report.events
+        );
+        assert!(report.peak_replicas > 1);
+        // Every non-initial replica pays the warm-up delay and never
+        // serves a request before it is ready.
+        for (lc, rep) in report.lifecycles.iter().zip(&report.fleet.replicas).skip(1) {
+            assert!((lc.ready_s - lc.spawn_s - 8.0).abs() < 1e-9);
+            for t in &rep.timeline {
+                assert!(
+                    t.first_token_s >= lc.ready_s,
+                    "replica served at {} before ready at {}",
+                    t.first_token_s,
+                    lc.ready_s
+                );
+            }
+        }
+        // All requests still served exactly once.
+        assert_eq!(report.fleet.timeline.len(), 120);
+    }
+
+    #[test]
+    fn quiet_tail_scales_down_and_retired_replicas_drain() {
+        let build = builder();
+        // A burst then silence: the controller must shed replicas.
+        let mut reqs = traced(60, 6.0, 5);
+        let burst_end = reqs.last().unwrap().arrival_s;
+        // Sparse trickle long after the burst keeps windows coming.
+        for i in 0..6 {
+            let id = 1000 + i as u64;
+            reqs.push(
+                Request::new(id, 512, 32).with_arrival(burst_end + 30.0 + 20.0 * i as f64),
+            );
+        }
+        let ctl =
+            AutoscaleController::new(cfg(5.0, 5.0, 6), ScalingPolicy::reactive_default());
+        let report = ctl.run_with(&SweepRunner::serial(), &build, &reqs);
+        let downs: Vec<&ScaleEvent> =
+            report.events.iter().filter(|e| e.to < e.from).collect();
+        assert!(!downs.is_empty(), "quiet tail must scale down: {:?}", report.events);
+        // Retired replicas billed through their drain, and their
+        // streams stay within their accepting interval.
+        for lc in report.lifecycles.iter().filter(|l| l.retire_s.is_some()) {
+            assert!(lc.end_s >= lc.retire_s.unwrap());
+            assert!(lc.billed_s() >= 0.0);
+        }
+        // Retired replicas received nothing after their retire time.
+        for (lc, rep) in report.lifecycles.iter().zip(&report.fleet.replicas) {
+            if let Some(retire) = lc.retire_s {
+                for t in &rep.timeline {
+                    assert!(t.arrival_s < retire, "routed to a retiring replica");
+                }
+            }
+        }
+        assert_eq!(report.fleet.timeline.len(), reqs.len());
+    }
+
+    #[test]
+    fn report_is_runner_invariant() {
+        let build = builder();
+        let reqs = traced(80, 3.0, 11);
+        for policy in [
+            ScalingPolicy::Static { n: 2 },
+            ScalingPolicy::reactive_default(),
+            ScalingPolicy::target_utilization_default(),
+        ] {
+            let ctl = AutoscaleController::new(cfg(5.0, 6.0, 6), policy);
+            let serial = ctl.run_with(&SweepRunner::serial(), &build, &reqs);
+            let parallel = ctl.run_with(&SweepRunner::new(4), &build, &reqs);
+            assert_eq!(serial, parallel, "{policy}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_yields_one_quiet_window() {
+        let build = builder();
+        let ctl = AutoscaleController::new(cfg(10.0, 5.0, 4), ScalingPolicy::reactive_default());
+        let report = ctl.run_with(&SweepRunner::serial(), &build, &[]);
+        assert_eq!(report.windows.len(), 1);
+        assert_eq!(report.fleet.stats.requests, 0);
+        assert_eq!(report.peak_replicas, 1);
+        assert!(report.fleet.latency.is_none());
+        assert_eq!(report.windows[0].est_attainment, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid autoscale config")]
+    fn bad_config_rejected() {
+        AutoscaleController::new(
+            AutoscaleConfig { window_s: 0.0, ..AutoscaleConfig::default() },
+            ScalingPolicy::reactive_default(),
+        );
+    }
+}

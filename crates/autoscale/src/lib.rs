@@ -1,0 +1,46 @@
+//! Autoscaling controller tier: trace-driven elastic fleets.
+//!
+//! PR 4's `crates/fleet` answered "how does a *fixed* fleet of N
+//! replicas behave under load?"; this crate answers the elastic
+//! question a capacity planner actually asks: **how many replicas do
+//! you need over a day, and what does each scaling policy cost in
+//! SLO attainment?** It is the next level of the first-principles
+//! "model the infrastructure, then sweep the policy space"
+//! methodology — one tier above the fleet, two above the engine:
+//!
+//! * [`AutoscaleController`] replays a day-scale arrival trace (see
+//!   [`seesaw_workload::RateEnvelope`] for diurnal/bimodal trace
+//!   generation) through a time-sliced elastic fleet: per control
+//!   window it routes arrivals over the currently-accepting replicas
+//!   on the fleet tier's resumable router, observes a-priori signals
+//!   (queue depth, offered load, estimated utilization/attainment),
+//!   and lets a [`ScalingPolicy`] grow or shrink the fleet — new
+//!   replicas pay a warm-up (weight-load) delay before accepting
+//!   traffic, retiring replicas drain their in-flight work before
+//!   disappearing and are billed through the drain.
+//! * [`ScalingPolicy`] is pluggable: a [`ScalingPolicy::Static`]
+//!   baseline (provision-for-peak / provision-for-mean),
+//!   [`ScalingPolicy::ReactiveThreshold`] (queue-depth/attainment
+//!   bounds with hysteresis and cooldown), and
+//!   [`ScalingPolicy::TargetUtilization`] (the classic
+//!   utilization-tracking autoscaler).
+//! * [`sweep::frontier_sweep_with`] runs policy × trace grids and
+//!   tabulates billed replica-seconds against measured SLO
+//!   attainment — the cost-vs-SLO frontier (the `autoscale` bin).
+//!
+//! Everything is deterministic and runner-invariant: the decision
+//! trajectory is causal and serial; only the final per-replica engine
+//! simulations parallelize. A Static trajectory reproduces the fixed
+//! [`seesaw_fleet::Fleet`] of the same size byte-for-byte, so the
+//! elastic tier nests the static one exactly.
+
+pub mod controller;
+pub mod policy;
+pub mod sweep;
+
+pub use controller::{
+    AutoscaleConfig, AutoscaleController, ElasticFleetReport, ReplicaLifecycle, ScaleEvent,
+    WindowSignals,
+};
+pub use policy::{ScaleDecision, ScalingPolicy};
+pub use sweep::{frontier_sweep_with, FrontierPoint, FrontierSweep};

@@ -1,0 +1,168 @@
+//! `autoscale` — replay a day-long trace through an elastic fleet
+//! under every scaling policy and print the policy × trace
+//! cost-vs-SLO frontier (see `seesaw_bench::autoscale` and the
+//! `crates/autoscale` subsystem).
+//!
+//! Usage:
+//!   autoscale [--jobs N] [--engine seesaw|vllm|disagg] [--day S]
+//!             [--window S] [--warmup S] [--min N] [--max N]
+//!             [--trough M] [--peak M] [--slo-ttft S] [--slo-tpot S]
+//!             [--seed S] [--trace FILE] [--timeline POLICY] [--json]
+//!
+//! Defaults: one 86 400 s day shaped by a sinusoidal diurnal envelope
+//! and a bimodal rush-hours envelope, both swinging between 0.25× and
+//! 5× the measured per-replica offline capacity; 5-minute control
+//! windows, 60 s replica warm-up, 1–16 replicas, JSQ routing; the
+//! policy roster compares static provision-for-peak and
+//! provision-for-mean against the reactive and target-utilization
+//! controllers. `--trace FILE` replays absolute arrival times (one
+//! per line, `#` comments) instead of the generated envelopes;
+//! `--timeline POLICY` additionally prints that policy's per-window
+//! trajectory on the first trace. Output is byte-identical for every
+//! `--jobs` value.
+
+use seesaw_autoscale::AutoscaleConfig;
+use seesaw_bench::autoscale::{self, ScenarioSpec};
+use seesaw_engine::SweepRunner;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: autoscale [--jobs N] [--engine seesaw|vllm|disagg] [--day S] [--window S] \
+         [--warmup S] [--min N] [--max N] [--trough M] [--peak M] [--slo-ttft S] \
+         [--slo-tpot S] [--seed S] [--trace FILE] [--timeline POLICY] [--json]"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    jobs: Option<usize>,
+    spec: ScenarioSpec,
+    config: AutoscaleConfig,
+    trace_file: Option<String>,
+    timeline: Option<String>,
+    json: bool,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        jobs: None,
+        spec: ScenarioSpec::default(),
+        config: AutoscaleConfig::default(),
+        trace_file: None,
+        timeline: None,
+        json: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let next_f64 = |args: &mut dyn Iterator<Item = String>, what: &str| -> f64 {
+        args.next()
+            .and_then(|v| v.parse().ok())
+            .filter(|&x: &f64| x.is_finite() && x > 0.0)
+            .unwrap_or_else(|| {
+                eprintln!("{what} needs a positive number");
+                std::process::exit(2);
+            })
+    };
+    let next_usize = |args: &mut dyn Iterator<Item = String>, what: &str| -> usize {
+        args.next()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n: &usize| n > 0)
+            .unwrap_or_else(|| {
+                eprintln!("{what} needs a positive integer");
+                std::process::exit(2);
+            })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" | "-j" => parsed.jobs = Some(next_usize(&mut args, "--jobs")),
+            "--engine" | "-e" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                parsed.spec.kind = spec.parse().unwrap_or_else(|e: String| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+            }
+            "--day" => parsed.spec.day_s = next_f64(&mut args, "--day"),
+            "--window" => parsed.config.window_s = next_f64(&mut args, "--window"),
+            "--warmup" => {
+                // Warm-up may be zero (instant weight load).
+                parsed.config.warmup_s = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&x: &f64| x.is_finite() && x >= 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--warmup needs a non-negative number");
+                        std::process::exit(2);
+                    });
+            }
+            "--min" => parsed.config.min_replicas = next_usize(&mut args, "--min"),
+            "--max" => parsed.config.max_replicas = next_usize(&mut args, "--max"),
+            "--trough" => {
+                // Zero is a valid trough (a fully idle overnight
+                // valley — the regime where elasticity pays most).
+                parsed.spec.trough_mult = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&x: &f64| x.is_finite() && x >= 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--trough needs a non-negative number");
+                        std::process::exit(2);
+                    });
+            }
+            "--peak" => parsed.spec.peak_mult = next_f64(&mut args, "--peak"),
+            "--slo-ttft" => parsed.config.slo.ttft_s = next_f64(&mut args, "--slo-ttft"),
+            "--slo-tpot" => parsed.config.slo.tpot_s = next_f64(&mut args, "--slo-tpot"),
+            "--seed" => {
+                parsed.spec.seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs a non-negative integer");
+                    std::process::exit(2);
+                });
+            }
+            "--trace" => parsed.trace_file = Some(args.next().unwrap_or_else(|| usage())),
+            "--timeline" => parsed.timeline = Some(args.next().unwrap_or_else(|| usage())),
+            "--json" => parsed.json = true,
+            _ => usage(),
+        }
+    }
+    if parsed.spec.peak_mult < parsed.spec.trough_mult {
+        eprintln!("--peak must be >= --trough");
+        std::process::exit(2);
+    }
+    if parsed.config.min_replicas > parsed.config.max_replicas {
+        eprintln!("--min must be <= --max");
+        std::process::exit(2);
+    }
+    parsed
+}
+
+fn main() {
+    let args = parse_args();
+    let runner = SweepRunner::with_jobs(args.jobs);
+    let sweep = autoscale::default_frontier_with(
+        &runner,
+        &args.spec,
+        args.config,
+        args.trace_file.as_deref(),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    if args.json {
+        print!("{}", autoscale::to_json(&sweep));
+    } else {
+        print!("{}", autoscale::render_frontier(&sweep));
+        if let Some(policy) = &args.timeline {
+            match sweep
+                .points
+                .iter()
+                .find(|p| p.trace == sweep.traces[0] && &p.policy.to_string() == policy)
+            {
+                Some(point) => print!("{}", autoscale::render_timeline(point)),
+                None => eprintln!(
+                    "no policy '{policy}' in this sweep (have: {})",
+                    sweep.policies.join(", ")
+                ),
+            }
+        }
+    }
+}

@@ -7,15 +7,18 @@
 //!         [--replicas n1,n2,...] [--loads m1,m2,...]
 //!         [--policy rr|jsq|po2|lew] [--compare-replicas N]
 //!         [--compare-load M] [--slo-ttft S] [--slo-tpot S]
-//!         [--seed S] [--json]
+//!         [--seed S] [--trace <file|diurnal>] [--json]
 //!
 //! Defaults: 200 ShareGPT-shaped requests per cell on vLLM-baseline
 //! replicas (LLaMA2-13B on 4×A10 each), replica counts 1/2/4/8, load
 //! multipliers 0.5..1.5× of `N ×` per-replica offline capacity, JSQ
 //! routing for the scaling table, and a 4-replica 0.9× head-to-head
-//! of all four policies. Output is byte-identical for every `--jobs`
-//! value; `--json` emits both experiments as one machine-readable
-//! document.
+//! of all four policies. `--trace diurnal` replaces the Poisson
+//! arrival pattern with the sharpened diurnal envelope's shape (and
+//! `--trace FILE` replays a trace file, absolute seconds one per
+//! line), making the head-to-head a router × trace grid. Output is
+//! byte-identical for every `--jobs` value; `--json` emits both
+//! experiments as one machine-readable document.
 
 use seesaw_bench::fleet;
 use seesaw_bench::serving::EngineKind;
@@ -34,6 +37,7 @@ struct Args {
     compare_load: f64,
     slo: SloSpec,
     seed: u64,
+    trace: Option<String>,
     json: bool,
 }
 
@@ -42,7 +46,7 @@ fn usage() -> ! {
         "usage: fleet [n_requests] [--jobs N] [--engine seesaw|vllm|disagg] \
          [--replicas n1,n2,...] [--loads m1,m2,...] [--policy rr|jsq|po2|lew] \
          [--compare-replicas N] [--compare-load M] [--slo-ttft S] [--slo-tpot S] \
-         [--seed S] [--json]"
+         [--seed S] [--trace <file|diurnal>] [--json]"
     );
     std::process::exit(2);
 }
@@ -72,6 +76,7 @@ fn parse_args() -> Args {
         compare_load: fleet::DEFAULT_COMPARE_LOAD,
         slo: seesaw_bench::serving::DEFAULT_SLO,
         seed: seesaw_bench::SEED,
+        trace: None,
         json: false,
     };
     let mut args = std::env::args().skip(1);
@@ -151,6 +156,7 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
             }
+            "--trace" => parsed.trace = Some(args.next().unwrap_or_else(|| usage())),
             "--json" => parsed.json = true,
             other => match other.parse() {
                 Ok(n) if n > 0 => parsed.n_requests = n,
@@ -164,10 +170,17 @@ fn parse_args() -> Args {
 fn main() {
     let args = parse_args();
     let runner = SweepRunner::with_jobs(args.jobs);
-    let (scaling, comparison) = fleet::default_experiments_with(
+    let pattern = args.trace.as_deref().map(|spec| {
+        fleet::trace_pattern(spec, args.n_requests, args.seed).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    });
+    let (scaling, comparison) = fleet::default_experiments_patterned_with(
         &runner,
         args.engine,
         args.n_requests,
+        pattern.as_deref(),
         &args.replica_counts,
         &args.multipliers,
         args.policy,

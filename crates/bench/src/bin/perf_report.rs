@@ -23,9 +23,9 @@
 //! cache-warm steady state of a sweep worker.
 //!
 //! With `--baseline PATH`, the report exits non-zero when any
-//! sims/sec figure (`seesaw`, `vllm`, `serving`, `fleet`) regresses
-//! more than 20% against the committed artifact (or when parallel
-//! output ever diverges from serial).
+//! sims/sec figure (`seesaw`, `vllm`, `serving`, `fleet`,
+//! `autoscale`) regresses more than 20% against the committed
+//! artifact (or when parallel output ever diverges from serial).
 
 use seesaw_bench::simsbench::{SimsBench, WORKLOAD_LABEL};
 use seesaw_bench::{cli, figs};
@@ -86,7 +86,11 @@ fn sims_per_sec(mut f: impl FnMut()) -> f64 {
 /// (arrival-gated run + percentile computation) per second. `fleet`
 /// is the fleet-sweep grid-cell rate: a serial 4-replica JSQ fleet
 /// run (routing + 4 replica simulations + merged report) per second.
-fn measure_sims_per_sec() -> (f64, f64, f64, f64) {
+/// `autoscale` is the frontier-sweep grid-cell rate: one reactive
+/// controller replay of the compressed diurnal trace (windowed
+/// routing, scaling decisions, elastic replica runs, merged windowed
+/// report) per second.
+fn measure_sims_per_sec() -> (f64, f64, f64, f64, f64) {
     let bench = SimsBench::new();
     let seesaw = sims_per_sec(|| {
         std::hint::black_box(bench.run_seesaw_once());
@@ -100,7 +104,10 @@ fn measure_sims_per_sec() -> (f64, f64, f64, f64) {
     let fleet = sims_per_sec(|| {
         std::hint::black_box(bench.run_fleet_once());
     });
-    (seesaw, vllm, serving, fleet)
+    let autoscale = sims_per_sec(|| {
+        std::hint::black_box(bench.run_autoscale_once());
+    });
+    (seesaw, vllm, serving, fleet, autoscale)
 }
 
 /// Extract `"key": <number>` from a (flat) JSON artifact without a
@@ -152,10 +159,10 @@ fn main() {
     eprintln!("serial: {serial_total:.2}s; running parallel sweep...");
     let (parallel_total, parallel_figs) = run_catalog(subsample, parallel_runner);
     eprintln!("parallel: {parallel_total:.2}s; measuring sims/sec...");
-    let (mut sims_seesaw, mut sims_vllm, mut sims_serving, mut sims_fleet) =
+    let (mut sims_seesaw, mut sims_vllm, mut sims_serving, mut sims_fleet, mut sims_autoscale) =
         measure_sims_per_sec();
     eprintln!(
-        "sims/sec: seesaw {sims_seesaw:.0}, vllm {sims_vllm:.0}, serving {sims_serving:.0}, fleet {sims_fleet:.0}"
+        "sims/sec: seesaw {sims_seesaw:.0}, vllm {sims_vllm:.0}, serving {sims_serving:.0}, fleet {sims_fleet:.0}, autoscale {sims_autoscale:.0}"
     );
 
     // Resolve the gate's retry *before* composing the artifact, so a
@@ -166,7 +173,7 @@ fn main() {
     // measurement windows; a real regression fails both measurements.
     let floor_of = |before: f64| before * (1.0 - SIMS_REGRESSION_TOLERANCE);
     if let Some((_, text)) = &baseline {
-        let below = |current: &[(&str, f64); 4]| {
+        let below = |current: &[(&str, f64); 5]| {
             current.iter().any(|&(name, c)| {
                 json_number(text, name).is_some_and(|b| b > 0.0 && c < floor_of(b))
             })
@@ -176,13 +183,15 @@ fn main() {
             ("vllm", sims_vllm),
             ("serving", sims_serving),
             ("fleet", sims_fleet),
+            ("autoscale", sims_autoscale),
         ]) {
             eprintln!("apparent sims/sec regression; re-measuring once...");
-            let (s2, v2, o2, f2) = measure_sims_per_sec();
+            let (s2, v2, o2, f2, a2) = measure_sims_per_sec();
             sims_seesaw = sims_seesaw.max(s2);
             sims_vllm = sims_vllm.max(v2);
             sims_serving = sims_serving.max(o2);
             sims_fleet = sims_fleet.max(f2);
+            sims_autoscale = sims_autoscale.max(a2);
         }
     }
 
@@ -220,6 +229,7 @@ fn main() {
     json.push_str(&format!("    \"vllm\": {sims_vllm:.1},\n"));
     json.push_str(&format!("    \"serving\": {sims_serving:.1},\n"));
     json.push_str(&format!("    \"fleet\": {sims_fleet:.1},\n"));
+    json.push_str(&format!("    \"autoscale\": {sims_autoscale:.1},\n"));
     json.push_str(&format!("    \"iters_per_batch\": {SIMS_BATCH},\n"));
     json.push_str(&format!("    \"batches\": {SIMS_BATCHES},\n"));
     json.push_str(&format!("    \"workload\": \"{}\"\n", json_escape(WORKLOAD_LABEL)));
@@ -245,7 +255,7 @@ fn main() {
         parallel_runner.jobs()
     );
     println!(
-        "sims/sec: seesaw {sims_seesaw:.0}, vllm {sims_vllm:.0}, serving {sims_serving:.0}, fleet {sims_fleet:.0}"
+        "sims/sec: seesaw {sims_seesaw:.0}, vllm {sims_vllm:.0}, serving {sims_serving:.0}, fleet {sims_fleet:.0}, autoscale {sims_autoscale:.0}"
     );
     println!("wrote {out_path}");
     if !outputs_identical {
@@ -260,6 +270,7 @@ fn main() {
             ("vllm", sims_vllm),
             ("serving", sims_serving),
             ("fleet", sims_fleet),
+            ("autoscale", sims_autoscale),
         ] {
             match json_number(&baseline, name) {
                 Some(before) if before > 0.0 => {

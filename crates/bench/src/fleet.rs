@@ -22,11 +22,11 @@ use crate::serving::{default_engine_of, default_requests, default_specs, EngineK
 use crate::table::{f2, f3, Table};
 use seesaw_engine::SweepRunner;
 use seesaw_fleet::{
-    offline_capacity, policy_comparison_at_capacity_with, policy_comparison_with,
-    scaling_sweep_at_capacity_with, scaling_sweep_with, FleetPoint, FleetScalingSweep,
-    RouterPolicy,
+    offline_capacity, policy_comparison_patterned_at_capacity_with, policy_comparison_with,
+    scaling_sweep_patterned_at_capacity_with, scaling_sweep_with, FleetPoint,
+    FleetScalingSweep, RouterPolicy,
 };
-use seesaw_workload::SloSpec;
+use seesaw_workload::{unit_rate_pattern, ArrivalDist, SloSpec, ARRIVAL_SEED_SALT};
 
 /// Default replica counts for the scaling sweep.
 pub const DEFAULT_REPLICA_COUNTS: &[usize] = &[1, 2, 4, 8];
@@ -93,14 +93,48 @@ pub fn default_policy_comparison_with(
     )
 }
 
+/// Build the unit-rate arrival pattern behind a `--trace` argument:
+/// `"diurnal"` samples the default sharpened diurnal envelope
+/// (`n_requests` arrivals of its shape), anything else loads a trace
+/// file (absolute times, one per line); both normalize to unit mean
+/// rate so the sweeps time-scale them per cell exactly like the
+/// Poisson pattern. Errs on unreadable/malformed/degenerate traces.
+pub fn trace_pattern(spec: &str, n_requests: usize, seed: u64) -> Result<Vec<f64>, String> {
+    let times = if spec == "diurnal" {
+        // Only the shape matters (`unit_rate_pattern` rescales time),
+        // but the `n_requests` samples must cover one full cycle or
+        // the "diurnal" pattern degenerates to a flat Poisson at
+        // whatever rate the covered sliver has. Size the period so
+        // the expected arrival count over one cycle is exactly
+        // `n_requests`: period = n / mean_rate (the mean is
+        // period-independent, so probe it on a unit period).
+        let envelope = |period_s: f64| {
+            crate::autoscale::default_diurnal_envelope(
+                crate::autoscale::DEFAULT_TROUGH_MULT,
+                crate::autoscale::DEFAULT_PEAK_MULT,
+                period_s,
+            )
+        };
+        let period_s = n_requests as f64 / envelope(1.0).mean_rps();
+        envelope(period_s).sample_n(n_requests, seed ^ ARRIVAL_SEED_SALT)?
+    } else {
+        seesaw_workload::load_trace_file(spec)?
+    };
+    unit_rate_pattern(&times, n_requests)
+}
+
 /// Run both default fleet experiments — scaling sweep and router
 /// head-to-head — measuring the single-replica offline capacity
 /// *once* and threading it through both (the `fleet` bin's body).
+/// `pattern`, when given, replaces the unit-rate Poisson arrivals
+/// with a trace-shaped unit pattern (see [`trace_pattern`]), turning
+/// the head-to-head into the router × trace grid.
 #[allow(clippy::too_many_arguments)]
-pub fn default_experiments_with(
+pub fn default_experiments_patterned_with(
     runner: &SweepRunner,
     kind: EngineKind,
     n_requests: usize,
+    pattern: Option<&[f64]>,
     replica_counts: &[usize],
     multipliers: &[f64],
     policy: RouterPolicy,
@@ -113,28 +147,38 @@ pub fn default_experiments_with(
     let build = |_: usize| default_engine_of(kind, &cluster, &model);
     let (name, base) = default_requests(n_requests, seed);
     let (capacity_rps, label) = offline_capacity(&build, &base);
-    let scaling = scaling_sweep_at_capacity_with(
+    let poisson;
+    let unit: &[f64] = match pattern {
+        Some(u) => u,
+        None => {
+            poisson = ArrivalDist::Poisson { rate: 1.0 }
+                .sample_times(base.len(), seed ^ ARRIVAL_SEED_SALT)
+                .expect("unit-rate Poisson is valid");
+            &poisson
+        }
+    };
+    let scaling = scaling_sweep_patterned_at_capacity_with(
         runner,
         &build,
         &name,
         &base,
         (capacity_rps, &label),
+        unit,
         replica_counts,
         multipliers,
         policy,
         slo,
-        seed,
     );
-    let comparison = policy_comparison_at_capacity_with(
+    let comparison = policy_comparison_patterned_at_capacity_with(
         runner,
         &build,
         &base,
         capacity_rps,
+        unit,
         compare_replicas,
         compare_load,
         &RouterPolicy::all_default(),
         slo,
-        seed,
     );
     (scaling, comparison)
 }
@@ -297,6 +341,29 @@ pub fn to_json(scaling: &FleetScalingSweep, comparison: &[FleetPoint]) -> String
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The diurnal `--trace` pattern must actually carry the daily
+    /// shape: the period is sized so the sampled arrivals span one
+    /// full cycle, concentrating them around the mid-pattern peak
+    /// (regression: a fixed 86 400 s period made 200 samples cover
+    /// <1% of the day — a flat trough-rate Poisson).
+    #[test]
+    fn diurnal_trace_pattern_spans_one_cycle_and_peaks_mid_pattern() {
+        let n = 400;
+        let unit = trace_pattern("diurnal", n, 42).expect("valid pattern");
+        assert_eq!(unit.len(), n);
+        let span = *unit.last().unwrap();
+        let mid: usize = unit
+            .iter()
+            .filter(|&&t| t > 0.25 * span && t < 0.75 * span)
+            .count();
+        assert!(
+            mid as f64 > 0.6 * n as f64,
+            "the mid-cycle peak must dominate: {mid}/{n} arrivals in the middle half"
+        );
+        // Unknown files error instead of exiting.
+        assert!(trace_pattern("/no/such/trace.txt", 10, 0).is_err());
+    }
 
     #[test]
     fn default_scaling_sweep_renders_and_is_jobs_invariant() {

@@ -15,10 +15,14 @@
 //! * [`fleet`] — the multi-replica tier: capacity-scaling and
 //!   router-policy sweeps over `seesaw_fleet::Fleet` (the `fleet`
 //!   bin).
+//! * [`autoscale`] — the elastic tier: day-long policy × trace
+//!   cost-vs-SLO frontier sweeps over `seesaw_autoscale` (the
+//!   `autoscale` bin).
 //! * [`simsbench`] — the canonical `sims_per_sec` single-candidate
 //!   workload shared by `perf_report`, the criterion microbench, and
 //!   the determinism tests.
 
+pub mod autoscale;
 pub mod cli;
 pub mod figs;
 pub mod fleet;

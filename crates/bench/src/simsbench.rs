@@ -23,14 +23,15 @@
 //! split, four replica simulations, and the merged fleet report
 //! included.
 
+use seesaw_autoscale::{AutoscaleConfig, AutoscaleController, ElasticFleetReport, ScalingPolicy};
 use seesaw_engine::seesaw::{SeesawEngine, SeesawSpec};
 use seesaw_engine::vllm::VllmEngine;
-use seesaw_engine::{EngineReport, SchedulingPolicy, SweepRunner};
+use seesaw_engine::{EngineReport, OnlineEngine, SchedulingPolicy, SweepRunner};
 use seesaw_fleet::{Fleet, FleetReport, RouterPolicy};
 use seesaw_hw::ClusterSpec;
 use seesaw_model::{presets, ModelConfig};
 use seesaw_parallel::ParallelConfig;
-use seesaw_workload::{ArrivalDist, Request, WorkloadGen};
+use seesaw_workload::{ArrivalDist, RateEnvelope, Request, SloSpec, WorkloadGen};
 use std::sync::Arc;
 
 /// Human-readable description recorded in `BENCH_sweep.json`.
@@ -42,6 +43,10 @@ pub const SERVING_OFFERED_RPS: f64 = 4.0;
 
 /// Replicas in the fleet scenario.
 pub const FLEET_REPLICAS: usize = 4;
+
+/// Length of the autoscale scenario's compressed diurnal trace,
+/// seconds.
+pub const AUTOSCALE_DAY_S: f64 = 120.0;
 
 /// The fixed benchmark scenario: `Arc`-shared specs + request set.
 #[derive(Debug)]
@@ -58,6 +63,12 @@ pub struct SimsBench {
     /// The same requests at [`FLEET_REPLICAS`] × the serving rate
     /// (per-replica load matches the serving scenario).
     pub fleet_reqs: Vec<Request>,
+    /// A compressed diurnal day for the autoscale scenario:
+    /// trace-shaped arrivals over [`AUTOSCALE_DAY_S`] seconds,
+    /// 512-in/32-out requests (the controller's grid cell is routing
+    /// + scaling decisions + replica runs + the merged report, so the
+    /// per-request work is kept lighter than the offline scenarios).
+    pub autoscale_reqs: Vec<Request>,
 }
 
 impl Default for SimsBench {
@@ -76,12 +87,20 @@ impl SimsBench {
         let fleet_reqs = ArrivalDist::Poisson { rate: FLEET_REPLICAS as f64 * SERVING_OFFERED_RPS }
             .attach(&reqs, crate::SEED ^ seesaw_workload::ARRIVAL_SEED_SALT)
             .expect("fixed fleet arrival process is valid");
+        let day_times = RateEnvelope::diurnal_sharp(0.3, 3.0, AUTOSCALE_DAY_S, 3.0)
+            .sample_trace(AUTOSCALE_DAY_S, crate::SEED ^ seesaw_workload::ARRIVAL_SEED_SALT)
+            .expect("fixed diurnal envelope is valid");
+        let autoscale_base = WorkloadGen::constant(512, 32).generate(day_times.len());
+        let autoscale_reqs = ArrivalDist::Trace(day_times)
+            .attach(&autoscale_base, 0)
+            .expect("fixed diurnal trace is valid");
         SimsBench {
             cluster: Arc::new(ClusterSpec::a10x4()),
             model: Arc::new(presets::llama2_13b()),
             reqs,
             serving_reqs,
             fleet_reqs,
+            autoscale_reqs,
         }
     }
 
@@ -154,5 +173,39 @@ impl SimsBench {
             RouterPolicy::JoinShortestQueue,
             &self.fleet_reqs,
         )
+    }
+
+    /// One autoscale evaluation (`sims_per_sec.autoscale`): the
+    /// reactive controller replaying the compressed diurnal day —
+    /// per-window routing over the elastic vLLM fleet, scaling
+    /// decisions with warm-up and drain, the per-replica engine runs,
+    /// and the merged windowed report. This is a frontier sweep's
+    /// per-cell unit of work, run serially like the other figures.
+    pub fn run_autoscale_once(&self) -> ElasticFleetReport {
+        let config = AutoscaleConfig {
+            window_s: 10.0,
+            warmup_s: 5.0,
+            min_replicas: 1,
+            max_replicas: 6,
+            router: RouterPolicy::JoinShortestQueue,
+            slo: SloSpec { ttft_s: 15.0, tpot_s: 0.05 },
+            // The vLLM candidate's approximate offline capacity on
+            // 512/32 requests (fixed: the benchmark must not measure
+            // capacity per iteration).
+            capacity_rps: 2.5,
+        };
+        let controller = AutoscaleController::new(config, ScalingPolicy::reactive_default());
+        let build = |_: usize| -> Box<dyn OnlineEngine> {
+            Box::new(
+                VllmEngine::new(
+                    Arc::clone(&self.cluster),
+                    Arc::clone(&self.model),
+                    ParallelConfig::new(1, 2, 2),
+                    SchedulingPolicy::PrefillPrioritized,
+                )
+                .expect("valid config"),
+            )
+        };
+        controller.run_with(&SweepRunner::serial(), &build, &self.autoscale_reqs)
     }
 }

@@ -270,3 +270,26 @@ fn repeated_fleet_runs_reproduce_the_first_report() {
         assert_eq!(bench.run_fleet_once(), first, "warm-pool fleet rerun drifted");
     }
 }
+
+/// The autoscale sims/sec scenario (perf_report's `autoscale` metric)
+/// reproduces exactly across warm-pool repetitions: controller
+/// trajectory, scale events, lifecycles, and the merged fleet report.
+#[test]
+fn repeated_autoscale_runs_reproduce_the_first_report() {
+    use seesaw_bench::simsbench::SimsBench;
+    let bench = SimsBench::new();
+    let first = bench.run_autoscale_once();
+    assert!(!bench.autoscale_reqs.is_empty());
+    assert_eq!(first.fleet.timeline.len(), bench.autoscale_reqs.len());
+    assert!(
+        first.events.iter().any(|e| e.to > e.from),
+        "the compressed diurnal peak must trigger scale-ups: {:?}",
+        first.events
+    );
+    // Measured windows cover at least the control horizon (the drain
+    // tail may extend past it).
+    assert!(first.windowed.len() >= first.windows.len());
+    for _ in 0..3 {
+        assert_eq!(bench.run_autoscale_once(), first, "warm-pool autoscale rerun drifted");
+    }
+}

@@ -16,7 +16,7 @@
 //! out/decode_rate` seconds.
 
 use crate::report::EngineReport;
-use seesaw_workload::Request;
+use seesaw_workload::{LatencyStats, Request, RequestMap};
 use serde::{Deserialize, Serialize};
 
 /// Analytic steady-state service rates of an engine, for cost-aware
@@ -64,6 +64,44 @@ pub trait OnlineEngine: Send + Sync {
     /// cost-aware routing (`in/prefill + out/decode` seconds per
     /// request).
     fn service_rates(&self, avg_in: usize, avg_out: usize) -> ServiceRates;
+
+    /// [`OnlineEngine::run`] for a replica that only becomes ready
+    /// (weights loaded) at `ready_s` seconds: requests arriving
+    /// earlier wait — their *dispatch* is clamped to `ready_s`, riding
+    /// the engines' existing arrival-gated admission control — but the
+    /// returned timeline keeps the **true** arrival times, so TTFT and
+    /// end-to-end latency include the warm-up wait. Per-request TTFT
+    /// under a later `ready_s` therefore never decreases: delayed
+    /// requests start no earlier, and requests behind them inherit the
+    /// longer backlog.
+    ///
+    /// `ready_s <= ` the first arrival is a no-op fast path returning
+    /// `run` byte-for-byte (a warm replica's report is unchanged).
+    /// The autoscale controller's router never assigns traffic to a
+    /// warming replica, so for router-assigned streams this method
+    /// *is* that fast path — the clamp is the engine-level guard of
+    /// the same contract for streams assembled without the router.
+    fn run_ready(&self, requests: &[Request], ready_s: f64) -> EngineReport {
+        assert!(
+            ready_s.is_finite() && ready_s >= 0.0,
+            "replica ready time must be finite and non-negative, got {ready_s}"
+        );
+        // Arrivals are sorted, so the first one is the earliest.
+        if requests.first().map_or(true, |r| r.arrival_s >= ready_s) {
+            return self.run(requests);
+        }
+        let clamped: Vec<Request> = requests
+            .iter()
+            .map(|r| r.with_arrival(r.arrival_s.max(ready_s)))
+            .collect();
+        let mut report = self.run(&clamped);
+        let true_arrivals = RequestMap::new(requests);
+        for t in &mut report.timeline {
+            t.arrival_s = true_arrivals.req(t.id).arrival_s;
+        }
+        report.latency = LatencyStats::from_timeline(&report.timeline);
+        report
+    }
 }
 
 /// Mean input/output lengths of a request set, rounded, each at least

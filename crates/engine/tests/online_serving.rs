@@ -174,3 +174,96 @@ fn burst_arrivals_queue_and_resolve_consistently() {
         }
     }
 }
+
+/// `run_ready` models replica warm-up: dispatch is clamped to the
+/// ready time, but the timeline keeps true arrivals, so TTFT includes
+/// the warm-up wait. For a request served in isolation (no batching
+/// interference) the delay is exact: TTFT grows by precisely
+/// `ready - arrival`, never shrinks. (Across a *loaded* stream,
+/// individual TTFTs may locally reorder — delayed arrivals bunch into
+/// larger prefill batches — but no request is ever served before the
+/// replica is ready; see `run_ready_gates_the_first_dispatch`.)
+#[test]
+fn run_ready_warmup_delay_is_exact_for_isolated_requests() {
+    use seesaw_engine::OnlineEngine;
+    let engine = vllm(SchedulingPolicy::PrefillPrioritized);
+    let lone = vec![Request::new(0, 512, 16).with_arrival(2.0)];
+    let warm = engine.run_ready(&lone, 0.0);
+    assert_eq!(warm, engine.run(&lone), "ready at t=0 must be the plain run");
+    let warm_ttft = warm.timeline[0].ttft();
+    for ready in [5.0, 12.0, 60.0] {
+        let delayed = engine.run_ready(&lone, ready);
+        let d = &delayed.timeline[0];
+        assert_eq!(d.arrival_s, 2.0, "true arrival must be preserved");
+        let expected = warm_ttft + (ready - 2.0);
+        assert!(
+            (d.ttft() - expected).abs() < 1e-9,
+            "isolated warm-up delay must be exact: ttft {} vs expected {expected}",
+            d.ttft()
+        );
+        assert!(d.ttft() > warm_ttft, "warm-up must strictly increase TTFT");
+    }
+    // A ready time already passed when the request arrives changes
+    // nothing.
+    assert_eq!(engine.run_ready(&lone, 1.5), warm);
+}
+
+/// On a whole stream, warm-up strictly never decreases the *worst*
+/// TTFT and never serves anyone earlier than the warm replica's
+/// first service: the first token of the run moves later (or equal),
+/// and the max TTFT is monotone in the ready time.
+#[test]
+fn run_ready_first_service_and_max_ttft_are_monotone() {
+    use seesaw_engine::OnlineEngine;
+    let base = WorkloadGen::sharegpt(3).generate(16);
+    let reqs = ArrivalDist::Poisson { rate: 2.0 }
+        .attach(&base, 9)
+        .expect("valid arrivals");
+    let engine = vllm(SchedulingPolicy::PrefillPrioritized);
+    let mut prev_first = f64::NEG_INFINITY;
+    let mut prev_max_ttft = f64::NEG_INFINITY;
+    for ready in [0.0, 2.0, 6.0, 30.0] {
+        let report = engine.run_ready(&reqs, ready);
+        let first = report
+            .timeline
+            .iter()
+            .map(|t| t.first_token_s)
+            .fold(f64::INFINITY, f64::min);
+        assert!(first >= ready, "served at {first} before ready at {ready}");
+        assert!(
+            first >= prev_first - 1e-9,
+            "a later ready time served someone earlier: {first} < {prev_first}"
+        );
+        let max_ttft = report.latency.unwrap().ttft.max;
+        assert!(
+            max_ttft >= prev_max_ttft - 1e-9,
+            "warm-up decreased the worst TTFT: {max_ttft} < {prev_max_ttft}"
+        );
+        prev_first = first;
+        prev_max_ttft = max_ttft;
+    }
+}
+
+/// A ready time past every arrival delays the whole stream by the
+/// difference: the first request cannot start before ready.
+#[test]
+fn run_ready_gates_the_first_dispatch() {
+    use seesaw_engine::OnlineEngine;
+    let reqs: Vec<Request> = (0..4)
+        .map(|i| Request::new(i, 256, 8).with_arrival(0.5 * i as f64))
+        .collect();
+    let engine = vllm(SchedulingPolicy::PrefillPrioritized);
+    let report = engine.run_ready(&reqs, 30.0);
+    for t in &report.timeline {
+        assert!(
+            t.first_token_s >= 30.0,
+            "request {} produced a token at {} before the replica was ready",
+            t.id,
+            t.first_token_s
+        );
+    }
+    // TTFT is measured from the *true* arrival, so it includes the
+    // warm-up wait.
+    let lat = report.latency.unwrap();
+    assert!(lat.ttft.p50 >= 30.0 - 1.5 - 1e-9);
+}

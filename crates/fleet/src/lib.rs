@@ -37,8 +37,10 @@ pub mod sweep;
 
 pub use fleet::Fleet;
 pub use report::{FleetReport, LoadImbalance};
-pub use router::{Router, RouterPolicy};
+pub use router::{Routed, Router, RouterPolicy};
 pub use sweep::{
-    offline_capacity, policy_comparison_at_capacity_with, policy_comparison_with,
-    scaling_sweep_at_capacity_with, scaling_sweep_with, FleetPoint, FleetScalingSweep,
+    offline_capacity, policy_comparison_at_capacity_with,
+    policy_comparison_patterned_at_capacity_with, policy_comparison_with,
+    scaling_sweep_at_capacity_with, scaling_sweep_patterned_at_capacity_with,
+    scaling_sweep_with, FleetPoint, FleetScalingSweep,
 };

@@ -106,14 +106,30 @@ impl VirtualQueue {
         }
     }
 
-    /// Dispatch a request of estimated service `est` arriving at `now`.
-    fn push(&mut self, now: f64, est: f64) {
+    /// Dispatch a request of estimated service `est` arriving at
+    /// `now`; returns the estimated start time (`now` on an idle
+    /// server, the end of the backlog otherwise).
+    fn push(&mut self, now: f64, est: f64) -> f64 {
         let start = now.max(self.busy_until);
         let done = start + est;
         self.busy_until = done;
         self.work += est;
         self.inflight.push_back((done, est));
+        start
     }
+}
+
+/// One routing decision from [`Router::route_among`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Routed {
+    /// The chosen replica.
+    pub replica: usize,
+    /// Estimated queueing delay before service starts on that
+    /// replica's virtual server (0.0 when it is idle). Note this is
+    /// in raw roofline-estimate units; the autoscale controller's
+    /// attainment signal instead comes from its capacity-calibrated
+    /// fluid backlog, so this field is informational.
+    pub est_wait_s: f64,
 }
 
 /// Streaming router: feed it the arrival-sorted request stream and it
@@ -200,6 +216,125 @@ impl Router {
         );
         self.queues[chosen].push(now, est);
         chosen
+    }
+
+    /// Add a replica (an empty virtual queue), returning its index.
+    /// Elastic fleets call this when the autoscaling controller
+    /// spawns a replica mid-stream: the router is *resumable* — its
+    /// queue state and tie rotor persist across the scale event.
+    pub fn add_replica(&mut self) -> usize {
+        self.queues.push(VirtualQueue::default());
+        self.queues.len() - 1
+    }
+
+    /// [`Router::route`] restricted to the `eligible` replicas
+    /// (sorted, non-empty, in range) — the ones currently accepting
+    /// traffic in an elastic fleet (warm, not retiring). With every
+    /// replica eligible the decision is identical to [`Router::route`]
+    /// (same RNG draws, same rotor walk), so a Static autoscaling run
+    /// reproduces a fixed [`crate::Fleet`] byte-for-byte.
+    ///
+    /// Unlike `route`, bookkeeping runs for *every* policy (including
+    /// round-robin, whose assignment ignores it) so the controller's
+    /// queue-depth/wait signals exist regardless of policy; `route`
+    /// keeps its bookkeeping-free round-robin fast path, which cannot
+    /// diverge because round-robin decisions never read queue state.
+    pub fn route_among(
+        &mut self,
+        req: &Request,
+        eligible: &[usize],
+        est_service: impl Fn(usize, &Request) -> f64,
+    ) -> Routed {
+        let n = self.queues.len();
+        assert!(!eligible.is_empty(), "routing needs an accepting replica");
+        debug_assert!(
+            eligible.windows(2).all(|w| w[0] < w[1]) && *eligible.last().unwrap() < n,
+            "eligible set must be sorted, unique, and in range"
+        );
+        let now = req.arrival_s;
+        for q in &mut self.queues {
+            q.advance_to(now);
+        }
+        let chosen = match self.policy {
+            RouterPolicy::RoundRobin => {
+                let r = (0..n)
+                    .map(|off| (self.rr_next + off) % n)
+                    .find(|i| eligible.binary_search(i).is_ok())
+                    .expect("eligible is non-empty");
+                self.rr_next = (r + 1) % n;
+                r
+            }
+            RouterPolicy::JoinShortestQueue => {
+                self.argmin_among(eligible, |q| q.inflight.len() as f64)
+            }
+            RouterPolicy::PowerOfTwoChoices { .. } => {
+                let k = eligible.len();
+                if k == 1 {
+                    eligible[0]
+                } else {
+                    let rng = self.rng.as_mut().expect("po2 router has an RNG");
+                    // Sample positions in the eligible list with the
+                    // same draw pattern `route` uses over all
+                    // replicas, so full eligibility replays the same
+                    // stream.
+                    let a = rng.gen_range(0..k);
+                    let mut b = rng.gen_range(0..k - 1);
+                    if b >= a {
+                        b += 1;
+                    }
+                    let (a, b) = (eligible[a], eligible[b]);
+                    if self.queues[b].inflight.len() < self.queues[a].inflight.len() {
+                        b
+                    } else {
+                        a
+                    }
+                }
+            }
+            RouterPolicy::LeastEstimatedWork => self.argmin_among(eligible, |q| q.work),
+        };
+        let est = est_service(chosen, req);
+        assert!(
+            est.is_finite() && est > 0.0,
+            "service estimate must be positive and finite, got {est}"
+        );
+        let start = self.queues[chosen].push(now, est);
+        Routed { replica: chosen, est_wait_s: start - now }
+    }
+
+    /// Advance every virtual queue to `now` and report
+    /// `(in-flight requests, estimated outstanding work seconds)` per
+    /// replica — the controller's end-of-window backlog snapshot.
+    /// Idempotent with later routing: queues drain monotonically, so
+    /// observing at `now` never changes a subsequent decision for an
+    /// arrival at or after `now`.
+    pub fn queue_state(&mut self, now: f64) -> Vec<(usize, f64)> {
+        self.queues
+            .iter_mut()
+            .map(|q| {
+                q.advance_to(now);
+                (q.inflight.len(), q.work)
+            })
+            .collect()
+    }
+
+    /// [`Router::argmin_by`] restricted to `eligible`: the minimum is
+    /// taken over eligible replicas only, and the tie walk skips
+    /// ineligible indices — with all replicas eligible both loops
+    /// visit the same indices in the same order as `argmin_by`.
+    fn argmin_among(&mut self, eligible: &[usize], key: impl Fn(&VirtualQueue) -> f64) -> usize {
+        let n = self.queues.len();
+        let min = eligible
+            .iter()
+            .map(|&i| key(&self.queues[i]))
+            .fold(f64::INFINITY, f64::min);
+        for off in 0..n {
+            let i = (self.rr_next + off) % n;
+            if eligible.binary_search(&i).is_ok() && key(&self.queues[i]) == min {
+                self.rr_next = (i + 1) % n;
+                return i;
+            }
+        }
+        unreachable!("some eligible replica attains the minimum")
     }
 
     /// Replica minimizing `key`; exact ties resolve round-robin (the
@@ -347,5 +482,73 @@ mod tests {
     fn bad_estimates_rejected() {
         let reqs = reqs_at(&[0.0]);
         assign(RouterPolicy::JoinShortestQueue, 2, &reqs, |_, _| 0.0);
+    }
+
+    /// `route_among` with every replica eligible must replay exactly
+    /// the decisions `route` makes — same rotor walk, same RNG
+    /// stream — for every policy (the Static-autoscale ==
+    /// fixed-Fleet byte-identity rests on this).
+    #[test]
+    fn route_among_full_eligibility_matches_route() {
+        let reqs = reqs_at(&[0.0, 0.0, 0.3, 0.1, 2.0, 0.05, 0.0, 5.0, 0.2, 0.0]);
+        let est = |i: usize, r: &Request| 0.3 + 0.1 * i as f64 + 0.01 * (r.id % 3) as f64;
+        for policy in RouterPolicy::all_default() {
+            let n = 3;
+            let all: Vec<usize> = (0..n).collect();
+            let mut a = Router::new(policy, n);
+            let mut b = Router::new(policy, n);
+            for r in &reqs {
+                let via_route = a.route(r, est);
+                let via_among = b.route_among(r, &all, est).replica;
+                assert_eq!(via_route, via_among, "{policy} diverged at request {}", r.id);
+            }
+        }
+    }
+
+    /// Eligibility masks keep traffic off warming/retiring replicas,
+    /// and a replica added mid-stream joins the rotation with an
+    /// empty queue.
+    #[test]
+    fn masked_routing_and_mid_stream_add() {
+        let mut router = Router::new(RouterPolicy::JoinShortestQueue, 2);
+        let r0 = Request::new(0, 100, 10).with_arrival(0.0);
+        let r1 = Request::new(1, 100, 10).with_arrival(0.1);
+        // Only replica 1 is accepting: everything lands there.
+        assert_eq!(router.route_among(&r0, &[1], UNIT_EST).replica, 1);
+        assert_eq!(router.route_among(&r1, &[1], UNIT_EST).replica, 1);
+        // A new replica appears with an empty queue; JSQ prefers it.
+        let new = router.add_replica();
+        assert_eq!(new, 2);
+        let r2 = Request::new(2, 100, 10).with_arrival(0.2);
+        assert_eq!(router.route_among(&r2, &[1, 2], UNIT_EST).replica, 2);
+        let state = router.queue_state(0.2);
+        assert_eq!(state.len(), 3);
+        assert_eq!(state[0].0, 0, "masked-out replica received nothing");
+        assert_eq!(state[1].0, 2);
+        assert_eq!(state[2].0, 1);
+    }
+
+    /// The estimated wait reported per decision is the virtual
+    /// queueing delay: zero on an idle server, backlog length
+    /// otherwise.
+    #[test]
+    fn est_wait_tracks_backlog() {
+        let mut router = Router::new(RouterPolicy::JoinShortestQueue, 1);
+        let w0 = router.route_among(&Request::new(0, 1, 1).with_arrival(0.0), &[0], UNIT_EST);
+        let w1 = router.route_among(&Request::new(1, 1, 1).with_arrival(0.0), &[0], UNIT_EST);
+        let w2 = router.route_among(&Request::new(2, 1, 1).with_arrival(0.5), &[0], UNIT_EST);
+        assert_eq!(w0.est_wait_s, 0.0);
+        assert!((w1.est_wait_s - 1.0).abs() < 1e-12);
+        assert!((w2.est_wait_s - 1.5).abs() < 1e-12, "0.5 into a 2 s backlog");
+        // After the backlog drains the wait is zero again.
+        let w3 = router.route_among(&Request::new(3, 1, 1).with_arrival(10.0), &[0], UNIT_EST);
+        assert_eq!(w3.est_wait_s, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "accepting replica")]
+    fn empty_eligible_set_rejected() {
+        let mut router = Router::new(RouterPolicy::JoinShortestQueue, 2);
+        router.route_among(&Request::new(0, 1, 1), &[], UNIT_EST);
     }
 }

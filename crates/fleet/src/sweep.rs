@@ -135,14 +135,56 @@ pub fn scaling_sweep_at_capacity_with(
     build: ReplicaBuilder,
     workload: &str,
     base: &[Request],
-    (capacity_rps, label): (f64, &str),
+    capacity: (f64, &str),
     replica_counts: &[usize],
     multipliers: &[f64],
     policy: RouterPolicy,
     slo: SloSpec,
     seed: u64,
 ) -> FleetScalingSweep {
+    let unit = ArrivalDist::Poisson { rate: 1.0 }
+        .sample_times(base.len(), seed ^ ARRIVAL_SEED_SALT)
+        .expect("unit-rate Poisson is valid");
+    scaling_sweep_patterned_at_capacity_with(
+        runner,
+        build,
+        workload,
+        base,
+        capacity,
+        &unit,
+        replica_counts,
+        multipliers,
+        policy,
+        slo,
+    )
+}
+
+/// [`scaling_sweep_at_capacity_with`] on an explicit unit-mean-rate
+/// arrival pattern (one time per request) instead of the sampled
+/// Poisson one — this is how trace-shaped arrivals (diurnal envelopes
+/// or replayed trace files, normalized via
+/// [`seesaw_workload::unit_rate_pattern`]) run through the fleet
+/// grid: every cell replays the *same trace shape*, time-scaled to
+/// its offered rate.
+#[allow(clippy::too_many_arguments)]
+pub fn scaling_sweep_patterned_at_capacity_with(
+    runner: &SweepRunner,
+    build: ReplicaBuilder,
+    workload: &str,
+    base: &[Request],
+    (capacity_rps, label): (f64, &str),
+    unit: &[f64],
+    replica_counts: &[usize],
+    multipliers: &[f64],
+    policy: RouterPolicy,
+    slo: SloSpec,
+) -> FleetScalingSweep {
     assert!(!base.is_empty(), "fleet sweep needs requests");
+    assert_eq!(
+        unit.len(),
+        base.len(),
+        "arrival pattern must cover every request"
+    );
     assert!(
         replica_counts.iter().all(|&n| n > 0),
         "replica counts must be positive"
@@ -155,16 +197,13 @@ pub fn scaling_sweep_at_capacity_with(
         capacity_rps.is_finite() && capacity_rps > 0.0,
         "capacity must be positive and finite, got {capacity_rps}"
     );
-    let unit = ArrivalDist::Poisson { rate: 1.0 }
-        .sample_times(base.len(), seed ^ ARRIVAL_SEED_SALT)
-        .expect("unit-rate Poisson is valid");
     let cells: Vec<(usize, f64)> = replica_counts
         .iter()
         .flat_map(|&n| multipliers.iter().map(move |&m| (n, m)))
         .collect();
     let points = runner.map(&cells, |&(n, m)| {
         let rate = m * n as f64 * capacity_rps;
-        let reqs = paced(base, &unit, rate);
+        let reqs = paced(base, unit, rate);
         let fleet = Fleet::homogeneous(n, |i| build(i));
         let report = fleet.run_with(runner, policy, &reqs);
         FleetPoint {
@@ -223,17 +262,43 @@ pub fn policy_comparison_at_capacity_with(
     slo: SloSpec,
     seed: u64,
 ) -> Vec<FleetPoint> {
+    let unit = ArrivalDist::Poisson { rate: 1.0 }
+        .sample_times(base.len(), seed ^ ARRIVAL_SEED_SALT)
+        .expect("unit-rate Poisson is valid");
+    policy_comparison_patterned_at_capacity_with(
+        runner, build, base, capacity_rps, &unit, n_replicas, multiplier, policies, slo,
+    )
+}
+
+/// [`policy_comparison_at_capacity_with`] on an explicit
+/// unit-mean-rate arrival pattern — the router × trace head-to-head
+/// (see [`scaling_sweep_patterned_at_capacity_with`] for the pattern
+/// convention).
+#[allow(clippy::too_many_arguments)]
+pub fn policy_comparison_patterned_at_capacity_with(
+    runner: &SweepRunner,
+    build: ReplicaBuilder,
+    base: &[Request],
+    capacity_rps: f64,
+    unit: &[f64],
+    n_replicas: usize,
+    multiplier: f64,
+    policies: &[RouterPolicy],
+    slo: SloSpec,
+) -> Vec<FleetPoint> {
     assert!(!base.is_empty(), "policy comparison needs requests");
+    assert_eq!(
+        unit.len(),
+        base.len(),
+        "arrival pattern must cover every request"
+    );
     assert!(n_replicas > 0, "policy comparison needs replicas");
     assert!(
         capacity_rps.is_finite() && capacity_rps > 0.0,
         "capacity must be positive and finite, got {capacity_rps}"
     );
-    let unit = ArrivalDist::Poisson { rate: 1.0 }
-        .sample_times(base.len(), seed ^ ARRIVAL_SEED_SALT)
-        .expect("unit-rate Poisson is valid");
     let rate = multiplier * n_replicas as f64 * capacity_rps;
-    let reqs = paced(base, &unit, rate);
+    let reqs = paced(base, unit, rate);
     runner.map(policies, |&policy| {
         let fleet = Fleet::homogeneous(n_replicas, |i| build(i));
         let report = fleet.run_with(runner, policy, &reqs);

@@ -86,23 +86,33 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    /// Summarize a sample set; all-zero for an empty one. Sorts the
-    /// samples once and indexes every rank (summaries run on every
-    /// engine report, so per-percentile re-sorting would be paid on
-    /// the sweep hot path).
+    /// Summarize a sample set; all-zero for an empty one (callers
+    /// that must distinguish "no samples" from "all-zero latencies" —
+    /// e.g. per-window slices of a day-long run — use
+    /// [`LatencySummary::try_of`]).
     pub fn of(xs: &[f64]) -> Self {
+        Self::try_of(xs)
+            .unwrap_or(LatencySummary { mean: 0.0, p50: 0.0, p90: 0.0, p99: 0.0, max: 0.0 })
+    }
+
+    /// Summarize a sample set; `None` for an empty one — never a NaN
+    /// mean or a fabricated zero percentile. Sorts the samples once
+    /// and indexes every rank (summaries run on every engine report,
+    /// so per-percentile re-sorting would be paid on the sweep hot
+    /// path).
+    pub fn try_of(xs: &[f64]) -> Option<Self> {
         if xs.is_empty() {
-            return LatencySummary { mean: 0.0, p50: 0.0, p90: 0.0, p99: 0.0, max: 0.0 };
+            return None;
         }
         let mut sorted = xs.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency samples"));
-        LatencySummary {
+        Some(LatencySummary {
             mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
             p50: percentile_of_sorted(&sorted, 50.0),
             p90: percentile_of_sorted(&sorted, 90.0),
             p99: percentile_of_sorted(&sorted, 99.0),
             max: *sorted.last().expect("non-empty"),
-        }
+        })
     }
 }
 
@@ -175,6 +185,96 @@ impl SloSpec {
         }
         timeline.iter().filter(|t| self.met_by(t)).count() as f64 / duration_s
     }
+}
+
+/// Serving metrics over one `[t0, t1)` slice of a timeline — the
+/// per-window view a day-long autoscaling run is judged by.
+///
+/// A request is *attributed to the window its arrival falls in* for
+/// attainment and latency (the user experienced that window's
+/// congestion), and to the window its last token falls in for
+/// goodput (work was delivered then). Windows with no arrivals carry
+/// `None` — "no traffic" is not "0% attainment", and an all-`None`
+/// quiet night must not drag a daily average down.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowMetrics {
+    /// Window start, seconds (inclusive).
+    pub t0: f64,
+    /// Window end, seconds (exclusive).
+    pub t1: f64,
+    /// Requests arriving in the window.
+    pub arrivals: usize,
+    /// Requests completing in the window.
+    pub completions: usize,
+    /// Fraction of the window's arrivals meeting the SLO; `None`
+    /// when nothing arrived.
+    pub attainment: Option<f64>,
+    /// SLO-meeting completions per second over the window.
+    pub goodput_rps: f64,
+    /// TTFT summary of the window's arrivals; `None` when nothing
+    /// arrived.
+    pub ttft: Option<LatencySummary>,
+}
+
+/// Slice `timeline` into consecutive `window_s`-second windows from
+/// t = 0 and compute [`WindowMetrics`] per window. Windows extend to
+/// `horizon_s` at least (trailing quiet windows included, so a
+/// controller's window axis and the metric axis line up), and further
+/// if any completion lands past the horizon. An empty timeline with a
+/// positive horizon yields all-quiet windows; `window_s` must be
+/// finite and positive.
+pub fn windowed_metrics(
+    timeline: &[RequestTiming],
+    slo: SloSpec,
+    window_s: f64,
+    horizon_s: f64,
+) -> Vec<WindowMetrics> {
+    assert!(
+        window_s.is_finite() && window_s > 0.0,
+        "window length must be finite and > 0, got {window_s}"
+    );
+    assert!(
+        horizon_s.is_finite() && horizon_s >= 0.0,
+        "horizon must be finite and >= 0, got {horizon_s}"
+    );
+    let span = timeline
+        .iter()
+        .map(|t| t.completion_s)
+        .fold(horizon_s, f64::max);
+    let n_windows = (span / window_s).ceil() as usize;
+    // A non-empty timeline always needs a window to land in, even
+    // when every timestamp is 0 (span 0 would otherwise allocate
+    // zero windows and the attribution below would index out of
+    // bounds).
+    let n_windows = n_windows.max(usize::from(span > 0.0 || !timeline.is_empty()));
+    let idx = |t: f64| -> usize { ((t / window_s) as usize).min(n_windows.saturating_sub(1)) };
+    let mut arrivals = vec![0usize; n_windows];
+    let mut met_arrivals = vec![0usize; n_windows];
+    let mut completions = vec![0usize; n_windows];
+    let mut met_completions = vec![0usize; n_windows];
+    let mut ttfts: Vec<Vec<f64>> = vec![Vec::new(); n_windows];
+    for t in timeline {
+        let met = slo.met_by(t);
+        let aw = idx(t.arrival_s);
+        arrivals[aw] += 1;
+        met_arrivals[aw] += usize::from(met);
+        ttfts[aw].push(t.ttft());
+        let cw = idx(t.completion_s);
+        completions[cw] += 1;
+        met_completions[cw] += usize::from(met);
+    }
+    (0..n_windows)
+        .map(|w| WindowMetrics {
+            t0: w as f64 * window_s,
+            t1: (w + 1) as f64 * window_s,
+            arrivals: arrivals[w],
+            completions: completions[w],
+            attainment: (arrivals[w] > 0)
+                .then(|| met_arrivals[w] as f64 / arrivals[w] as f64),
+            goodput_rps: met_completions[w] as f64 / window_s,
+            ttft: LatencySummary::try_of(&ttfts[w]),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -264,6 +364,86 @@ mod tests {
         assert!((s.tpot.p50 - 0.1).abs() < 1e-12);
         assert!((s.tpot.mean - 0.1).abs() < 1e-12);
         assert!(LatencyStats::from_timeline(&[]).is_none());
+    }
+
+    #[test]
+    fn try_of_distinguishes_empty_from_zero() {
+        assert_eq!(LatencySummary::try_of(&[]), None);
+        let s = LatencySummary::try_of(&[0.0, 0.0]).unwrap();
+        assert_eq!(s.max, 0.0);
+        // `of` keeps its legacy all-zero behaviour for empty input.
+        assert_eq!(LatencySummary::of(&[]).p99, 0.0);
+        assert_eq!(
+            LatencySummary::of(&[1.0, 2.0]),
+            LatencySummary::try_of(&[1.0, 2.0]).unwrap()
+        );
+    }
+
+    #[test]
+    fn windowed_metrics_attribute_by_arrival_and_completion() {
+        let slo = SloSpec { ttft_s: 1.0, tpot_s: 0.2 };
+        let tl = vec![
+            timing(0, 0.5, 1.0, 1.5, 11),  // arrives w0, completes w0; ttft 0.5, tpot 0.05 -> met
+            timing(1, 1.5, 4.0, 4.5, 11),  // arrives w0, completes w2; ttft 2.5 -> missed
+            timing(2, 2.5, 3.0, 5.5, 11),  // arrives w1, completes w2; tpot 0.25 -> missed
+        ];
+        let ws = windowed_metrics(&tl, slo, 2.0, 6.0);
+        assert_eq!(ws.len(), 3);
+        assert_eq!(ws[0].arrivals, 2);
+        assert_eq!(ws[0].attainment, Some(0.5));
+        assert_eq!(ws[0].completions, 1);
+        assert!((ws[0].goodput_rps - 0.5).abs() < 1e-12, "one met completion / 2 s");
+        assert_eq!(ws[1].arrivals, 1);
+        assert_eq!(ws[1].attainment, Some(0.0));
+        assert_eq!(ws[2].arrivals, 0);
+        assert_eq!(ws[2].attainment, None, "no arrivals is not 0% attainment");
+        assert_eq!(ws[2].ttft, None);
+        assert_eq!(ws[2].completions, 2);
+        assert_eq!(ws[2].goodput_rps, 0.0, "both window-2 completions missed the SLO");
+        // TTFT summary covers the window's arrivals only.
+        let t0 = ws[0].ttft.unwrap();
+        assert!((t0.max - 2.5).abs() < 1e-12);
+        assert!((t0.mean - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windowed_metrics_edge_cases() {
+        let slo = SloSpec { ttft_s: 1.0, tpot_s: 0.2 };
+        // Empty timeline, positive horizon: all-quiet windows, no NaN.
+        let ws = windowed_metrics(&[], slo, 10.0, 25.0);
+        assert_eq!(ws.len(), 3);
+        for w in &ws {
+            assert_eq!(w.attainment, None);
+            assert_eq!(w.ttft, None);
+            assert_eq!(w.goodput_rps, 0.0);
+        }
+        // Empty timeline, zero horizon: no windows at all.
+        assert!(windowed_metrics(&[], slo, 10.0, 0.0).is_empty());
+        // Non-empty timeline whose every timestamp is 0 with a zero
+        // horizon still gets one window (regression: this indexed out
+        // of bounds).
+        let zeroed = vec![timing(0, 0.0, 0.0, 0.0, 1)];
+        let ws = windowed_metrics(&zeroed, slo, 10.0, 0.0);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].arrivals, 1);
+        assert_eq!(ws[0].completions, 1);
+        // Completions past the horizon extend the window axis.
+        let tl = vec![timing(0, 1.0, 2.0, 99.0, 5)];
+        let ws = windowed_metrics(&tl, slo, 10.0, 20.0);
+        assert_eq!(ws.len(), 10);
+        assert_eq!(ws[9].completions, 1);
+        // A completion exactly on the last boundary clamps into the
+        // final window instead of indexing out of bounds.
+        let tl = vec![timing(0, 0.0, 1.0, 20.0, 5)];
+        let ws = windowed_metrics(&tl, slo, 10.0, 20.0);
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[1].completions, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window length")]
+    fn windowed_metrics_rejects_bad_window() {
+        windowed_metrics(&[], SloSpec { ttft_s: 1.0, tpot_s: 1.0 }, 0.0, 10.0);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! deterministic.
 
 pub mod arrival;
+pub mod envelope;
 pub mod gen;
 pub mod latency;
 pub mod metrics;
@@ -22,8 +23,12 @@ pub mod request;
 pub mod stream;
 
 pub use arrival::{ArrivalDist, ArrivalSampler};
+pub use envelope::{load_trace_file, parse_trace, unit_rate_pattern, RateEnvelope};
 pub use gen::{LengthDist, WorkloadGen, ARRIVAL_SEED_SALT};
-pub use latency::{percentile, LatencyStats, LatencySummary, RequestTiming, SloSpec};
+pub use latency::{
+    percentile, windowed_metrics, LatencyStats, LatencySummary, RequestTiming, SloSpec,
+    WindowMetrics,
+};
 pub use metrics::RunStats;
 pub use request::{LengthStats, Request, RequestMap};
 pub use stream::{merge_timelines, split_stream};

@@ -3,8 +3,9 @@
 # benchmark, and fail when
 #   * parallel figure output diverges from serial (determinism), or
 #   * any sims/sec figure (seesaw, vllm, the online-serving
-#     load-point rate "serving", or the 4-replica-JSQ fleet grid-cell
-#     rate "fleet") regresses >20% vs the committed BENCH_sweep.json.
+#     load-point rate "serving", the 4-replica-JSQ fleet grid-cell
+#     rate "fleet", or the reactive-diurnal autoscale grid-cell rate
+#     "autoscale") regresses >20% vs the committed BENCH_sweep.json.
 #
 # Usage: scripts/bench.sh [subsample] [--jobs N]
 #   subsample defaults to 8 (the committed artifact's setting).

@@ -16,6 +16,8 @@
 //! * [`roofline`] — the analytical performance model (paper Appendix A).
 //! * [`engine`] — the Seesaw engine plus vLLM-like and disaggregated
 //!   baselines.
+//! * [`autoscale`] — the elastic-fleet controller tier: trace-driven
+//!   scaling policies over multi-replica deployments.
 //!
 //! # Quickstart
 //!
@@ -36,6 +38,7 @@
 //! assert!(report.throughput_rps() > 0.0);
 //! ```
 
+pub use seesaw_autoscale as autoscale;
 pub use seesaw_engine as engine;
 pub use seesaw_hw as hw;
 pub use seesaw_kv as kv;
