@@ -35,14 +35,21 @@
 //! exactly — byte-for-byte — onto the fixed [`seesaw_fleet::Fleet`]
 //! of the same size.
 
+use crate::faults::{
+    accepting_capacity_per_window, unavailability_s, AvailabilityStats, FailureEvent,
+    FaultKind, FaultSchedule,
+};
 use crate::policy::{ScaleDecision, ScalingPolicy};
 use seesaw_engine::driver::assert_arrivals_sorted;
 use seesaw_engine::online::mean_lengths;
 use seesaw_engine::{OnlineEngine, ServiceRates, SweepRunner};
 use seesaw_fleet::sweep::ReplicaBuilder;
 use seesaw_fleet::{FleetReport, Router, RouterPolicy};
-use seesaw_workload::{windowed_metrics, Request, SloSpec, WindowMetrics};
+use seesaw_workload::{
+    windowed_metrics, DispatchQueue, LatencyStats, Request, SloSpec, WindowMetrics,
+};
 use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Controller configuration shared by every policy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -154,8 +161,12 @@ pub struct WindowSignals {
     /// Replicas accepting traffic at the window end.
     pub ready: usize,
     /// Live replicas at the window end (accepting + warming, not
-    /// retiring).
+    /// retiring or killed).
     pub provisioned: usize,
+    /// Replicas killed by fault injection during the window (0 on
+    /// every fault-free replay) — the failure signal a policy or the
+    /// replacement logic reacts to.
+    pub failures: usize,
 }
 
 /// One scale event in the decision log.
@@ -180,10 +191,15 @@ pub struct ReplicaLifecycle {
     /// When it was told to retire (`None` = lived to the horizon),
     /// seconds.
     pub retire_s: Option<f64>,
+    /// When fault injection killed it (`None` = never). Unlike a
+    /// retire, a kill is immediate: nothing drains, in-flight work is
+    /// lost, and billing stops at the kill instant.
+    pub killed_s: Option<f64>,
     /// When it actually disappeared: after draining in-flight work
-    /// (measured last completion), or the horizon for survivors.
+    /// (measured last completion), the kill instant for killed
+    /// replicas, or the horizon for survivors.
     pub end_s: f64,
-    /// Requests it served.
+    /// Dispatch attempts routed to it (lost attempts included).
     pub requests: usize,
 }
 
@@ -211,6 +227,14 @@ pub struct ElasticFleetReport {
     pub events: Vec<ScaleEvent>,
     /// Per-replica lifetimes, in spawn order.
     pub lifecycles: Vec<ReplicaLifecycle>,
+    /// Replica kills as they struck, in time order (empty on a
+    /// fault-free replay).
+    pub failures: Vec<FailureEvent>,
+    /// Request-conservation and capacity accounting
+    /// (`completed + failed == offered` always holds; on a fault-free
+    /// replay every loss counter is zero and
+    /// `attempts == offered == completed`).
+    pub availability: AvailabilityStats,
     /// Measured per-window serving metrics over the merged timeline.
     /// At least one entry per control window; completions landing
     /// past the horizon (the drain tail) extend the axis, so this may
@@ -225,10 +249,24 @@ pub struct ElasticFleetReport {
 }
 
 impl ElasticFleetReport {
-    /// Fraction of all requests meeting the configured SLO
-    /// (measured, not estimated).
+    /// Fraction of all *offered* requests meeting the configured SLO
+    /// (measured, not estimated). Requests that failed outright —
+    /// exhausted retries after replica kills — count against the
+    /// denominator (a dropped request certainly missed its SLO), so
+    /// on a fault-free replay this equals the fleet timeline's plain
+    /// attainment. 0.0 when nothing was offered.
     pub fn attainment(&self) -> f64 {
-        self.fleet.slo_attainment(self.config.slo)
+        let denom = self.fleet.timeline.len() + self.availability.failed;
+        if denom == 0 {
+            return 0.0;
+        }
+        let met = self
+            .fleet
+            .timeline
+            .iter()
+            .filter(|t| self.config.slo.met_by(t))
+            .count();
+        met as f64 / denom as f64
     }
 
     /// SLO-meeting requests per second over the fleet makespan.
@@ -253,13 +291,26 @@ struct ReplicaState {
     spawn_s: f64,
     ready_s: f64,
     retire_s: Option<f64>,
+    killed_s: Option<f64>,
     stream: Vec<Request>,
 }
 
 impl ReplicaState {
     fn live(&self) -> bool {
-        self.retire_s.is_none()
+        self.retire_s.is_none() && self.killed_s.is_none()
     }
+}
+
+/// Capacity-calibrated mirror of one replica's FIFO queue, kept only
+/// while faults are being injected: it resolves *which* dispatched
+/// attempts are still estimated in flight (and therefore lost) when
+/// the replica is killed. Entries are
+/// `(est done, est service, attempt id, original request index,
+/// attempt number)`.
+#[derive(Debug, Default)]
+struct CalQueue {
+    busy_until: f64,
+    inflight: VecDeque<(f64, f64, u64, usize, u32)>,
 }
 
 /// The autoscaling controller: a [`ScalingPolicy`] bound to an
@@ -300,13 +351,49 @@ impl AutoscaleController {
         build: ReplicaBuilder,
         requests: &[Request],
     ) -> ElasticFleetReport {
+        self.run_faulted_with(runner, build, requests, &FaultSchedule::none())
+    }
+
+    /// [`AutoscaleController::run_with`] under a [`FaultSchedule`]:
+    /// scheduled kills strike mid-replay, their in-flight and queued
+    /// attempts are lost and requeued through the router after the
+    /// detection delay (under the schedule's retry policy), and —
+    /// when the schedule asks for it — the controller spawns
+    /// replacement replicas that pay the usual warm-up.
+    ///
+    /// This is the *only* replay loop: the fault-free path is the
+    /// same code with an empty schedule, so
+    /// `run_faulted_with(.., &FaultSchedule::none())` is structurally
+    /// identical to [`AutoscaleController::run_with`] — byte-for-byte,
+    /// not merely equivalent. Faults and requeue decisions are
+    /// resolved serially on the causal trajectory (like every routing
+    /// and scaling decision), so output remains byte-identical for
+    /// every `--jobs` value.
+    pub fn run_faulted_with(
+        &self,
+        runner: &SweepRunner,
+        build: ReplicaBuilder,
+        requests: &[Request],
+        faults: &FaultSchedule,
+    ) -> ElasticFleetReport {
         let cfg = self.config;
+        faults
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid fault schedule: {e}"));
         assert_arrivals_sorted(requests);
         let (avg_in, avg_out) = mean_lengths(requests);
         let spawn = |idx: usize, spawn_s: f64, ready_s: f64| -> ReplicaState {
             let engine = build(idx);
             let rates = engine.service_rates(avg_in, avg_out);
-            ReplicaState { engine, rates, spawn_s, ready_s, retire_s: None, stream: Vec::new() }
+            ReplicaState {
+                engine,
+                rates,
+                spawn_s,
+                ready_s,
+                retire_s: None,
+                killed_s: None,
+                stream: Vec::new(),
+            }
         };
 
         let n0 = self.policy.initial_replicas(cfg.min_replicas, cfg.max_replicas);
@@ -325,53 +412,239 @@ impl AutoscaleController {
         let calib = 1.0 / (cfg.capacity_rps * replicas[0].rates.est_service_s(&mean_req));
 
         let last_arrival = requests.last().map_or(0.0, |r| r.arrival_s);
-        let n_windows = (last_arrival / cfg.window_s) as usize + 1;
-        let horizon_s = n_windows as f64 * cfg.window_s;
+        let base_windows = (last_arrival / cfg.window_s) as usize + 1;
 
-        let mut windows = Vec::with_capacity(n_windows);
+        // Fault/retry bookkeeping. `injecting` gates every extra
+        // per-dispatch cost, so the fault-free replay pays nothing
+        // beyond an integer compare. Hash containers are lookup-only
+        // (never iterated), so their order cannot leak into output.
+        let injecting = !faults.events.is_empty();
+        let mut dispatch = DispatchQueue::new(requests);
+        let mut next_fault = 0usize;
+        let mut base_next = 0usize; // original index of the next base dispatch
+        let mut retry_meta: HashMap<u64, (usize, u32)> = HashMap::new();
+        let mut doomed: HashSet<u64> = HashSet::new();
+        let mut next_attempt_id = requests
+            .iter()
+            .map(|r| r.id)
+            .max()
+            .unwrap_or(0)
+            .saturating_add(1);
+        let mut cal: Vec<CalQueue> = (0..n0).map(|_| CalQueue::default()).collect();
+        let mut failures: Vec<FailureEvent> = Vec::new();
+        let mut attempts = 0usize;
+        let mut retries = 0usize;
+        let mut lost_attempts = 0usize;
+        let mut failed = 0usize;
+        let mut replicas_killed = 0usize;
+        // The replica count the policy last asked for — what
+        // replacement spawns restore toward after kills.
+        let mut desired = n0;
+        // Requeue a lost attempt, or count the request failed when
+        // its budget (attempts or deadline) is exhausted.
+        let requeue_or_fail =
+            |dispatch: &mut DispatchQueue,
+             retry_meta: &mut HashMap<u64, (usize, u32)>,
+             next_attempt_id: &mut u64,
+             failed: &mut usize,
+             lost_at_s: f64,
+             orig_idx: usize,
+             attempt: u32| {
+                let next_attempt = attempt + 1;
+                if next_attempt > faults.retry.max_attempts {
+                    *failed += 1;
+                    return;
+                }
+                let retry_at =
+                    lost_at_s + faults.detect_s + faults.retry.backoff_s(next_attempt);
+                let orig = &requests[orig_idx];
+                if retry_at - orig.arrival_s > faults.retry.deadline_s {
+                    *failed += 1;
+                    return;
+                }
+                let id = *next_attempt_id;
+                *next_attempt_id = next_attempt_id
+                    .checked_add(1)
+                    .expect("attempt ids exhausted");
+                retry_meta.insert(id, (orig_idx, next_attempt));
+                dispatch
+                    .push(Request::new(id, orig.input_len, orig.output_len).with_arrival(retry_at));
+            };
+
+        let mut windows = Vec::with_capacity(base_windows);
         let mut events = Vec::new();
         let mut peak_replicas = n0;
         let mut windows_since_event = self.policy.cooldown_windows();
         let mut eligible: Vec<usize> = Vec::new();
-        let mut next = 0usize; // index of the first unrouted request
         // Calibrated fluid backlog: outstanding replica-seconds of
         // work, drained at one second per accepting replica-second.
         let mut backlog_s = 0.0f64;
         let mut backlog_t = 0.0f64;
 
-        for w in 0..n_windows {
+        // Windows extend past the base count while retries or faults
+        // are still pending — the drain tail of a failure near the
+        // trace end must still be replayed, not dropped.
+        let mut w = 0usize;
+        while w < base_windows || !dispatch.is_empty() || next_fault < faults.events.len() {
             let t0 = w as f64 * cfg.window_s;
             let t1 = t0 + cfg.window_s;
             let mut arrivals = 0usize;
             let mut est_work_s = 0.0;
             let mut waits_ok = 0usize;
-            while next < requests.len() && requests[next].arrival_s < t1 {
-                let req = &requests[next];
+            let mut window_failures = 0usize;
+            loop {
+                let t_disp = dispatch.peek_s();
+                let t_fault = faults.events.get(next_fault).map(|e| e.t_s);
+                // A fault inside the window at or before the next
+                // dispatch is processed first: the kill causally
+                // precedes a dispatch at the same instant (a request
+                // arriving exactly then already finds the replica
+                // gone). With no faults this branch never runs and
+                // the loop is exactly the fault-free walk.
+                let fault_first = match (t_fault, t_disp) {
+                    (Some(tf), Some(td)) => tf < t1 && tf <= td,
+                    (Some(tf), None) => tf < t1,
+                    _ => false,
+                };
+                if fault_first {
+                    let event = faults.events[next_fault];
+                    next_fault += 1;
+                    let tk = event.t_s;
+                    let candidates: Vec<usize> = replicas
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, r)| r.live().then_some(i))
+                        .collect();
+                    let (victims, group): (Vec<usize>, Option<usize>) = match event.kind {
+                        FaultKind::KillReplica { pick } => {
+                            if candidates.is_empty() {
+                                (Vec::new(), None)
+                            } else {
+                                let v = candidates[(pick % candidates.len() as u64) as usize];
+                                (vec![v], None)
+                            }
+                        }
+                        FaultKind::GroupOutage { group } => (
+                            candidates
+                                .iter()
+                                .copied()
+                                .filter(|i| i % faults.groups == group)
+                                .collect(),
+                            Some(group),
+                        ),
+                    };
+                    for v in victims {
+                        replicas[v].killed_s = Some(tk);
+                        replicas_killed += 1;
+                        window_failures += 1;
+                        router.reset_replica(v);
+                        // Attempts estimated done by the kill instant
+                        // survived; everything else on the replica is
+                        // lost and requeued (or failed).
+                        let q = &mut cal[v];
+                        while let Some(&(done, ..)) = q.inflight.front() {
+                            if done > tk {
+                                break;
+                            }
+                            q.inflight.pop_front();
+                        }
+                        let lost: Vec<(f64, f64, u64, usize, u32)> =
+                            q.inflight.drain(..).collect();
+                        q.busy_until = tk;
+                        lost_attempts += lost.len();
+                        failures.push(FailureEvent {
+                            t_s: tk,
+                            replica: v,
+                            group,
+                            lost_attempts: lost.len(),
+                        });
+                        for (done, service, attempt_id, orig_idx, attempt) in lost {
+                            doomed.insert(attempt_id);
+                            // The unserved remainder of the lost work
+                            // leaves the fluid backlog; the retry
+                            // re-adds its full cost when dispatched.
+                            backlog_s = (backlog_s - service.min(done - tk)).max(0.0);
+                            requeue_or_fail(
+                                &mut dispatch,
+                                &mut retry_meta,
+                                &mut next_attempt_id,
+                                &mut failed,
+                                tk,
+                                orig_idx,
+                                attempt,
+                            );
+                        }
+                    }
+                    continue;
+                }
+                let Some(td) = t_disp else { break };
+                if td >= t1 {
+                    break;
+                }
+                let (req, is_retry) = dispatch.pop().expect("peeked a dispatch");
+                let (orig_idx, attempt) = if is_retry {
+                    retries += 1;
+                    *retry_meta.get(&req.id).expect("retry has metadata")
+                } else {
+                    base_next += 1;
+                    (base_next - 1, 1)
+                };
+                attempts += 1;
                 eligible.clear();
                 eligible.extend(replicas.iter().enumerate().filter_map(|(i, rep)| {
                     (rep.live() && rep.ready_s <= req.arrival_s).then_some(i)
                 }));
-                assert!(
-                    !eligible.is_empty(),
-                    "no accepting replica at t={} (min_replicas guards this)",
-                    req.arrival_s
-                );
+                if eligible.is_empty() {
+                    // Only kills can empty the fleet (`min_replicas`
+                    // guards the fault-free path): the attempt is
+                    // lost at dispatch and requeued like killed work.
+                    assert!(
+                        injecting,
+                        "no accepting replica at t={} (min_replicas guards this)",
+                        req.arrival_s
+                    );
+                    arrivals += 1;
+                    lost_attempts += 1;
+                    backlog_t = req.arrival_s;
+                    requeue_or_fail(
+                        &mut dispatch,
+                        &mut retry_meta,
+                        &mut next_attempt_id,
+                        &mut failed,
+                        req.arrival_s,
+                        orig_idx,
+                        attempt,
+                    );
+                    continue;
+                }
                 backlog_s = (backlog_s
                     - (req.arrival_s - backlog_t) * eligible.len() as f64)
                     .max(0.0);
                 backlog_t = req.arrival_s;
-                let routed = router.route_among(req, &eligible, |i, r| {
+                let routed = router.route_among(&req, &eligible, |i, r| {
                     replicas[i].rates.est_service_s(r)
                 });
-                assignment[next] = routed.replica;
-                let work = calib * replicas[routed.replica].rates.est_service_s(req);
+                assignment[orig_idx] = routed.replica;
+                let work = calib * replicas[routed.replica].rates.est_service_s(&req);
                 waits_ok +=
                     usize::from(backlog_s / eligible.len() as f64 <= cfg.slo.ttft_s);
                 backlog_s += work;
                 est_work_s += work;
-                replicas[routed.replica].stream.push(*req);
+                replicas[routed.replica].stream.push(req);
+                if injecting {
+                    let q = &mut cal[routed.replica];
+                    let now = req.arrival_s;
+                    while let Some(&(done, ..)) = q.inflight.front() {
+                        if done > now {
+                            break;
+                        }
+                        q.inflight.pop_front();
+                    }
+                    let start = now.max(q.busy_until);
+                    q.busy_until = start + work;
+                    q.inflight.push_back((start + work, work, req.id, orig_idx, attempt));
+                }
                 arrivals += 1;
-                next += 1;
             }
 
             // Observe the boundary state.
@@ -397,6 +670,7 @@ impl AutoscaleController {
                 utilization_est: est_work_s / (ready.max(1) as f64 * cfg.window_s),
                 ready,
                 provisioned,
+                failures: window_failures,
             };
 
             // Decide (cooldown-gated), then act.
@@ -412,7 +686,9 @@ impl AutoscaleController {
                         let idx = router.add_replica();
                         debug_assert_eq!(idx, replicas.len());
                         replicas.push(spawn(idx, t1, t1 + cfg.warmup_s));
+                        cal.push(CalQueue::default());
                     }
+                    desired = provisioned + k;
                     events.push(ScaleEvent { t_s: t1, from: provisioned, to: provisioned + k });
                     peak_replicas = peak_replicas.max(provisioned + k);
                     windows_since_event = 0;
@@ -436,18 +712,60 @@ impl AutoscaleController {
                     for &v in victims.iter().take(k) {
                         replicas[v].retire_s = Some(t1);
                     }
+                    desired = provisioned - k;
                     events.push(ScaleEvent { t_s: t1, from: provisioned, to: provisioned - k });
                     windows_since_event = 0;
                 }
             }
+            // Replacement spawns: restore the policy's desired count
+            // after kills shrank the live fleet. Recorded as a scale
+            // event but does NOT reset the cooldown — replacing lost
+            // capacity is repair, not a policy decision.
+            if faults.replace_failures {
+                let live_now = replicas.iter().filter(|r| r.live()).count();
+                let want = desired.clamp(cfg.min_replicas, cfg.max_replicas);
+                if live_now < want {
+                    for _ in 0..(want - live_now) {
+                        let idx = router.add_replica();
+                        debug_assert_eq!(idx, replicas.len());
+                        replicas.push(spawn(idx, t1, t1 + cfg.warmup_s));
+                        cal.push(CalQueue::default());
+                    }
+                    events.push(ScaleEvent { t_s: t1, from: live_now, to: want });
+                    peak_replicas = peak_replicas.max(want);
+                }
+            }
             windows.push(signals);
+            w += 1;
         }
+        // With no faults the loop runs exactly `base_windows` times,
+        // so this equals the fault-free horizon.
+        let horizon_s = windows.len() as f64 * cfg.window_s;
 
         // The trajectory is fixed; run the real simulations.
         let indices: Vec<usize> = (0..replicas.len()).collect();
-        let reports = runner.map(&indices, |&i| {
+        let mut reports = runner.map(&indices, |&i| {
             replicas[i].engine.run_ready(&replicas[i].stream, replicas[i].ready_s)
         });
+        if injecting {
+            // Drop attempts the fault schedule declared lost, and fold
+            // surviving retries back onto their original request: the
+            // timeline's identity and arrival are the *first* attempt's
+            // (so e2e spans detection + backoff + requeue), while the
+            // simulated completion is the surviving attempt's.
+            for report in &mut reports {
+                report.timeline.retain(|t| !doomed.contains(&t.id));
+                for t in &mut report.timeline {
+                    if let Some(&(orig_idx, attempt)) = retry_meta.get(&t.id) {
+                        t.id = requests[orig_idx].id;
+                        t.arrival_s = requests[orig_idx].arrival_s;
+                        t.attempts = attempt;
+                    }
+                }
+                report.timeline.sort_by_key(|t| t.id);
+                report.latency = LatencyStats::from_timeline(&report.timeline);
+            }
+        }
         let lifecycles: Vec<ReplicaLifecycle> = replicas
             .iter()
             .zip(&reports)
@@ -457,14 +775,18 @@ impl AutoscaleController {
                     .iter()
                     .map(|t| t.completion_s)
                     .fold(rep.ready_s, f64::max);
-                let end_s = match rep.retire_s {
-                    Some(retire) => retire.max(last_completion),
-                    None => horizon_s.max(last_completion),
+                let end_s = match (rep.killed_s, rep.retire_s) {
+                    // A kill is instantaneous: nothing drains past
+                    // it, and billing stops at the kill.
+                    (Some(killed), _) => killed,
+                    (None, Some(retire)) => retire.max(last_completion),
+                    (None, None) => horizon_s.max(last_completion),
                 };
                 ReplicaLifecycle {
                     spawn_s: rep.spawn_s,
                     ready_s: rep.ready_s,
                     retire_s: rep.retire_s,
+                    killed_s: rep.killed_s,
                     end_s,
                     requests: rep.stream.len(),
                 }
@@ -473,6 +795,30 @@ impl AutoscaleController {
         let replica_seconds: f64 = lifecycles.iter().map(ReplicaLifecycle::billed_s).sum();
         let fleet = FleetReport::from_replica_reports(cfg.router, reports, assignment);
         let windowed = windowed_metrics(&fleet.timeline, cfg.slo, cfg.window_s, horizon_s);
+        // Conservation: every offered request either completed or was
+        // counted failed — nothing is silently dropped.
+        let completed = fleet.timeline.len();
+        assert_eq!(
+            completed + failed,
+            requests.len(),
+            "request conservation: every offered request must complete or be counted failed"
+        );
+        debug_assert_eq!(attempts, completed + lost_attempts);
+        let availability = AvailabilityStats {
+            offered: requests.len(),
+            attempts,
+            completed,
+            lost_attempts,
+            retries,
+            failed,
+            replicas_killed,
+            unavailability_s: unavailability_s(&lifecycles, horizon_s),
+            window_capacity_s: accepting_capacity_per_window(
+                &lifecycles,
+                cfg.window_s,
+                windows.len(),
+            ),
+        };
         ElasticFleetReport {
             policy: self.policy,
             config: cfg,
@@ -480,6 +826,8 @@ impl AutoscaleController {
             windows,
             events,
             lifecycles,
+            failures,
+            availability,
             windowed,
             horizon_s,
             replica_seconds,
@@ -491,6 +839,7 @@ impl AutoscaleController {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultEvent, RetryPolicy};
     use seesaw_engine::vllm::VllmEngine;
     use seesaw_engine::SchedulingPolicy;
     use seesaw_hw::ClusterSpec;
@@ -656,5 +1005,146 @@ mod tests {
             AutoscaleConfig { window_s: 0.0, ..AutoscaleConfig::default() },
             ScalingPolicy::reactive_default(),
         );
+    }
+
+    /// One kill event at `t_s` (victim chosen by `pick` over the live
+    /// set), with replacement spawns on or off.
+    fn kill_at(t_s: f64, pick: u64, replace: bool) -> FaultSchedule {
+        FaultSchedule {
+            events: vec![FaultEvent { t_s, kind: FaultKind::KillReplica { pick } }],
+            groups: 1,
+            detect_s: 2.0,
+            retry: RetryPolicy::default(),
+            replace_failures: replace,
+        }
+    }
+
+    #[test]
+    fn empty_fault_schedule_reproduces_the_plain_run() {
+        let build = builder();
+        let reqs = traced(60, 3.0, 9);
+        for policy in [ScalingPolicy::Static { n: 2 }, ScalingPolicy::reactive_default()] {
+            let ctl = AutoscaleController::new(cfg(5.0, 6.0, 6), policy);
+            let plain = ctl.run_with(&SweepRunner::serial(), &build, &reqs);
+            let faulted = ctl.run_faulted_with(
+                &SweepRunner::serial(),
+                &build,
+                &reqs,
+                &FaultSchedule::none(),
+            );
+            assert_eq!(plain, faulted, "{policy}");
+            assert_eq!(plain.availability.offered, 60);
+            assert_eq!(plain.availability.attempts, 60);
+            assert_eq!(plain.availability.failed, 0);
+            assert_eq!(plain.availability.retries, 0);
+            assert!((plain.availability.retry_amplification() - 1.0).abs() < 1e-12);
+            assert!(plain.fleet.timeline.iter().all(|t| t.attempts == 1));
+        }
+    }
+
+    #[test]
+    fn kill_requeues_lost_work_and_conserves_requests() {
+        let build = builder();
+        let reqs = traced(80, 3.0, 13);
+        let ctl = AutoscaleController::new(cfg(5.0, 4.0, 6), ScalingPolicy::Static { n: 2 });
+        let report =
+            ctl.run_faulted_with(&SweepRunner::serial(), &build, &reqs, &kill_at(8.0, 1, true));
+        let a = &report.availability;
+        assert_eq!(a.replicas_killed, 1);
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].group.is_none());
+        assert!((report.failures[0].t_s - 8.0).abs() < 1e-12);
+        // Conservation: nothing silently dropped.
+        assert_eq!(a.completed + a.failed, a.offered);
+        assert_eq!(a.attempts, a.completed + a.lost_attempts);
+        assert!(a.lost_attempts > 0, "an 8s-in kill must catch in-flight work");
+        assert!(a.retries > 0);
+        assert!(a.retry_amplification() > 1.0);
+        // The killed replica's lifecycle stops at the kill.
+        let killed: Vec<&ReplicaLifecycle> =
+            report.lifecycles.iter().filter(|l| l.killed_s.is_some()).collect();
+        assert_eq!(killed.len(), 1);
+        assert!((killed[0].end_s - 8.0).abs() < 1e-12);
+        // Surviving retries fold back onto the original request: the
+        // timeline keeps first arrivals and counts the attempts.
+        assert!(report.fleet.timeline.iter().any(|t| t.attempts > 1));
+        let ids: Vec<u64> = report.fleet.timeline.iter().map(|t| t.id).collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids unique and sorted");
+        // Replacement restored the static fleet: more lifecycles than
+        // the initial provision, and the window signals saw the kill.
+        assert!(report.lifecycles.len() > 2);
+        assert!(report.windows.iter().map(|w| w.failures).sum::<usize>() == 1);
+    }
+
+    #[test]
+    fn replacement_recovers_a_full_outage_and_a_bare_fleet_does_not() {
+        let build = builder();
+        let reqs = traced(60, 2.0, 17);
+        let outage = |replace: bool| FaultSchedule {
+            events: vec![FaultEvent { t_s: 10.0, kind: FaultKind::GroupOutage { group: 0 } }],
+            groups: 1, // one group == everyone: the whole fleet dies
+            detect_s: 2.0,
+            retry: RetryPolicy::default(),
+            replace_failures: replace,
+        };
+        let ctl = AutoscaleController::new(cfg(5.0, 4.0, 6), ScalingPolicy::Static { n: 2 });
+        let repaired =
+            ctl.run_faulted_with(&SweepRunner::serial(), &build, &reqs, &outage(true));
+        let bare = ctl.run_faulted_with(&SweepRunner::serial(), &build, &reqs, &outage(false));
+        // Without replacement the fleet stays dark: every request
+        // after the outage exhausts its retries and fails, and the
+        // fleet accrues unavailability. With replacement, spawns
+        // restore service after warm-up and most requests complete.
+        assert_eq!(bare.availability.completed + bare.availability.failed, 60);
+        assert!(bare.availability.failed > 0, "a dead fleet must fail requests");
+        assert!(bare.availability.unavailability_s > 0.0);
+        assert_eq!(repaired.availability.completed + repaired.availability.failed, 60);
+        assert!(
+            repaired.availability.completed > bare.availability.completed,
+            "replacement must recover requests: {} vs {}",
+            repaired.availability.completed,
+            bare.availability.completed
+        );
+        assert!(repaired.attainment() > bare.attainment());
+        assert_eq!(repaired.availability.replicas_killed, 2);
+        assert_eq!(repaired.failures.len(), 2);
+        assert!(repaired.failures.iter().all(|f| f.group == Some(0)));
+        // Per-window accepting capacity dips to zero during the
+        // outage, then recovers only in the repaired run.
+        let cap = &repaired.availability.window_capacity_s;
+        assert_eq!(cap.len(), repaired.windows.len());
+        assert!(cap.iter().any(|&c| c == 0.0), "outage must zero a window: {cap:?}");
+        assert!(cap.iter().rev().any(|&c| c > 0.0));
+    }
+
+    #[test]
+    fn faulted_report_is_runner_invariant() {
+        let build = builder();
+        let reqs = traced(70, 3.0, 19);
+        for policy in [ScalingPolicy::Static { n: 2 }, ScalingPolicy::reactive_default()] {
+            let ctl = AutoscaleController::new(cfg(5.0, 5.0, 6), policy);
+            let faults = kill_at(6.0, 0, true);
+            let serial = ctl.run_faulted_with(&SweepRunner::serial(), &build, &reqs, &faults);
+            let parallel = ctl.run_faulted_with(&SweepRunner::new(4), &build, &reqs, &faults);
+            assert_eq!(serial, parallel, "{policy}");
+        }
+    }
+
+    #[test]
+    fn ratio_paths_stay_finite_on_empty_and_degenerate_runs() {
+        let build = builder();
+        let ctl = AutoscaleController::new(cfg(10.0, 5.0, 4), ScalingPolicy::reactive_default());
+        let report = ctl.run_with(&SweepRunner::serial(), &build, &[]);
+        assert_eq!(report.attainment(), 0.0);
+        assert_eq!(report.goodput_rps(), 0.0);
+        assert!(report.mean_replicas().is_finite());
+        assert!((report.availability.retry_amplification() - 1.0).abs() < 1e-12);
+        assert!(report.availability.unavailability_s == 0.0);
+        // A synthetic zero-horizon report cannot divide by zero.
+        let mut degenerate = report.clone();
+        degenerate.horizon_s = 0.0;
+        degenerate.replica_seconds = 0.0;
+        assert_eq!(degenerate.mean_replicas(), 0.0);
+        assert!(degenerate.attainment().is_finite());
     }
 }

@@ -27,6 +27,14 @@
 //! * [`sweep::frontier_sweep_with`] runs policy × trace grids and
 //!   tabulates billed replica-seconds against measured SLO
 //!   attainment — the cost-vs-SLO frontier (the `autoscale` bin).
+//! * [`faults`] adds failure injection on top: a [`FaultSchedule`]
+//!   kills replicas (or whole groups) mid-trace, lost attempts are
+//!   requeued under a [`RetryPolicy`], replacement spawns restore the
+//!   desired count, and [`AvailabilityStats`] accounts for every
+//!   offered request. `run_with` is literally
+//!   `run_faulted_with(.., FaultSchedule::none())`, so the fault-free
+//!   path is byte-identical by construction (the `chaos` crate builds
+//!   seeded schedules and sweeps the availability frontier).
 //!
 //! Everything is deterministic and runner-invariant: the decision
 //! trajectory is causal and serial; only the final per-replica engine
@@ -35,12 +43,16 @@
 //! elastic tier nests the static one exactly.
 
 pub mod controller;
+pub mod faults;
 pub mod policy;
 pub mod sweep;
 
 pub use controller::{
     AutoscaleConfig, AutoscaleController, ElasticFleetReport, ReplicaLifecycle, ScaleEvent,
     WindowSignals,
+};
+pub use faults::{
+    AvailabilityStats, FailureEvent, FaultEvent, FaultKind, FaultSchedule, RetryPolicy,
 };
 pub use policy::{ScaleDecision, ScalingPolicy};
 pub use sweep::{frontier_sweep_with, FrontierPoint, FrontierSweep};

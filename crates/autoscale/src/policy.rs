@@ -269,6 +269,7 @@ mod tests {
             utilization_est: util,
             ready,
             provisioned: ready,
+            failures: 0,
         }
     }
 

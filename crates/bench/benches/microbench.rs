@@ -206,6 +206,9 @@ fn bench_single_candidate_eval(c: &mut Criterion) {
     g.bench_function("autoscale_cell_diurnal_reactive", |b| {
         b.iter(|| black_box(bench.run_autoscale_once()))
     });
+    g.bench_function("chaos_cell_seeded_kills_replace", |b| {
+        b.iter(|| black_box(bench.run_chaos_once()))
+    });
     g.finish();
 }
 

@@ -312,10 +312,29 @@ pub fn render_timeline(point: &FrontierPoint) -> String {
     out
 }
 
+/// The scenario knobs as one JSON object — the seed-and-shape echo
+/// shared by the `autoscale` and `chaos` documents (envelope knobs
+/// and workload seed; chaos adds its fault plan per point).
+pub fn scenario_json(spec: &ScenarioSpec) -> String {
+    format!(
+        "{{\"engine\": \"{}\", \"day_s\": {}, \"trough_mult\": {}, \"peak_mult\": {}, \
+         \"diurnal_sharpness\": {}, \"seed\": {}}}",
+        jsonfmt::esc(&spec.kind.to_string()),
+        jsonfmt::num(spec.day_s),
+        jsonfmt::num(spec.trough_mult),
+        jsonfmt::num(spec.peak_mult),
+        jsonfmt::num(DEFAULT_DIURNAL_SHARPNESS),
+        spec.seed,
+    )
+}
+
 /// The frontier as one machine-readable JSON document (the
 /// `autoscale` bin's `--json` output): headline numbers per cell plus
-/// the per-window series for plotting fleet-size trajectories.
-pub fn to_json(sweep: &FrontierSweep) -> String {
+/// the per-window series for plotting fleet-size trajectories. The
+/// header echoes the full scenario (engine, day shape, workload seed)
+/// alongside the controller config, so any cell is reproducible from
+/// the document alone.
+pub fn to_json(sweep: &FrontierSweep, spec: &ScenarioSpec) -> String {
     let cfg = &sweep.config;
     let mut out = String::new();
     out.push_str("{\n");
@@ -324,6 +343,7 @@ pub fn to_json(sweep: &FrontierSweep) -> String {
         "  \"capacity_rps\": {},\n",
         jsonfmt::num(sweep.capacity_rps)
     ));
+    out.push_str(&format!("  \"scenario\": {},\n", scenario_json(spec)));
     out.push_str(&format!(
         "  \"config\": {{\"window_s\": {}, \"warmup_s\": {}, \"min_replicas\": {}, \
          \"max_replicas\": {}, \"router\": \"{}\", \"slo\": {}}},\n",
@@ -431,19 +451,25 @@ mod tests {
         ];
         let serial = mini_frontier_with(&SweepRunner::serial(), 120.0, &policies, 42);
         let parallel = mini_frontier_with(&SweepRunner::new(4), 120.0, &policies, 42);
+        let spec = ScenarioSpec { day_s: 120.0, seed: 42, ..ScenarioSpec::default() };
         assert_eq!(serial, parallel);
         assert_eq!(render_frontier(&serial), render_frontier(&parallel));
-        assert_eq!(to_json(&serial), to_json(&parallel));
+        assert_eq!(to_json(&serial, &spec), to_json(&parallel, &spec));
         assert_eq!(serial.points.len(), 4, "2 traces x 2 policies");
         let rendered = render_frontier(&serial);
         assert!(rendered.contains("cost vs peak"));
         assert!(rendered.contains("diurnal"));
         assert!(rendered.contains("rush-hours"));
-        let json = to_json(&serial);
+        let json = to_json(&serial, &spec);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(json.contains("\"windows\""));
         assert!(!json.contains("NaN"));
+        // The scenario echo makes any cell reproducible from the
+        // document alone.
+        assert!(json.contains("\"scenario\""));
+        assert!(json.contains("\"seed\": 42"));
+        assert!(json.contains("\"day_s\": 120"));
         // The timeline renders for any cell.
         let tl = render_timeline(&serial.points[1]);
         assert!(tl.contains("per-window trajectory"));

@@ -148,7 +148,7 @@ fn main() {
         std::process::exit(2);
     });
     if args.json {
-        print!("{}", autoscale::to_json(&sweep));
+        print!("{}", autoscale::to_json(&sweep, &args.spec));
     } else {
         print!("{}", autoscale::render_frontier(&sweep));
         if let Some(policy) = &args.timeline {

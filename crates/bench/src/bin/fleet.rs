@@ -190,7 +190,7 @@ fn main() {
         args.seed,
     );
     if args.json {
-        print!("{}", fleet::to_json(&scaling, &comparison));
+        print!("{}", fleet::to_json(&scaling, &comparison, args.seed));
     } else {
         print!("{}", fleet::render_scaling(&scaling));
         print!("{}", fleet::render_comparison(&comparison));

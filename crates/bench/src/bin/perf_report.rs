@@ -24,8 +24,9 @@
 //!
 //! With `--baseline PATH`, the report exits non-zero when any
 //! sims/sec figure (`seesaw`, `vllm`, `serving`, `fleet`,
-//! `autoscale`) regresses more than 20% against the committed
-//! artifact (or when parallel output ever diverges from serial).
+//! `autoscale`, `chaos`) regresses more than 20% against the
+//! committed artifact (or when parallel output ever diverges from
+//! serial).
 
 use seesaw_bench::simsbench::{SimsBench, WORKLOAD_LABEL};
 use seesaw_bench::{cli, figs};
@@ -89,8 +90,10 @@ fn sims_per_sec(mut f: impl FnMut()) -> f64 {
 /// `autoscale` is the frontier-sweep grid-cell rate: one reactive
 /// controller replay of the compressed diurnal trace (windowed
 /// routing, scaling decisions, elastic replica runs, merged windowed
-/// report) per second.
-fn measure_sims_per_sec() -> (f64, f64, f64, f64, f64) {
+/// report) per second. `chaos` is the same replay under a fixed
+/// seeded kill schedule with replacement spawns and retry/requeue —
+/// one chaos-frontier grid cell per evaluation.
+fn measure_sims_per_sec() -> (f64, f64, f64, f64, f64, f64) {
     let bench = SimsBench::new();
     let seesaw = sims_per_sec(|| {
         std::hint::black_box(bench.run_seesaw_once());
@@ -107,7 +110,10 @@ fn measure_sims_per_sec() -> (f64, f64, f64, f64, f64) {
     let autoscale = sims_per_sec(|| {
         std::hint::black_box(bench.run_autoscale_once());
     });
-    (seesaw, vllm, serving, fleet, autoscale)
+    let chaos = sims_per_sec(|| {
+        std::hint::black_box(bench.run_chaos_once());
+    });
+    (seesaw, vllm, serving, fleet, autoscale, chaos)
 }
 
 /// Extract `"key": <number>` from a (flat) JSON artifact without a
@@ -159,10 +165,16 @@ fn main() {
     eprintln!("serial: {serial_total:.2}s; running parallel sweep...");
     let (parallel_total, parallel_figs) = run_catalog(subsample, parallel_runner);
     eprintln!("parallel: {parallel_total:.2}s; measuring sims/sec...");
-    let (mut sims_seesaw, mut sims_vllm, mut sims_serving, mut sims_fleet, mut sims_autoscale) =
-        measure_sims_per_sec();
+    let (
+        mut sims_seesaw,
+        mut sims_vllm,
+        mut sims_serving,
+        mut sims_fleet,
+        mut sims_autoscale,
+        mut sims_chaos,
+    ) = measure_sims_per_sec();
     eprintln!(
-        "sims/sec: seesaw {sims_seesaw:.0}, vllm {sims_vllm:.0}, serving {sims_serving:.0}, fleet {sims_fleet:.0}, autoscale {sims_autoscale:.0}"
+        "sims/sec: seesaw {sims_seesaw:.0}, vllm {sims_vllm:.0}, serving {sims_serving:.0}, fleet {sims_fleet:.0}, autoscale {sims_autoscale:.0}, chaos {sims_chaos:.0}"
     );
 
     // Resolve the gate's retry *before* composing the artifact, so a
@@ -173,7 +185,7 @@ fn main() {
     // measurement windows; a real regression fails both measurements.
     let floor_of = |before: f64| before * (1.0 - SIMS_REGRESSION_TOLERANCE);
     if let Some((_, text)) = &baseline {
-        let below = |current: &[(&str, f64); 5]| {
+        let below = |current: &[(&str, f64); 6]| {
             current.iter().any(|&(name, c)| {
                 json_number(text, name).is_some_and(|b| b > 0.0 && c < floor_of(b))
             })
@@ -184,14 +196,16 @@ fn main() {
             ("serving", sims_serving),
             ("fleet", sims_fleet),
             ("autoscale", sims_autoscale),
+            ("chaos", sims_chaos),
         ]) {
             eprintln!("apparent sims/sec regression; re-measuring once...");
-            let (s2, v2, o2, f2, a2) = measure_sims_per_sec();
+            let (s2, v2, o2, f2, a2, c2) = measure_sims_per_sec();
             sims_seesaw = sims_seesaw.max(s2);
             sims_vllm = sims_vllm.max(v2);
             sims_serving = sims_serving.max(o2);
             sims_fleet = sims_fleet.max(f2);
             sims_autoscale = sims_autoscale.max(a2);
+            sims_chaos = sims_chaos.max(c2);
         }
     }
 
@@ -230,6 +244,7 @@ fn main() {
     json.push_str(&format!("    \"serving\": {sims_serving:.1},\n"));
     json.push_str(&format!("    \"fleet\": {sims_fleet:.1},\n"));
     json.push_str(&format!("    \"autoscale\": {sims_autoscale:.1},\n"));
+    json.push_str(&format!("    \"chaos\": {sims_chaos:.1},\n"));
     json.push_str(&format!("    \"iters_per_batch\": {SIMS_BATCH},\n"));
     json.push_str(&format!("    \"batches\": {SIMS_BATCHES},\n"));
     json.push_str(&format!("    \"workload\": \"{}\"\n", json_escape(WORKLOAD_LABEL)));
@@ -255,7 +270,7 @@ fn main() {
         parallel_runner.jobs()
     );
     println!(
-        "sims/sec: seesaw {sims_seesaw:.0}, vllm {sims_vllm:.0}, serving {sims_serving:.0}, fleet {sims_fleet:.0}, autoscale {sims_autoscale:.0}"
+        "sims/sec: seesaw {sims_seesaw:.0}, vllm {sims_vllm:.0}, serving {sims_serving:.0}, fleet {sims_fleet:.0}, autoscale {sims_autoscale:.0}, chaos {sims_chaos:.0}"
     );
     println!("wrote {out_path}");
     if !outputs_identical {
@@ -271,6 +286,7 @@ fn main() {
             ("serving", sims_serving),
             ("fleet", sims_fleet),
             ("autoscale", sims_autoscale),
+            ("chaos", sims_chaos),
         ] {
             match json_number(&baseline, name) {
                 Some(before) if before > 0.0 => {

@@ -1,0 +1,464 @@
+//! Chaos harness: the default failure-injected day, its fault ×
+//! recovery cost-vs-SLO-vs-availability frontier, and the table/JSON
+//! renderings (the `chaos` bin).
+//!
+//! The scenario reuses the autoscale tier's diurnal day end to end —
+//! same capacity probe, same envelope, same seeds — and replays it
+//! under a roster of failure models (none, independent kills,
+//! kills + correlated rack outages) crossed with recovery postures
+//! (a bare static fleet that never heals, the same fleet with
+//! replacement spawns, and the reactive controller with replacement).
+//! The headline comparison: with failures on, a reactive policy with
+//! replacement should recover most of the no-failure attainment,
+//! while the bare static fleet measurably does not — and in every
+//! cell `completed + failed == offered` reconciles exactly (nothing
+//! is silently dropped).
+//!
+//! Everything is deterministic and byte-identical across `--jobs`:
+//! fault schedules are resolved from their seeds before the replay,
+//! and all requeue decisions happen on the serial causal trajectory.
+
+use crate::autoscale::{
+    default_traces, scenario_json, ScenarioSpec, CAPACITY_PROBE_REQUESTS,
+};
+use crate::jsonfmt;
+use crate::serving::{default_engine_of, default_specs, DEFAULT_SLO};
+use crate::table::{f2, f3, Table};
+use seesaw_autoscale::{AutoscaleConfig, RetryPolicy, ScalingPolicy};
+use seesaw_chaos::{chaos_sweep_with, ChaosFrontier, ChaosPoint, FaultPlan, RecoverySpec};
+use seesaw_engine::SweepRunner;
+use seesaw_fleet::offline_capacity;
+use seesaw_workload::WorkloadGen;
+
+/// Failure-model knobs of the default chaos scenario, expressed per
+/// *day* so a compressed `--day` keeps the same number of expected
+/// faults (the plan itself works in per-hour rates over the actual
+/// horizon).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosSpec {
+    /// Seed of the fault plan's event streams.
+    pub fault_seed: u64,
+    /// Expected independent replica kills over the day.
+    pub kills_per_day: f64,
+    /// Expected correlated group outages over the day.
+    pub outages_per_day: f64,
+    /// Rack/zone groups replica indices stripe across.
+    pub groups: usize,
+    /// Failure-detection delay before lost work requeues, seconds.
+    pub detect_s: f64,
+    /// Retry behaviour for lost requests.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ChaosSpec {
+    fn default() -> Self {
+        ChaosSpec {
+            fault_seed: crate::SEED,
+            kills_per_day: 8.0,
+            outages_per_day: 1.0,
+            groups: 2,
+            detect_s: 10.0,
+            // More patient than `RetryPolicy::default()`: replacement
+            // capacity arrives at a window boundary plus warm-up (up
+            // to ~360 s dark after a trough kill on the default
+            // config), so the retry span must outlive that blackout
+            // or every trough arrival burns its attempts against a
+            // dead fleet. 12 attempts at detect 10 s with 2→60 s
+            // exponential backoff spans ~470 s.
+            retry: RetryPolicy {
+                max_attempts: 12,
+                backoff_base_s: 2.0,
+                backoff_cap_s: 60.0,
+                deadline_s: 600.0,
+            },
+        }
+    }
+}
+
+impl ChaosSpec {
+    /// The per-hour fault plan realizing `kills_per_day` (and
+    /// optionally `outages_per_day`) over a `day_s`-second trace.
+    pub fn plan(&self, day_s: f64, with_outages: bool) -> FaultPlan {
+        FaultPlan {
+            seed: self.fault_seed,
+            kills_per_hour: self.kills_per_day * 3600.0 / day_s,
+            outages_per_hour: if with_outages {
+                self.outages_per_day * 3600.0 / day_s
+            } else {
+                0.0
+            },
+            groups: self.groups,
+            detect_s: self.detect_s,
+        }
+    }
+
+    /// The default failure roster: a fault-free control row, then
+    /// independent kills, then kills plus correlated outages (the
+    /// outage row only when the rate is positive).
+    pub fn fault_roster(&self, day_s: f64) -> Vec<(String, FaultPlan)> {
+        let mut roster = vec![
+            ("none".to_string(), FaultPlan::none()),
+            (
+                format!("kills-{:.0}/day", self.kills_per_day),
+                self.plan(day_s, false),
+            ),
+        ];
+        if self.outages_per_day > 0.0 {
+            roster.push((
+                format!(
+                    "kills+outages-{:.0}/day",
+                    self.kills_per_day + self.outages_per_day
+                ),
+                self.plan(day_s, true),
+            ));
+        }
+        roster
+    }
+
+    /// The default recovery roster for a day peaking at `peak_mult` ×
+    /// per-replica capacity: the bare provision-for-peak static fleet
+    /// (never heals — the fragility baseline), the same fleet with
+    /// replacement spawns, and the reactive controller with
+    /// replacement.
+    pub fn recovery_roster(&self, peak_mult: f64) -> Vec<RecoverySpec> {
+        let n_peak = (peak_mult.ceil() as usize).max(1);
+        vec![
+            RecoverySpec {
+                policy: ScalingPolicy::Static { n: n_peak },
+                replace_failures: false,
+                retry: self.retry,
+            },
+            RecoverySpec {
+                policy: ScalingPolicy::Static { n: n_peak },
+                replace_failures: true,
+                retry: self.retry,
+            },
+            RecoverySpec {
+                policy: ScalingPolicy::reactive_default(),
+                replace_failures: true,
+                retry: self.retry,
+            },
+        ]
+    }
+}
+
+/// Run the default chaos frontier: measure capacity, shape the
+/// diurnal day (the autoscale scenario's first trace), and sweep the
+/// fault × recovery grid. `config.capacity_rps` is overwritten with
+/// the measured value.
+pub fn default_chaos_frontier_with(
+    runner: &SweepRunner,
+    spec: &ScenarioSpec,
+    chaos: &ChaosSpec,
+    mut config: AutoscaleConfig,
+) -> ChaosFrontier {
+    let (cluster, model) = default_specs();
+    let build = |_: usize| default_engine_of(spec.kind, &cluster, &model);
+    let probe = WorkloadGen::sharegpt(spec.seed).generate(CAPACITY_PROBE_REQUESTS);
+    let (capacity_rps, label) = offline_capacity(&build, &probe);
+    config.capacity_rps = capacity_rps;
+    let traces = default_traces(spec, capacity_rps);
+    let (trace_name, requests) = &traces[0];
+    let faults = chaos.fault_roster(spec.day_s);
+    let recoveries = chaos.recovery_roster(spec.peak_mult);
+    chaos_sweep_with(
+        runner,
+        &build,
+        config,
+        &faults,
+        &recoveries,
+        (trace_name, requests),
+        (capacity_rps, &label),
+    )
+}
+
+/// A miniature chaos frontier (small day, small windows) for tests
+/// and the sims/sec benchmark: same code path as the default scenario
+/// at a fraction of the volume.
+pub fn mini_chaos_frontier_with(
+    runner: &SweepRunner,
+    day_s: f64,
+    faults: &[(String, FaultPlan)],
+    recoveries: &[RecoverySpec],
+    seed: u64,
+) -> ChaosFrontier {
+    let spec = ScenarioSpec { day_s, seed, ..ScenarioSpec::default() };
+    let (cluster, model) = default_specs();
+    let build = |_: usize| default_engine_of(spec.kind, &cluster, &model);
+    let probe = WorkloadGen::sharegpt(seed).generate(64);
+    let (capacity_rps, label) = offline_capacity(&build, &probe);
+    let config = AutoscaleConfig {
+        window_s: (day_s / 12.0).max(1.0),
+        warmup_s: (day_s / 48.0).max(0.5),
+        min_replicas: 1,
+        max_replicas: 8,
+        slo: DEFAULT_SLO,
+        capacity_rps,
+        ..AutoscaleConfig::default()
+    };
+    let traces = default_traces(&spec, capacity_rps);
+    let (trace_name, requests) = &traces[0];
+    chaos_sweep_with(
+        runner,
+        &build,
+        config,
+        faults,
+        recoveries,
+        (trace_name, requests),
+        (capacity_rps, &label),
+    )
+}
+
+/// Render the frontier as the `chaos` bin's table: cost and SLO
+/// columns like the autoscale frontier, plus the availability
+/// accounting (kills, lost/retried/failed requests, retry
+/// amplification, blackout seconds).
+pub fn render_chaos(frontier: &ChaosFrontier) -> String {
+    let cfg = &frontier.config;
+    let mut out = format!(
+        "\n=== chaos: fault x recovery cost-vs-SLO-vs-availability frontier \
+         ({} replicas, {} trace) ===\n\
+         per-replica capacity (offline probe) = {} rps; SLO: TTFT <= {}s, TPOT <= {}s\n\
+         window {}s, warm-up {}s, replicas {}..{}, {} routing; \
+         attainment counts failed requests against the SLO\n",
+        frontier.label,
+        frontier.trace,
+        f3(frontier.capacity_rps),
+        cfg.slo.ttft_s,
+        cfg.slo.tpot_s,
+        cfg.window_s,
+        cfg.warmup_s,
+        cfg.min_replicas,
+        cfg.max_replicas,
+        cfg.router,
+    );
+    let mut t = Table::new(&[
+        "fault",
+        "recovery",
+        "requests",
+        "replica-s",
+        "mean N",
+        "killed",
+        "lost",
+        "retried",
+        "failed",
+        "retry amp",
+        "dark s",
+        "SLO att",
+        "goodput",
+    ]);
+    for p in &frontier.points {
+        t.row(&[
+            p.fault.clone(),
+            p.recovery.clone(),
+            p.n_requests.to_string(),
+            format!("{:.0}", p.replica_seconds),
+            f2(p.mean_replicas),
+            p.replicas_killed.to_string(),
+            p.lost_attempts.to_string(),
+            p.retries.to_string(),
+            p.failed.to_string(),
+            format!("{:.3}x", p.retry_amplification),
+            format!("{:.0}", p.unavailability_s),
+            format!("{:.1}%", 100.0 * p.attainment),
+            f3(p.goodput_rps),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Render one cell's per-window availability trajectory: live
+/// replicas and accepting capacity against arrivals, kills, and the
+/// measured windowed attainment.
+pub fn render_chaos_timeline(point: &ChaosPoint) -> String {
+    let r = &point.report;
+    let mut out = format!(
+        "\n=== chaos: {} under {} — per-window availability ===\n",
+        point.recovery, point.fault
+    );
+    let mut t = Table::new(&[
+        "window",
+        "offered rps",
+        "ready",
+        "live",
+        "kills",
+        "capacity s",
+        "arrivals",
+        "SLO att (measured)",
+    ]);
+    for ((s, m), cap) in r
+        .windows
+        .iter()
+        .zip(&r.windowed)
+        .zip(&r.availability.window_capacity_s)
+    {
+        t.row(&[
+            format!("{:>6.0}s", s.t0),
+            f3(s.offered_rps),
+            s.ready.to_string(),
+            s.provisioned.to_string(),
+            s.failures.to_string(),
+            format!("{:.0}", cap),
+            s.arrivals.to_string(),
+            m.attainment
+                .map_or("-".into(), |a| format!("{:.1}%", 100.0 * a)),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// The frontier as one machine-readable JSON document (the `chaos`
+/// bin's `--json` output). The header echoes the full scenario
+/// (engine, day shape, workload seed), the controller config, and the
+/// retry policy; every point carries its complete fault plan (seed
+/// and rates) — so any frontier point is reproducible from the
+/// document alone.
+pub fn to_json(frontier: &ChaosFrontier, spec: &ScenarioSpec, chaos: &ChaosSpec) -> String {
+    let cfg = &frontier.config;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"label\": \"{}\",\n", jsonfmt::esc(&frontier.label)));
+    out.push_str(&format!("  \"trace\": \"{}\",\n", jsonfmt::esc(&frontier.trace)));
+    out.push_str(&format!(
+        "  \"capacity_rps\": {},\n",
+        jsonfmt::num(frontier.capacity_rps)
+    ));
+    out.push_str(&format!("  \"scenario\": {},\n", scenario_json(spec)));
+    out.push_str(&format!(
+        "  \"config\": {{\"window_s\": {}, \"warmup_s\": {}, \"min_replicas\": {}, \
+         \"max_replicas\": {}, \"router\": \"{}\", \"slo\": {}}},\n",
+        jsonfmt::num(cfg.window_s),
+        jsonfmt::num(cfg.warmup_s),
+        cfg.min_replicas,
+        cfg.max_replicas,
+        jsonfmt::esc(&cfg.router.to_string()),
+        jsonfmt::slo(cfg.slo),
+    ));
+    out.push_str(&format!(
+        "  \"retry\": {{\"max_attempts\": {}, \"backoff_base_s\": {}, \
+         \"backoff_cap_s\": {}, \"deadline_s\": {}, \"detect_s\": {}}},\n",
+        chaos.retry.max_attempts,
+        jsonfmt::num(chaos.retry.backoff_base_s),
+        jsonfmt::num(chaos.retry.backoff_cap_s),
+        jsonfmt::num(chaos.retry.deadline_s),
+        jsonfmt::num(chaos.detect_s),
+    ));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in frontier.points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"fault\": \"{}\", \"recovery\": \"{}\", \
+             \"plan\": {{\"seed\": {}, \"kills_per_hour\": {}, \"outages_per_hour\": {}, \
+             \"groups\": {}, \"detect_s\": {}}}, \
+             \"n_requests\": {}, \"completed\": {}, \"failed\": {}, \"lost_attempts\": {}, \
+             \"retries\": {}, \"replicas_killed\": {}, \"retry_amplification\": {}, \
+             \"unavailability_s\": {}, \"replica_seconds\": {}, \"mean_replicas\": {}, \
+             \"peak_replicas\": {}, \"attainment\": {}, \"goodput_rps\": {}, \
+             \"latency\": {}}}{}\n",
+            jsonfmt::esc(&p.fault),
+            jsonfmt::esc(&p.recovery),
+            p.plan.seed,
+            jsonfmt::num(p.plan.kills_per_hour),
+            jsonfmt::num(p.plan.outages_per_hour),
+            p.plan.groups,
+            jsonfmt::num(p.plan.detect_s),
+            p.n_requests,
+            p.completed,
+            p.failed,
+            p.lost_attempts,
+            p.retries,
+            p.replicas_killed,
+            jsonfmt::num(p.retry_amplification),
+            jsonfmt::num(p.unavailability_s),
+            jsonfmt::num(p.replica_seconds),
+            jsonfmt::num(p.mean_replicas),
+            p.peak_replicas,
+            jsonfmt::num(p.attainment),
+            jsonfmt::num(p.goodput_rps),
+            jsonfmt::latency_stats(p.report.fleet.latency.as_ref()),
+            if i + 1 < frontier.points.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rosters_cover_the_default_grid() {
+        let chaos = ChaosSpec::default();
+        let faults = chaos.fault_roster(86_400.0);
+        assert_eq!(faults.len(), 3);
+        assert_eq!(faults[0].0, "none");
+        assert!(faults[0].1.is_empty());
+        assert!((faults[1].1.kills_per_hour - 8.0 / 24.0).abs() < 1e-12);
+        assert_eq!(faults[1].1.outages_per_hour, 0.0);
+        assert!(faults[2].1.outages_per_hour > 0.0);
+        // A compressed day keeps the same expected fault count.
+        let compressed = chaos.plan(120.0, false);
+        assert!((compressed.kills_per_hour * 120.0 / 3600.0 - 8.0).abs() < 1e-9);
+        let recoveries = chaos.recovery_roster(5.0);
+        assert_eq!(recoveries.len(), 3);
+        assert_eq!(recoveries[0].to_string(), "static-5");
+        assert_eq!(recoveries[1].to_string(), "static-5+replace");
+        assert_eq!(recoveries[2].to_string(), "reactive+replace");
+        // No outage row when the rate is zero.
+        let no_outages = ChaosSpec { outages_per_day: 0.0, ..chaos };
+        assert_eq!(no_outages.fault_roster(86_400.0).len(), 2);
+    }
+
+    #[test]
+    fn mini_chaos_frontier_renders_and_is_jobs_invariant() {
+        let chaos = ChaosSpec {
+            kills_per_day: 3.0,
+            outages_per_day: 0.0,
+            detect_s: 2.0,
+            ..ChaosSpec::default()
+        };
+        let faults = chaos.fault_roster(120.0);
+        let recoveries = [
+            RecoverySpec::bare_static(3),
+            RecoverySpec::healing(ScalingPolicy::reactive_default()),
+        ];
+        let run = |runner: &SweepRunner| {
+            mini_chaos_frontier_with(runner, 120.0, &faults, &recoveries, 42)
+        };
+        let serial = run(&SweepRunner::serial());
+        let parallel = run(&SweepRunner::new(4));
+        let spec = ScenarioSpec { day_s: 120.0, seed: 42, ..ScenarioSpec::default() };
+        assert_eq!(serial, parallel, "chaos frontier must be byte-identical across --jobs");
+        assert_eq!(render_chaos(&serial), render_chaos(&parallel));
+        assert_eq!(to_json(&serial, &spec, &chaos), to_json(&parallel, &spec, &chaos));
+        assert_eq!(serial.points.len(), 4, "2 faults x 2 recoveries");
+        // The fault-free column equals the plain autoscale numbers:
+        // clean availability and no retries.
+        for p in serial.points.iter().filter(|p| p.fault == "none") {
+            assert_eq!(p.failed, 0);
+            assert_eq!(p.retries, 0);
+            assert_eq!(p.replicas_killed, 0);
+            assert_eq!(p.completed, p.n_requests);
+        }
+        // Every cell reconciles.
+        for p in &serial.points {
+            assert_eq!(p.completed + p.failed, p.n_requests, "{}/{}", p.fault, p.recovery);
+        }
+        let rendered = render_chaos(&serial);
+        assert!(rendered.contains("retry amp"));
+        assert!(rendered.contains("reactive+replace"));
+        let json = to_json(&serial, &spec, &chaos);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"plan\""));
+        assert!(json.contains("\"retry\""));
+        assert!(json.contains("\"scenario\""));
+        assert!(!json.contains("NaN"));
+        // The availability timeline renders for any cell.
+        let tl = render_chaos_timeline(&serial.points[3]);
+        assert!(tl.contains("per-window availability"));
+        assert!(tl.contains("capacity s"));
+    }
+}

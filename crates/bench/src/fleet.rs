@@ -305,12 +305,14 @@ fn point_json(p: &FleetPoint, policy_field: bool) -> String {
 }
 
 /// Both fleet experiments as one machine-readable JSON document (the
-/// `fleet` bin's `--json` output).
-pub fn to_json(scaling: &FleetScalingSweep, comparison: &[FleetPoint]) -> String {
+/// `fleet` bin's `--json` output). The header echoes the workload
+/// seed, so any point is reproducible from the document alone.
+pub fn to_json(scaling: &FleetScalingSweep, comparison: &[FleetPoint], seed: u64) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"label\": \"{}\",\n", jsonfmt::esc(&scaling.label)));
     out.push_str(&format!("  \"workload\": \"{}\",\n", jsonfmt::esc(&scaling.workload)));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
     out.push_str(&format!("  \"policy\": \"{}\",\n", jsonfmt::esc(&scaling.policy.to_string())));
     out.push_str(&format!("  \"slo\": {},\n", jsonfmt::slo(scaling.slo)));
     out.push_str(&format!(
@@ -414,12 +416,13 @@ mod tests {
             crate::serving::DEFAULT_SLO,
             42,
         );
-        let json = to_json(&scaling, &points);
+        let json = to_json(&scaling, &points, 42);
         // Cheap structural checks: balanced braces/brackets, all four
         // policies present, no NaN leakage.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(json.contains("\"router_comparison\""));
+        assert!(json.contains("\"seed\": 42"), "the seed echo makes points reproducible");
         assert!(json.contains("\"least-work\""));
         assert!(!json.contains("NaN"));
     }

@@ -18,11 +18,16 @@
 //! * [`autoscale`] — the elastic tier: day-long policy × trace
 //!   cost-vs-SLO frontier sweeps over `seesaw_autoscale` (the
 //!   `autoscale` bin).
+//! * [`chaos`] — the robustness tier: seeded failure injection over
+//!   the elastic day, fault × recovery
+//!   cost-vs-SLO-vs-availability frontiers over `seesaw_chaos` (the
+//!   `chaos` bin).
 //! * [`simsbench`] — the canonical `sims_per_sec` single-candidate
 //!   workload shared by `perf_report`, the criterion microbench, and
 //!   the determinism tests.
 
 pub mod autoscale;
+pub mod chaos;
 pub mod cli;
 pub mod figs;
 pub mod fleet;

@@ -22,8 +22,17 @@
 //! (per-replica load unchanged), run serially — routing, stream
 //! split, four replica simulations, and the merged fleet report
 //! included.
+//!
+//! The chaos variant (`sims_per_sec.chaos`) replays the autoscale
+//! scenario under a fixed seeded kill schedule (~3 expected kills on
+//! the compressed day) with reactive replacement and retry/requeue —
+//! one chaos-frontier grid cell including fault scheduling, loss
+//! resolution, and availability accounting.
 
-use seesaw_autoscale::{AutoscaleConfig, AutoscaleController, ElasticFleetReport, ScalingPolicy};
+use seesaw_autoscale::{
+    AutoscaleConfig, AutoscaleController, ElasticFleetReport, RetryPolicy, ScalingPolicy,
+};
+use seesaw_chaos::{ChaosController, FaultPlan, RecoverySpec};
 use seesaw_engine::seesaw::{SeesawEngine, SeesawSpec};
 use seesaw_engine::vllm::VllmEngine;
 use seesaw_engine::{EngineReport, OnlineEngine, SchedulingPolicy, SweepRunner};
@@ -182,19 +191,67 @@ impl SimsBench {
     /// and the merged windowed report. This is a frontier sweep's
     /// per-cell unit of work, run serially like the other figures.
     pub fn run_autoscale_once(&self) -> ElasticFleetReport {
-        let config = AutoscaleConfig {
+        let controller =
+            AutoscaleController::new(self.autoscale_config(), ScalingPolicy::reactive_default());
+        let build = |_: usize| -> Box<dyn OnlineEngine> {
+            Box::new(
+                VllmEngine::new(
+                    Arc::clone(&self.cluster),
+                    Arc::clone(&self.model),
+                    ParallelConfig::new(1, 2, 2),
+                    SchedulingPolicy::PrefillPrioritized,
+                )
+                .expect("valid config"),
+            )
+        };
+        controller.run_with(&SweepRunner::serial(), &build, &self.autoscale_reqs)
+    }
+
+    /// The autoscale scenario's shared controller config (fixed; the
+    /// benchmark must not measure capacity per iteration).
+    fn autoscale_config(&self) -> AutoscaleConfig {
+        AutoscaleConfig {
             window_s: 10.0,
             warmup_s: 5.0,
             min_replicas: 1,
             max_replicas: 6,
             router: RouterPolicy::JoinShortestQueue,
             slo: SloSpec { ttft_s: 15.0, tpot_s: 0.05 },
-            // The vLLM candidate's approximate offline capacity on
-            // 512/32 requests (fixed: the benchmark must not measure
-            // capacity per iteration).
             capacity_rps: 2.5,
+        }
+    }
+
+    /// One chaos evaluation (`sims_per_sec.chaos`): the autoscale
+    /// scenario replayed through [`ChaosController`] with a fixed
+    /// seeded fault plan — ~3 expected replica kills over the
+    /// compressed day, reactive scaling with replacement spawns, and
+    /// the lost work requeued under a compressed retry policy. This
+    /// is a chaos-frontier grid cell: everything the autoscale cell
+    /// does plus fault scheduling, calibrated-queue loss resolution,
+    /// requeue/backoff bookkeeping, and availability accounting.
+    pub fn run_chaos_once(&self) -> ElasticFleetReport {
+        let plan = FaultPlan {
+            seed: crate::SEED,
+            // 90/hour ~= 3 expected kills on the 120 s day.
+            kills_per_hour: 90.0,
+            outages_per_hour: 0.0,
+            groups: 1,
+            detect_s: 2.0,
         };
-        let controller = AutoscaleController::new(config, ScalingPolicy::reactive_default());
+        // Retry knobs compressed like the day: spans a 10 s window +
+        // 5 s warm-up replacement blackout.
+        let retry = RetryPolicy {
+            max_attempts: 8,
+            backoff_base_s: 0.5,
+            backoff_cap_s: 4.0,
+            deadline_s: 60.0,
+        };
+        let recovery = RecoverySpec {
+            policy: ScalingPolicy::reactive_default(),
+            replace_failures: true,
+            retry,
+        };
+        let controller = ChaosController::new(self.autoscale_config(), plan, recovery);
         let build = |_: usize| -> Box<dyn OnlineEngine> {
             Box::new(
                 VllmEngine::new(

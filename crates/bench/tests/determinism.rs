@@ -193,7 +193,10 @@ fn fleet_sweeps_are_byte_identical_across_job_counts() {
     assert_eq!(c1, c4, "router comparison must be runner-invariant");
     assert_eq!(fleet::render_scaling(&s1), fleet::render_scaling(&s4));
     assert_eq!(fleet::render_comparison(&c1), fleet::render_comparison(&c4));
-    assert_eq!(fleet::to_json(&s1, &c1), fleet::to_json(&s4, &c4));
+    assert_eq!(
+        fleet::to_json(&s1, &c1, seesaw_bench::SEED),
+        fleet::to_json(&s4, &c4, seesaw_bench::SEED)
+    );
     // Warm rerun (pools and caches populated) must also reproduce.
     let warm = scaling(&SweepRunner::new(4));
     assert_eq!(s1, warm, "warm-pool fleet rerun drifted");

@@ -260,6 +260,7 @@ impl DisaggEngine {
                 first_token_s: d_start + xfer + 1.0 / step_rate,
                 completion_s: d_start + t_d,
                 output_len: r.output_len,
+                attempts: 1,
             });
         }
         timeline.sort_by_key(|t| t.id);

@@ -157,6 +157,7 @@ mod tests {
                 first_token_s: 0.5,
                 completion_s: 1.5,
                 output_len: 11,
+                attempts: 1,
             },
             RequestTiming {
                 id: 1,
@@ -164,6 +165,7 @@ mod tests {
                 first_token_s: 5.0,
                 completion_s: 6.0,
                 output_len: 11,
+                attempts: 1,
             },
         ];
         let latency = LatencyStats::from_timeline(&timeline);

@@ -74,6 +74,7 @@ impl TimingRecorder {
                     first_token_s: at(first),
                     completion_s: at(done),
                     output_len: req.output_len,
+                    attempts: 1,
                 }
             })
             .collect()

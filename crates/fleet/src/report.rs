@@ -174,6 +174,7 @@ mod tests {
                     first_token_s: 0.5,
                     completion_s: duration_s.max(1.0),
                     output_len: 8,
+                    attempts: 1,
                 })
                 .collect(),
             latency: None,

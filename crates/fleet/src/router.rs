@@ -301,6 +301,17 @@ impl Router {
         Routed { replica: chosen, est_wait_s: start - now }
     }
 
+    /// Forget replica `idx`'s virtual queue (reset to empty). A
+    /// fault-injecting controller calls this when the replica is
+    /// killed: its in-flight work is lost, not completed, so the
+    /// bookkeeping must not keep counting it — and if the index is
+    /// later reused by a replacement spawn, the replacement starts
+    /// with a clean queue. The rotor and RNG are untouched, so a run
+    /// without kills is bit-identical whether or not this exists.
+    pub fn reset_replica(&mut self, idx: usize) {
+        self.queues[idx] = VirtualQueue::default();
+    }
+
     /// Advance every virtual queue to `now` and report
     /// `(in-flight requests, estimated outstanding work seconds)` per
     /// replica — the controller's end-of-window backlog snapshot.
@@ -543,6 +554,26 @@ mod tests {
         // After the backlog drains the wait is zero again.
         let w3 = router.route_among(&Request::new(3, 1, 1).with_arrival(10.0), &[0], UNIT_EST);
         assert_eq!(w3.est_wait_s, 0.0);
+    }
+
+    /// A killed replica's virtual queue resets to empty: lost work
+    /// stops counting against it, and a replacement reusing the index
+    /// starts clean.
+    #[test]
+    fn reset_replica_clears_bookkeeping() {
+        let mut router = Router::new(RouterPolicy::LeastEstimatedWork, 2);
+        for id in 0..4 {
+            router.route_among(&Request::new(id, 1, 1).with_arrival(0.0), &[0, 1], UNIT_EST);
+        }
+        let before = router.queue_state(0.0);
+        assert_eq!(before[0].0, 2);
+        router.reset_replica(0);
+        let after = router.queue_state(0.0);
+        assert_eq!(after[0], (0, 0.0), "reset queue is empty");
+        assert_eq!(after[1].0, 2, "other replicas keep their state");
+        // The cleared replica now wins least-work against the loaded one.
+        let routed = router.route_among(&Request::new(9, 1, 1).with_arrival(0.0), &[0, 1], UNIT_EST);
+        assert_eq!(routed.replica, 0);
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub struct RequestTiming {
     pub completion_s: f64,
     /// Tokens generated (for TPOT normalization).
     pub output_len: usize,
+    /// Dispatch attempts this request took to complete (1 = served on
+    /// its first try; >1 = requeued after replica failures). Under
+    /// retries, `arrival_s` stays the *first* arrival, so `ttft`/`e2e`
+    /// include detection and backoff delays.
+    pub attempts: u32,
 }
 
 impl RequestTiming {
@@ -288,6 +293,7 @@ mod tests {
             first_token_s: first,
             completion_s: done,
             output_len: out,
+            attempts: 1,
         }
     }
 
