@@ -42,7 +42,7 @@ use crate::faults::{
 use crate::policy::{ScaleDecision, ScalingPolicy};
 use seesaw_engine::driver::assert_arrivals_sorted;
 use seesaw_engine::online::mean_lengths;
-use seesaw_engine::{OnlineEngine, ServiceRates, SweepRunner};
+use seesaw_engine::{live_state, EngineReport, LiveState, OnlineEngine, ServiceRates, SweepRunner};
 use seesaw_fleet::sweep::ReplicaBuilder;
 use seesaw_fleet::{FleetReport, Router, RouterPolicy};
 use seesaw_workload::{
@@ -146,10 +146,14 @@ pub struct WindowSignals {
     pub arrivals: usize,
     /// Offered load over the window, requests/second.
     pub offered_rps: f64,
-    /// Estimated outstanding requests at the window end, from the
-    /// capacity-calibrated fluid backlog (work not yet served,
-    /// expressed in mean-request units; near 0 whenever the fleet
-    /// keeps up, growing when offered load exceeds capacity).
+    /// Outstanding requests at the window end. Under an estimated
+    /// routing policy this is the capacity-calibrated fluid backlog
+    /// (work not yet served, expressed in mean-request units; near 0
+    /// whenever the fleet keeps up, growing when offered load exceeds
+    /// capacity). Under a live policy
+    /// ([`RouterPolicy::needs_live_state`]) it is the *measured*
+    /// count of unfinished requests across accepting replicas,
+    /// observed from their exact engine replays on the global clock.
     pub queue_depth: f64,
     /// Fraction of the window's arrivals whose *estimated* queue wait
     /// (fluid backlog over accepting replicas at the arrival instant)
@@ -293,11 +297,32 @@ struct ReplicaState {
     retire_s: Option<f64>,
     killed_s: Option<f64>,
     stream: Vec<Request>,
+    /// `(original request index, attempt number, calibrated work)`
+    /// per stream entry, kept only when live routing meets fault
+    /// injection: it resolves which *measured*-in-flight attempts a
+    /// kill loses.
+    stream_meta: Vec<(usize, u32, f64)>,
+    /// Memoized causal replay of the assigned stream (see
+    /// [`seesaw_engine::stepper`]), kept only under live routing;
+    /// invalidated whenever the stream grows.
+    live_cache: Option<EngineReport>,
 }
 
 impl ReplicaState {
     fn live(&self) -> bool {
         self.retire_s.is_none() && self.killed_s.is_none()
+    }
+
+    /// Measured replica state at `t`, from the exact causal replay of
+    /// everything assigned so far (engines admit on arrival times, so
+    /// the prefix replay *is* the live trajectory). Memoized between
+    /// assignments: a replica that received nothing re-simulates
+    /// nothing.
+    fn live_state_at(&mut self, t: f64) -> LiveState {
+        if self.live_cache.is_none() {
+            self.live_cache = Some(self.engine.run_ready(&self.stream, self.ready_s));
+        }
+        live_state(self.live_cache.as_ref().expect("cache just filled"), t)
     }
 }
 
@@ -393,6 +418,8 @@ impl AutoscaleController {
                 retire_s: None,
                 killed_s: None,
                 stream: Vec::new(),
+                stream_meta: Vec::new(),
+                live_cache: None,
             }
         };
 
@@ -419,10 +446,19 @@ impl AutoscaleController {
         // beyond an integer compare. Hash containers are lookup-only
         // (never iterated), so their order cannot leak into output.
         let injecting = !faults.events.is_empty();
+        // Live routing: decisions read measured replica state (exact
+        // causal replays) instead of the router's virtual queues, and
+        // a kill's lost set is the *measured* in-flight attempts at
+        // the kill instant rather than the `CalQueue` mirror.
+        let live_routing = cfg.router.needs_live_state();
         let mut dispatch = DispatchQueue::new(requests);
         let mut next_fault = 0usize;
         let mut base_next = 0usize; // original index of the next base dispatch
         let mut retry_meta: HashMap<u64, (usize, u32)> = HashMap::new();
+        // Attempt ids parked until a warming replica becomes ready
+        // (dispatched while every replica was dark): re-dispatch is a
+        // continuation of the same attempt, not a retry.
+        let mut buffered: HashSet<u64> = HashSet::new();
         let mut doomed: HashSet<u64> = HashSet::new();
         let mut next_attempt_id = requests
             .iter()
@@ -538,19 +574,46 @@ impl AutoscaleController {
                         replicas_killed += 1;
                         window_failures += 1;
                         router.reset_replica(v);
-                        // Attempts estimated done by the kill instant
-                        // survived; everything else on the replica is
-                        // lost and requeued (or failed).
-                        let q = &mut cal[v];
-                        while let Some(&(done, ..)) = q.inflight.front() {
-                            if done > tk {
-                                break;
+                        // Attempts done by the kill instant survived;
+                        // everything else on the replica is lost and
+                        // requeued (or failed). Estimated mode reads
+                        // the `CalQueue` mirror; live mode reads the
+                        // *measured* in-flight set — the kill fires as
+                        // an event on the global clock, and what it
+                        // loses is exactly what the replica's replay
+                        // says is unfinished at that instant.
+                        let lost: Vec<(f64, f64, u64, usize, u32)> = if live_routing {
+                            let rep = &mut replicas[v];
+                            if rep.live_cache.is_none() {
+                                rep.live_cache =
+                                    Some(rep.engine.run_ready(&rep.stream, rep.ready_s));
                             }
-                            q.inflight.pop_front();
-                        }
-                        let lost: Vec<(f64, f64, u64, usize, u32)> =
-                            q.inflight.drain(..).collect();
-                        q.busy_until = tk;
+                            let replay = rep.live_cache.as_ref().expect("cache just filled");
+                            let completion: HashMap<u64, f64> = replay
+                                .timeline
+                                .iter()
+                                .map(|t| (t.id, t.completion_s))
+                                .collect();
+                            rep.stream
+                                .iter()
+                                .zip(&rep.stream_meta)
+                                .filter_map(|(r, &(orig_idx, attempt, work))| {
+                                    let done =
+                                        completion.get(&r.id).copied().unwrap_or(f64::INFINITY);
+                                    (done > tk).then_some((done, work, r.id, orig_idx, attempt))
+                                })
+                                .collect()
+                        } else {
+                            let q = &mut cal[v];
+                            while let Some(&(done, ..)) = q.inflight.front() {
+                                if done > tk {
+                                    break;
+                                }
+                                q.inflight.pop_front();
+                            }
+                            q.busy_until = tk;
+                            q.inflight.drain(..).collect()
+                        };
                         lost_attempts += lost.len();
                         failures.push(FailureEvent {
                             t_s: tk,
@@ -582,48 +645,99 @@ impl AutoscaleController {
                     break;
                 }
                 let (req, is_retry) = dispatch.pop().expect("peeked a dispatch");
+                // A buffered re-dispatch continues the same attempt —
+                // it waited out an outage, it did not fail.
+                let resumed = is_retry && buffered.remove(&req.id);
                 let (orig_idx, attempt) = if is_retry {
-                    retries += 1;
+                    if !resumed {
+                        retries += 1;
+                    }
                     *retry_meta.get(&req.id).expect("retry has metadata")
                 } else {
                     base_next += 1;
                     (base_next - 1, 1)
                 };
-                attempts += 1;
                 eligible.clear();
                 eligible.extend(replicas.iter().enumerate().filter_map(|(i, rep)| {
                     (rep.live() && rep.ready_s <= req.arrival_s).then_some(i)
                 }));
                 if eligible.is_empty() {
                     // Only kills can empty the fleet (`min_replicas`
-                    // guards the fault-free path): the attempt is
-                    // lost at dispatch and requeued like killed work.
+                    // guards the fault-free path).
                     assert!(
                         injecting,
                         "no accepting replica at t={} (min_replicas guards this)",
                         req.arrival_s
                     );
-                    arrivals += 1;
-                    lost_attempts += 1;
                     backlog_t = req.arrival_s;
-                    requeue_or_fail(
-                        &mut dispatch,
-                        &mut retry_meta,
-                        &mut next_attempt_id,
-                        &mut failed,
-                        req.arrival_s,
-                        orig_idx,
-                        attempt,
-                    );
+                    // Park the arrival until the first warming replica
+                    // becomes ready: the request waits out the outage
+                    // instead of burning a retry attempt. With nothing
+                    // warming (replacements only spawn at window
+                    // boundaries) the attempt is lost at dispatch and
+                    // requeued like killed work.
+                    let resume = replicas
+                        .iter()
+                        .filter(|r| r.live())
+                        .map(|r| r.ready_s)
+                        .fold(f64::INFINITY, f64::min);
+                    if resume.is_finite() {
+                        debug_assert!(
+                            resume > req.arrival_s,
+                            "a ready live replica would have been eligible"
+                        );
+                        let id = next_attempt_id;
+                        next_attempt_id =
+                            next_attempt_id.checked_add(1).expect("attempt ids exhausted");
+                        // Same attempt number: parking is not a retry.
+                        retry_meta.insert(id, (orig_idx, attempt));
+                        buffered.insert(id);
+                        dispatch.push(
+                            Request::new(id, req.input_len, req.output_len)
+                                .with_arrival(resume),
+                        );
+                    } else {
+                        arrivals += 1;
+                        attempts += 1;
+                        lost_attempts += 1;
+                        requeue_or_fail(
+                            &mut dispatch,
+                            &mut retry_meta,
+                            &mut next_attempt_id,
+                            &mut failed,
+                            req.arrival_s,
+                            orig_idx,
+                            attempt,
+                        );
+                    }
                     continue;
                 }
+                attempts += 1;
                 backlog_s = (backlog_s
                     - (req.arrival_s - backlog_t) * eligible.len() as f64)
                     .max(0.0);
                 backlog_t = req.arrival_s;
-                let routed = router.route_among(&req, &eligible, |i, r| {
-                    replicas[i].rates.est_service_s(r)
-                });
+                // Measured state of each eligible replica at the
+                // arrival instant (live policies only; estimated
+                // policies ignore the vec and read their virtual
+                // queues). Queried serially in eligible order, so the
+                // trajectory stays deterministic and jobs-invariant.
+                let live: Vec<(usize, f64)> = if live_routing {
+                    eligible
+                        .iter()
+                        .map(|&i| {
+                            let s = replicas[i].live_state_at(req.arrival_s);
+                            (s.queue_depth, s.work_s)
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let routed = router
+                    .route_live_among(&req, &eligible, &live, |i, r| {
+                        replicas[i].rates.est_service_s(r)
+                    })
+                    .expect("eligible is non-empty");
                 assignment[orig_idx] = routed.replica;
                 let work = calib * replicas[routed.replica].rates.est_service_s(&req);
                 waits_ok +=
@@ -631,7 +745,12 @@ impl AutoscaleController {
                 backlog_s += work;
                 est_work_s += work;
                 replicas[routed.replica].stream.push(req);
-                if injecting {
+                if live_routing {
+                    replicas[routed.replica].live_cache = None;
+                    if injecting {
+                        replicas[routed.replica].stream_meta.push((orig_idx, attempt, work));
+                    }
+                } else if injecting {
                     let q = &mut cal[routed.replica];
                     let now = req.arrival_s;
                     while let Some(&(done, ..)) = q.inflight.front() {
@@ -656,12 +775,25 @@ impl AutoscaleController {
             let provisioned = replicas.iter().filter(|r| r.live()).count();
             backlog_s = (backlog_s - (t1 - backlog_t) * ready.max(1) as f64).max(0.0);
             backlog_t = t1;
+            // Under live routing the controller observes the
+            // *measured* queue: unfinished requests across accepting
+            // replicas at the boundary, from their exact replays —
+            // not the calibrated fluid estimate.
+            let queue_depth = if live_routing {
+                let mut depth = 0usize;
+                for rep in replicas.iter_mut().filter(|r| r.live() && r.ready_s <= t1) {
+                    depth += rep.live_state_at(t1).queue_depth;
+                }
+                depth as f64
+            } else {
+                backlog_s * cfg.capacity_rps
+            };
             let signals = WindowSignals {
                 t0,
                 t1,
                 arrivals,
                 offered_rps: arrivals as f64 / cfg.window_s,
-                queue_depth: backlog_s * cfg.capacity_rps,
+                queue_depth,
                 est_attainment: if arrivals > 0 {
                     waits_ok as f64 / arrivals as f64
                 } else {
@@ -1128,6 +1260,90 @@ mod tests {
             let parallel = ctl.run_faulted_with(&SweepRunner::new(4), &build, &reqs, &faults);
             assert_eq!(serial, parallel, "{policy}");
         }
+    }
+
+    /// Live routing drives the controller from measured state: the
+    /// run completes every request, stays runner-invariant, and the
+    /// boundary queue-depth signal is the measured unfinished count
+    /// (integral, unlike the fluid estimate).
+    #[test]
+    fn live_routing_serves_and_observes_measured_depth() {
+        let build = builder();
+        let reqs = traced(40, 3.0, 21);
+        for router in [RouterPolicy::JoinShortestQueueLive, RouterPolicy::LeastWorkLive] {
+            let config = AutoscaleConfig { router, ..cfg(5.0, 4.0, 6) };
+            let ctl = AutoscaleController::new(config, ScalingPolicy::Static { n: 2 });
+            let serial = ctl.run_with(&SweepRunner::serial(), &build, &reqs);
+            let parallel = ctl.run_with(&SweepRunner::new(4), &build, &reqs);
+            assert_eq!(serial, parallel, "{router} diverged across job counts");
+            assert_eq!(serial.fleet.timeline.len(), 40, "{router}");
+            assert_eq!(serial.availability.failed, 0, "{router}");
+            // Measured depth is a count of requests: integral, and
+            // positive somewhere under 3 rps against ~2.5 rps of
+            // fleet capacity.
+            assert!(
+                serial.windows.iter().all(|w| w.queue_depth.fract() == 0.0),
+                "{router}: measured depth must be integral"
+            );
+            assert!(
+                serial.windows.iter().any(|w| w.queue_depth > 0.0),
+                "{router}: backlog must be visible somewhere"
+            );
+        }
+    }
+
+    /// A kill under live routing loses exactly the measured in-flight
+    /// set; conservation and fold-back hold as in estimated mode, and
+    /// the run stays runner-invariant.
+    #[test]
+    fn live_routing_kill_conserves_requests() {
+        let build = builder();
+        let reqs = traced(60, 3.0, 23);
+        let config =
+            AutoscaleConfig { router: RouterPolicy::JoinShortestQueueLive, ..cfg(5.0, 4.0, 6) };
+        let ctl = AutoscaleController::new(config, ScalingPolicy::Static { n: 2 });
+        let faults = kill_at(8.0, 1, true);
+        let report = ctl.run_faulted_with(&SweepRunner::serial(), &build, &reqs, &faults);
+        let a = &report.availability;
+        assert_eq!(a.replicas_killed, 1);
+        assert_eq!(a.completed + a.failed, a.offered);
+        assert_eq!(a.attempts, a.completed + a.lost_attempts);
+        assert!(a.lost_attempts > 0, "an 8s-in kill must catch measured in-flight work");
+        let parallel = ctl.run_faulted_with(&SweepRunner::new(4), &build, &reqs, &faults);
+        assert_eq!(report, parallel);
+    }
+
+    /// During a full outage with replacement, arrivals park until the
+    /// replacement warms instead of burning retry attempts: the
+    /// parked requests complete with `attempts == 1`.
+    #[test]
+    fn dark_fleet_arrivals_buffer_until_a_replica_warms() {
+        let build = builder();
+        let reqs = traced(40, 2.0, 25);
+        let outage = FaultSchedule {
+            events: vec![FaultEvent { t_s: 6.0, kind: FaultKind::GroupOutage { group: 0 } }],
+            groups: 1,
+            detect_s: 2.0,
+            retry: RetryPolicy::default(),
+            replace_failures: true,
+        };
+        let ctl = AutoscaleController::new(cfg(5.0, 4.0, 6), ScalingPolicy::Static { n: 2 });
+        let report = ctl.run_faulted_with(&SweepRunner::serial(), &build, &reqs, &outage);
+        let a = &report.availability;
+        assert_eq!(a.completed + a.failed, a.offered);
+        // The replacement spawns at the t=10 boundary and warms by
+        // t=14; arrivals in the dark stretch after the spawn park and
+        // then complete as first attempts (served late, not retried).
+        let parked_and_served = report
+            .fleet
+            .timeline
+            .iter()
+            .filter(|t| t.attempts == 1 && t.arrival_s > 10.0 && t.first_token_s >= 14.0)
+            .count();
+        assert!(
+            parked_and_served > 0,
+            "arrivals during the warm-up stretch must park, then complete untried"
+        );
     }
 
     #[test]

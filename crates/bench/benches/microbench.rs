@@ -203,6 +203,9 @@ fn bench_single_candidate_eval(c: &mut Criterion) {
     g.bench_function("fleet_cell_4replica_jsq", |b| {
         b.iter(|| black_box(bench.run_fleet_once()))
     });
+    g.bench_function("fleet_cell_4replica_jsq_live", |b| {
+        b.iter(|| black_box(bench.run_fleet_live_once()))
+    });
     g.bench_function("autoscale_cell_diurnal_reactive", |b| {
         b.iter(|| black_box(bench.run_autoscale_once()))
     });

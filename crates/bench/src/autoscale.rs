@@ -356,13 +356,19 @@ pub fn to_json(sweep: &FrontierSweep, spec: &ScenarioSpec) -> String {
     ));
     out.push_str("  \"points\": [\n");
     for (i, p) in sweep.points.iter().enumerate() {
+        // Every point repeats the router policy and workload seed so
+        // a single extracted point stays reproducible without the
+        // document header.
         out.push_str(&format!(
-            "    {{\"trace\": \"{}\", \"policy\": \"{}\", \"n_requests\": {}, \
+            "    {{\"trace\": \"{}\", \"policy\": \"{}\", \"router\": \"{}\", \"seed\": {}, \
+             \"n_requests\": {}, \
              \"replica_seconds\": {}, \"mean_replicas\": {}, \"peak_replicas\": {}, \
              \"scale_events\": {}, \"attainment\": {}, \"goodput_rps\": {}, \
              \"latency\": {},\n",
             jsonfmt::esc(&p.trace),
             jsonfmt::esc(&p.policy.to_string()),
+            jsonfmt::esc(&cfg.router.to_string()),
+            spec.seed,
             p.n_requests,
             jsonfmt::num(p.replica_seconds),
             jsonfmt::num(p.mean_replicas),
@@ -470,6 +476,10 @@ mod tests {
         assert!(json.contains("\"scenario\""));
         assert!(json.contains("\"seed\": 42"));
         assert!(json.contains("\"day_s\": 120"));
+        // ... and every *point* repeats the router and seed, so a
+        // single extracted point is reproducible on its own.
+        assert_eq!(json.matches("\"router\": \"").count(), 1 + serial.points.len());
+        assert_eq!(json.matches("\"seed\": 42").count(), 1 + serial.points.len());
         // The timeline renders for any cell.
         let tl = render_timeline(&serial.points[1]);
         assert!(tl.contains("per-window trajectory"));

@@ -5,20 +5,24 @@
 //! Usage:
 //!   fleet [n_requests] [--jobs N] [--engine seesaw|vllm|disagg]
 //!         [--replicas n1,n2,...] [--loads m1,m2,...]
-//!         [--policy rr|jsq|po2|lew] [--compare-replicas N]
-//!         [--compare-load M] [--slo-ttft S] [--slo-tpot S]
+//!         [--policy rr|jsq|po2|lew|jsq-live|lew-live]
+//!         [--compare-replicas N] [--compare-load M]
+//!         [--hetero-load M] [--no-hetero]
+//!         [--slo-ttft S] [--slo-tpot S]
 //!         [--seed S] [--trace <file|diurnal>] [--json]
 //!
 //! Defaults: 200 ShareGPT-shaped requests per cell on vLLM-baseline
 //! replicas (LLaMA2-13B on 4×A10 each), replica counts 1/2/4/8, load
 //! multipliers 0.5..1.5× of `N ×` per-replica offline capacity, JSQ
-//! routing for the scaling table, and a 4-replica 0.9× head-to-head
-//! of all four policies. `--trace diurnal` replaces the Poisson
-//! arrival pattern with the sharpened diurnal envelope's shape (and
-//! `--trace FILE` replays a trace file, absolute seconds one per
-//! line), making the head-to-head a router × trace grid. Output is
-//! byte-identical for every `--jobs` value; `--json` emits both
-//! experiments as one machine-readable document.
+//! routing for the scaling table, a 4-replica 0.9× head-to-head of
+//! all six policies (estimated + live), and a mixed strong/weak
+//! heterogeneous head-to-head at 1.2× aggregate capacity (skipped by
+//! `--no-hetero`). `--trace diurnal` replaces the Poisson arrival
+//! pattern with the sharpened diurnal envelope's shape (and `--trace
+//! FILE` replays a trace file, absolute seconds one per line), making
+//! the head-to-head a router × trace grid. Output is byte-identical
+//! for every `--jobs` value; `--json` emits the experiments as one
+//! machine-readable document.
 
 use seesaw_bench::fleet;
 use seesaw_bench::serving::EngineKind;
@@ -35,6 +39,8 @@ struct Args {
     policy: RouterPolicy,
     compare_replicas: usize,
     compare_load: f64,
+    hetero_load: f64,
+    hetero: bool,
     slo: SloSpec,
     seed: u64,
     trace: Option<String>,
@@ -44,9 +50,10 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: fleet [n_requests] [--jobs N] [--engine seesaw|vllm|disagg] \
-         [--replicas n1,n2,...] [--loads m1,m2,...] [--policy rr|jsq|po2|lew] \
-         [--compare-replicas N] [--compare-load M] [--slo-ttft S] [--slo-tpot S] \
-         [--seed S] [--trace <file|diurnal>] [--json]"
+         [--replicas n1,n2,...] [--loads m1,m2,...] \
+         [--policy rr|jsq|po2|lew|jsq-live|lew-live] \
+         [--compare-replicas N] [--compare-load M] [--hetero-load M] [--no-hetero] \
+         [--slo-ttft S] [--slo-tpot S] [--seed S] [--trace <file|diurnal>] [--json]"
     );
     std::process::exit(2);
 }
@@ -57,8 +64,10 @@ fn parse_policy(s: &str) -> RouterPolicy {
         "jsq" => RouterPolicy::JoinShortestQueue,
         "po2" | "p2c" => RouterPolicy::PowerOfTwoChoices { seed: 0 },
         "lew" | "least-work" => RouterPolicy::LeastEstimatedWork,
+        "jsq-live" => RouterPolicy::JoinShortestQueueLive,
+        "lew-live" | "least-work-live" => RouterPolicy::LeastWorkLive,
         other => {
-            eprintln!("unknown policy '{other}' (expected rr|jsq|po2|lew)");
+            eprintln!("unknown policy '{other}' (expected rr|jsq|po2|lew|jsq-live|lew-live)");
             std::process::exit(2);
         }
     }
@@ -74,6 +83,8 @@ fn parse_args() -> Args {
         policy: RouterPolicy::JoinShortestQueue,
         compare_replicas: fleet::DEFAULT_COMPARE_REPLICAS,
         compare_load: fleet::DEFAULT_COMPARE_LOAD,
+        hetero_load: fleet::DEFAULT_HETERO_LOAD,
+        hetero: true,
         slo: seesaw_bench::serving::DEFAULT_SLO,
         seed: seesaw_bench::SEED,
         trace: None,
@@ -148,6 +159,8 @@ fn parse_args() -> Args {
                     });
             }
             "--compare-load" => parsed.compare_load = next_f64(&mut args, "--compare-load"),
+            "--hetero-load" => parsed.hetero_load = next_f64(&mut args, "--hetero-load"),
+            "--no-hetero" => parsed.hetero = false,
             "--slo-ttft" => parsed.slo.ttft_s = next_f64(&mut args, "--slo-ttft"),
             "--slo-tpot" => parsed.slo.tpot_s = next_f64(&mut args, "--slo-tpot"),
             "--seed" => {
@@ -189,10 +202,22 @@ fn main() {
         args.slo,
         args.seed,
     );
+    let hetero = args.hetero.then(|| {
+        fleet::default_hetero_comparison_with(
+            &runner,
+            args.n_requests,
+            args.hetero_load,
+            args.slo,
+            args.seed,
+        )
+    });
     if args.json {
-        print!("{}", fleet::to_json(&scaling, &comparison, args.seed));
+        print!("{}", fleet::to_json(&scaling, &comparison, hetero.as_ref(), args.seed));
     } else {
         print!("{}", fleet::render_scaling(&scaling));
         print!("{}", fleet::render_comparison(&comparison));
+        if let Some(h) = &hetero {
+            print!("{}", fleet::render_hetero_comparison(h));
+        }
     }
 }

@@ -24,9 +24,9 @@
 //!
 //! With `--baseline PATH`, the report exits non-zero when any
 //! sims/sec figure (`seesaw`, `vllm`, `serving`, `fleet`,
-//! `autoscale`, `chaos`) regresses more than 20% against the
-//! committed artifact (or when parallel output ever diverges from
-//! serial).
+//! `fleet_live`, `autoscale`, `chaos`) regresses more than 20%
+//! against the committed artifact (or when parallel output ever
+//! diverges from serial).
 
 use seesaw_bench::simsbench::{SimsBench, WORKLOAD_LABEL};
 use seesaw_bench::{cli, figs};
@@ -81,39 +81,94 @@ fn sims_per_sec(mut f: impl FnMut()) -> f64 {
     1.0 / best
 }
 
+/// All sims/sec figures of one measurement pass, in report order.
+#[derive(Clone, Copy)]
+struct Sims {
+    seesaw: f64,
+    vllm: f64,
+    serving: f64,
+    fleet: f64,
+    fleet_live: f64,
+    autoscale: f64,
+    chaos: f64,
+}
+
+impl Sims {
+    /// `(gate-key, value)` pairs, in report order.
+    fn named(&self) -> [(&'static str, f64); 7] {
+        [
+            ("seesaw", self.seesaw),
+            ("vllm", self.vllm),
+            ("serving", self.serving),
+            ("fleet", self.fleet),
+            ("fleet_live", self.fleet_live),
+            ("autoscale", self.autoscale),
+            ("chaos", self.chaos),
+        ]
+    }
+
+    /// Per-figure max with another pass (the regression-gate retry).
+    fn max(&self, other: &Sims) -> Sims {
+        Sims {
+            seesaw: self.seesaw.max(other.seesaw),
+            vllm: self.vllm.max(other.vllm),
+            serving: self.serving.max(other.serving),
+            fleet: self.fleet.max(other.fleet),
+            fleet_live: self.fleet_live.max(other.fleet_live),
+            autoscale: self.autoscale.max(other.autoscale),
+            chaos: self.chaos.max(other.chaos),
+        }
+    }
+
+    fn summary(&self) -> String {
+        self.named()
+            .iter()
+            .map(|(name, v)| format!("{name} {v:.0}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
 /// The tier-1 sims/sec microbench — see [`seesaw_bench::simsbench`]
 /// for the canonical scenario definition. `serving` is the
 /// latency-metric throughput: online serving-sweep load points
 /// (arrival-gated run + percentile computation) per second. `fleet`
 /// is the fleet-sweep grid-cell rate: a serial 4-replica JSQ fleet
-/// run (routing + 4 replica simulations + merged report) per second.
-/// `autoscale` is the frontier-sweep grid-cell rate: one reactive
-/// controller replay of the compressed diurnal trace (windowed
-/// routing, scaling decisions, elastic replica runs, merged windowed
-/// report) per second. `chaos` is the same replay under a fixed
-/// seeded kill schedule with replacement spawns and retry/requeue —
-/// one chaos-frontier grid cell per evaluation.
-fn measure_sims_per_sec() -> (f64, f64, f64, f64, f64, f64) {
+/// run (routing + 4 replica simulations + merged report) per second;
+/// `fleet_live` is the same cell under `jsq-live` — the global event
+/// loop with per-arrival measured-state queries in place of the
+/// merged-timeline fast path. `autoscale` is the frontier-sweep
+/// grid-cell rate: one reactive controller replay of the compressed
+/// diurnal trace (windowed routing, scaling decisions, elastic
+/// replica runs, merged windowed report) per second. `chaos` is the
+/// same replay under a fixed seeded kill schedule with replacement
+/// spawns and retry/requeue — one chaos-frontier grid cell per
+/// evaluation.
+fn measure_sims_per_sec() -> Sims {
     let bench = SimsBench::new();
-    let seesaw = sims_per_sec(|| {
-        std::hint::black_box(bench.run_seesaw_once());
-    });
-    let vllm = sims_per_sec(|| {
-        std::hint::black_box(bench.run_vllm_once());
-    });
-    let serving = sims_per_sec(|| {
-        std::hint::black_box(bench.run_serving_once());
-    });
-    let fleet = sims_per_sec(|| {
-        std::hint::black_box(bench.run_fleet_once());
-    });
-    let autoscale = sims_per_sec(|| {
-        std::hint::black_box(bench.run_autoscale_once());
-    });
-    let chaos = sims_per_sec(|| {
-        std::hint::black_box(bench.run_chaos_once());
-    });
-    (seesaw, vllm, serving, fleet, autoscale, chaos)
+    Sims {
+        seesaw: sims_per_sec(|| {
+            std::hint::black_box(bench.run_seesaw_once());
+        }),
+        vllm: sims_per_sec(|| {
+            std::hint::black_box(bench.run_vllm_once());
+        }),
+        serving: sims_per_sec(|| {
+            std::hint::black_box(bench.run_serving_once());
+        }),
+        fleet: sims_per_sec(|| {
+            std::hint::black_box(bench.run_fleet_once());
+        }),
+        fleet_live: sims_per_sec(|| {
+            std::hint::black_box(bench.run_fleet_live_once());
+        }),
+        autoscale: sims_per_sec(|| {
+            std::hint::black_box(bench.run_autoscale_once());
+        }),
+        chaos: sims_per_sec(|| {
+            std::hint::black_box(bench.run_chaos_once());
+        }),
+    }
 }
 
 /// Extract `"key": <number>` from a (flat) JSON artifact without a
@@ -165,17 +220,8 @@ fn main() {
     eprintln!("serial: {serial_total:.2}s; running parallel sweep...");
     let (parallel_total, parallel_figs) = run_catalog(subsample, parallel_runner);
     eprintln!("parallel: {parallel_total:.2}s; measuring sims/sec...");
-    let (
-        mut sims_seesaw,
-        mut sims_vllm,
-        mut sims_serving,
-        mut sims_fleet,
-        mut sims_autoscale,
-        mut sims_chaos,
-    ) = measure_sims_per_sec();
-    eprintln!(
-        "sims/sec: seesaw {sims_seesaw:.0}, vllm {sims_vllm:.0}, serving {sims_serving:.0}, fleet {sims_fleet:.0}, autoscale {sims_autoscale:.0}, chaos {sims_chaos:.0}"
-    );
+    let mut sims = measure_sims_per_sec();
+    eprintln!("sims/sec: {}", sims.summary());
 
     // Resolve the gate's retry *before* composing the artifact, so a
     // run that passes on the re-measurement also records those
@@ -185,27 +231,12 @@ fn main() {
     // measurement windows; a real regression fails both measurements.
     let floor_of = |before: f64| before * (1.0 - SIMS_REGRESSION_TOLERANCE);
     if let Some((_, text)) = &baseline {
-        let below = |current: &[(&str, f64); 6]| {
-            current.iter().any(|&(name, c)| {
-                json_number(text, name).is_some_and(|b| b > 0.0 && c < floor_of(b))
-            })
-        };
-        if below(&[
-            ("seesaw", sims_seesaw),
-            ("vllm", sims_vllm),
-            ("serving", sims_serving),
-            ("fleet", sims_fleet),
-            ("autoscale", sims_autoscale),
-            ("chaos", sims_chaos),
-        ]) {
+        let below = sims.named().iter().any(|&(name, c)| {
+            json_number(text, name).is_some_and(|b| b > 0.0 && c < floor_of(b))
+        });
+        if below {
             eprintln!("apparent sims/sec regression; re-measuring once...");
-            let (s2, v2, o2, f2, a2, c2) = measure_sims_per_sec();
-            sims_seesaw = sims_seesaw.max(s2);
-            sims_vllm = sims_vllm.max(v2);
-            sims_serving = sims_serving.max(o2);
-            sims_fleet = sims_fleet.max(f2);
-            sims_autoscale = sims_autoscale.max(a2);
-            sims_chaos = sims_chaos.max(c2);
+            sims = sims.max(&measure_sims_per_sec());
         }
     }
 
@@ -239,12 +270,9 @@ fn main() {
     json.push_str(&format!("  \"speedup\": {speedup:.3},\n"));
     json.push_str(&format!("  \"outputs_identical\": {outputs_identical},\n"));
     json.push_str("  \"sims_per_sec\": {\n");
-    json.push_str(&format!("    \"seesaw\": {sims_seesaw:.1},\n"));
-    json.push_str(&format!("    \"vllm\": {sims_vllm:.1},\n"));
-    json.push_str(&format!("    \"serving\": {sims_serving:.1},\n"));
-    json.push_str(&format!("    \"fleet\": {sims_fleet:.1},\n"));
-    json.push_str(&format!("    \"autoscale\": {sims_autoscale:.1},\n"));
-    json.push_str(&format!("    \"chaos\": {sims_chaos:.1},\n"));
+    for (name, value) in sims.named() {
+        json.push_str(&format!("    \"{name}\": {value:.1},\n"));
+    }
     json.push_str(&format!("    \"iters_per_batch\": {SIMS_BATCH},\n"));
     json.push_str(&format!("    \"batches\": {SIMS_BATCHES},\n"));
     json.push_str(&format!("    \"workload\": \"{}\"\n", json_escape(WORKLOAD_LABEL)));
@@ -269,9 +297,7 @@ fn main() {
         "all_figures {subsample}: serial {serial_total:.2}s, {} jobs {parallel_total:.2}s -> {speedup:.2}x (outputs identical: {outputs_identical})",
         parallel_runner.jobs()
     );
-    println!(
-        "sims/sec: seesaw {sims_seesaw:.0}, vllm {sims_vllm:.0}, serving {sims_serving:.0}, fleet {sims_fleet:.0}, autoscale {sims_autoscale:.0}, chaos {sims_chaos:.0}"
-    );
+    println!("sims/sec: {}", sims.summary());
     println!("wrote {out_path}");
     if !outputs_identical {
         eprintln!("ERROR: parallel output diverged from serial output");
@@ -280,14 +306,7 @@ fn main() {
 
     if let Some((baseline_path, baseline)) = baseline {
         let mut failed = false;
-        for (name, current) in [
-            ("seesaw", sims_seesaw),
-            ("vllm", sims_vllm),
-            ("serving", sims_serving),
-            ("fleet", sims_fleet),
-            ("autoscale", sims_autoscale),
-            ("chaos", sims_chaos),
-        ] {
+        for (name, current) in sims.named() {
             match json_number(&baseline, name) {
                 Some(before) if before > 0.0 => {
                     let regressed = current < floor_of(before);

@@ -347,8 +347,12 @@ pub fn to_json(frontier: &ChaosFrontier, spec: &ScenarioSpec, chaos: &ChaosSpec)
     ));
     out.push_str("  \"points\": [\n");
     for (i, p) in frontier.points.iter().enumerate() {
+        // Every point repeats the router policy and workload seed so
+        // a single extracted point stays reproducible without the
+        // document header (the plan's own seed covers the faults).
         out.push_str(&format!(
             "    {{\"fault\": \"{}\", \"recovery\": \"{}\", \
+             \"router\": \"{}\", \"seed\": {}, \
              \"plan\": {{\"seed\": {}, \"kills_per_hour\": {}, \"outages_per_hour\": {}, \
              \"groups\": {}, \"detect_s\": {}}}, \
              \"n_requests\": {}, \"completed\": {}, \"failed\": {}, \"lost_attempts\": {}, \
@@ -358,6 +362,8 @@ pub fn to_json(frontier: &ChaosFrontier, spec: &ScenarioSpec, chaos: &ChaosSpec)
              \"latency\": {}}}{}\n",
             jsonfmt::esc(&p.fault),
             jsonfmt::esc(&p.recovery),
+            jsonfmt::esc(&cfg.router.to_string()),
+            spec.seed,
             p.plan.seed,
             jsonfmt::num(p.plan.kills_per_hour),
             jsonfmt::num(p.plan.outages_per_hour),
@@ -456,6 +462,12 @@ mod tests {
         assert!(json.contains("\"retry\""));
         assert!(json.contains("\"scenario\""));
         assert!(!json.contains("NaN"));
+        // Every point repeats the router and workload seed (one
+        // "router" in the config header, one per point; the workload
+        // seed appears in the scenario echo, once per point, and in
+        // any fault plan that happens to share the seed value).
+        assert_eq!(json.matches("\"router\": \"").count(), 1 + serial.points.len());
+        assert!(json.matches("\"seed\": 42").count() >= 1 + serial.points.len());
         // The availability timeline renders for any cell.
         let tl = render_chaos_timeline(&serial.points[3]);
         assert!(tl.contains("per-window availability"));

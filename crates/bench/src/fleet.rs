@@ -9,9 +9,14 @@
 //!   attainment per cell. A perfectly balanced fleet keeps its
 //!   goodput knee at the same multiplier for every N; the table makes
 //!   routing losses visible as the knee sliding left with N.
-//! * **Router head-to-head** — all four policies on the same fleet
-//!   size and request stream at one fixed (default: knee-adjacent)
-//!   load, with per-replica imbalance statistics.
+//! * **Router head-to-head** — every policy (the four estimated-queue
+//!   ones plus the live `jsq-live`/`least-work-live` pair) on the
+//!   same fleet size and request stream at one fixed (default:
+//!   knee-adjacent) load, with per-replica imbalance statistics.
+//! * **Heterogeneous head-to-head** — the same roster on a *mixed*
+//!   fleet (strong A10 + weak L4 replicas) at an overload point,
+//!   where live routing's measured state separates from the
+//!   estimated policies' analytic queue model.
 //!
 //! Everything rides the default serving scenario (LLaMA2-13B on
 //! 4×A10 per replica, ShareGPT-shaped lengths) and is byte-identical
@@ -20,13 +25,18 @@
 use crate::jsonfmt;
 use crate::serving::{default_engine_of, default_requests, default_specs, EngineKind};
 use crate::table::{f2, f3, Table};
-use seesaw_engine::SweepRunner;
+use seesaw_engine::vllm::VllmEngine;
+use seesaw_engine::{OnlineEngine, SchedulingPolicy, SweepRunner};
 use seesaw_fleet::{
-    offline_capacity, policy_comparison_patterned_at_capacity_with, policy_comparison_with,
+    hetero_offline_capacity, offline_capacity, policy_comparison_hetero_patterned_with,
+    policy_comparison_patterned_at_capacity_with, policy_comparison_with,
     scaling_sweep_patterned_at_capacity_with, scaling_sweep_with, FleetPoint,
     FleetScalingSweep, RouterPolicy,
 };
+use seesaw_hw::ClusterSpec;
+use seesaw_parallel::ParallelConfig;
 use seesaw_workload::{unit_rate_pattern, ArrivalDist, SloSpec, ARRIVAL_SEED_SALT};
+use std::sync::Arc;
 
 /// Default replica counts for the scaling sweep.
 pub const DEFAULT_REPLICA_COUNTS: &[usize] = &[1, 2, 4, 8];
@@ -41,6 +51,17 @@ pub const DEFAULT_COMPARE_REPLICAS: usize = 4;
 /// Default offered load for the router comparison: just past the
 /// knee, where routing quality separates the policies.
 pub const DEFAULT_COMPARE_LOAD: f64 = 0.9;
+
+/// Replicas in the heterogeneous head-to-head: half strong (the
+/// default A10 replica), half weak (L4, pipeline-only).
+pub const HETERO_REPLICAS: usize = 4;
+
+/// Default offered load for the heterogeneous head-to-head, as a
+/// multiple of the mixed fleet's *aggregate* offline capacity: an
+/// overload point, where the estimated policies' one-size analytic
+/// queue model mis-prices the weak replicas and live routing's
+/// measured state pays off.
+pub const DEFAULT_HETERO_LOAD: f64 = 1.2;
 
 /// Run the default scaling sweep for `kind` replicas.
 #[allow(clippy::too_many_arguments)]
@@ -87,10 +108,75 @@ pub fn default_policy_comparison_with(
         &base,
         n_replicas,
         multiplier,
-        &RouterPolicy::all_default(),
+        &RouterPolicy::all_with_live(),
         slo,
         seed,
     )
+}
+
+/// The heterogeneous router head-to-head: its fleet label (from
+/// [`hetero_offline_capacity`]'s run-length encoding), measured
+/// aggregate offline capacity, and one [`FleetPoint`] per policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeteroComparison {
+    /// Replica-mix label, e.g. `"2x vllm T2P2 + 2x vllm P4"`.
+    pub label: String,
+    /// Aggregate offline capacity of the mixed fleet, rps.
+    pub capacity_rps: f64,
+    /// One point per policy, in [`RouterPolicy::all_with_live`] order.
+    pub points: Vec<FleetPoint>,
+}
+
+/// Run all policies (estimated and live) head-to-head on a *mixed*
+/// fleet — [`HETERO_REPLICAS`] replicas, half the default A10 vLLM
+/// replica and half a weak L4 pipeline-only one — at `multiplier ×`
+/// the fleet's aggregate offline capacity. This is the experiment the
+/// global event loop exists for: on a homogeneous fleet the estimated
+/// queue model is well calibrated, but here it prices every replica
+/// with per-replica analytic rates that still miss the weak replicas'
+/// queue dynamics under overload, while `jsq-live`/`least-work-live`
+/// observe the measured state.
+pub fn default_hetero_comparison_with(
+    runner: &SweepRunner,
+    n_requests: usize,
+    multiplier: f64,
+    slo: SloSpec,
+    seed: u64,
+) -> HeteroComparison {
+    let (cluster, model) = default_specs();
+    let weak_cluster = Arc::new(ClusterSpec::l4x4());
+    let (_, base) = default_requests(n_requests, seed);
+    let build = move |i: usize| -> Box<dyn OnlineEngine> {
+        if i < HETERO_REPLICAS / 2 {
+            default_engine_of(EngineKind::Vllm, &cluster, &model)
+        } else {
+            Box::new(
+                VllmEngine::new(
+                    Arc::clone(&weak_cluster),
+                    Arc::clone(&model),
+                    ParallelConfig::new(1, 1, 4),
+                    SchedulingPolicy::PrefillPrioritized,
+                )
+                .expect("weak replica config fits"),
+            )
+        }
+    };
+    let (capacity_rps, label) = hetero_offline_capacity(&build, HETERO_REPLICAS, &base);
+    let unit = ArrivalDist::Poisson { rate: 1.0 }
+        .sample_times(base.len(), seed ^ ARRIVAL_SEED_SALT)
+        .expect("unit-rate Poisson is valid");
+    let points = policy_comparison_hetero_patterned_with(
+        runner,
+        &build,
+        &base,
+        capacity_rps,
+        &unit,
+        HETERO_REPLICAS,
+        multiplier,
+        &RouterPolicy::all_with_live(),
+        slo,
+    );
+    HeteroComparison { label, capacity_rps, points }
 }
 
 /// Build the unit-rate arrival pattern behind a `--trace` argument:
@@ -177,7 +263,7 @@ pub fn default_experiments_patterned_with(
         unit,
         compare_replicas,
         compare_load,
-        &RouterPolicy::all_default(),
+        &RouterPolicy::all_with_live(),
         slo,
     );
     (scaling, comparison)
@@ -244,6 +330,30 @@ pub fn render_comparison(points: &[FleetPoint]) -> String {
         first.load_multiplier,
         first.report.stats.requests,
     );
+    out.push_str(&comparison_table(points));
+    out
+}
+
+/// Render the heterogeneous head-to-head as the `fleet` bin's third
+/// table.
+pub fn render_hetero_comparison(hetero: &HeteroComparison) -> String {
+    let Some(first) = hetero.points.first() else {
+        return String::from("\n=== fleet: heterogeneous router head-to-head (no points) ===\n");
+    };
+    let mut out = format!(
+        "\n=== fleet: heterogeneous router head-to-head ({}, {:.2}x aggregate load, {} requests) ===\n\
+         aggregate capacity (offline) = {} rps; live policies route on measured replica state\n",
+        hetero.label,
+        first.load_multiplier,
+        first.report.stats.requests,
+        f3(hetero.capacity_rps),
+    );
+    out.push_str(&comparison_table(&hetero.points));
+    out
+}
+
+/// The shared head-to-head table body (one row per policy).
+fn comparison_table(points: &[FleetPoint]) -> String {
     let mut t = Table::new(&[
         "policy",
         "ttft p50",
@@ -272,18 +382,19 @@ pub fn render_comparison(points: &[FleetPoint]) -> String {
             format!("{:.3}", imb.makespan_skew),
         ]);
     }
-    out.push_str(&t.render());
-    out
+    t.render()
 }
 
-/// One fleet point as a JSON object (shared by both sweeps' `--json`).
-fn point_json(p: &FleetPoint, policy_field: bool) -> String {
+/// One fleet point as a JSON object (shared by all three experiments'
+/// `--json`). Every point carries the router policy that produced it
+/// and the workload seed, so any single point is reproducible without
+/// consulting the document header.
+fn point_json(p: &FleetPoint, seed: u64) -> String {
     let imb = p.report.imbalance();
-    let policy = if policy_field {
-        format!("\"policy\": \"{}\", ", jsonfmt::esc(&p.report.policy.to_string()))
-    } else {
-        String::new()
-    };
+    let policy = format!(
+        "\"policy\": \"{}\", \"seed\": {seed}, ",
+        jsonfmt::esc(&p.report.policy.to_string())
+    );
     format!(
         "{{{policy}\"n_replicas\": {}, \"load_multiplier\": {}, \"offered_rps\": {}, \
          \"throughput_rps\": {}, \"attainment\": {}, \"goodput_rps\": {}, \
@@ -304,10 +415,26 @@ fn point_json(p: &FleetPoint, policy_field: bool) -> String {
     )
 }
 
-/// Both fleet experiments as one machine-readable JSON document (the
-/// `fleet` bin's `--json` output). The header echoes the workload
-/// seed, so any point is reproducible from the document alone.
-pub fn to_json(scaling: &FleetScalingSweep, comparison: &[FleetPoint], seed: u64) -> String {
+/// All three fleet experiments as one machine-readable JSON document
+/// (the `fleet` bin's `--json` output). The header echoes the
+/// workload seed, and every point additionally carries its own
+/// `policy` and `seed` fields. `hetero` is optional so callers
+/// skipping the mixed-fleet experiment still emit a valid document.
+pub fn to_json(
+    scaling: &FleetScalingSweep,
+    comparison: &[FleetPoint],
+    hetero: Option<&HeteroComparison>,
+    seed: u64,
+) -> String {
+    let points_json = |out: &mut String, points: &[FleetPoint], indent: &str| {
+        for (i, p) in points.iter().enumerate() {
+            out.push_str(&format!(
+                "{indent}{}{}\n",
+                point_json(p, seed),
+                if i + 1 < points.len() { "," } else { "" }
+            ));
+        }
+    };
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"label\": \"{}\",\n", jsonfmt::esc(&scaling.label)));
@@ -320,23 +447,24 @@ pub fn to_json(scaling: &FleetScalingSweep, comparison: &[FleetPoint], seed: u64
         jsonfmt::num(scaling.capacity_rps)
     ));
     out.push_str("  \"scaling\": [\n");
-    for (i, p) in scaling.points.iter().enumerate() {
-        out.push_str(&format!(
-            "    {}{}\n",
-            point_json(p, false),
-            if i + 1 < scaling.points.len() { "," } else { "" }
-        ));
-    }
+    points_json(&mut out, &scaling.points, "    ");
     out.push_str("  ],\n");
     out.push_str("  \"router_comparison\": [\n");
-    for (i, p) in comparison.iter().enumerate() {
+    points_json(&mut out, comparison, "    ");
+    if let Some(h) = hetero {
+        out.push_str("  ],\n");
+        out.push_str("  \"hetero\": {\n");
+        out.push_str(&format!("    \"label\": \"{}\",\n", jsonfmt::esc(&h.label)));
         out.push_str(&format!(
-            "    {}{}\n",
-            point_json(p, true),
-            if i + 1 < comparison.len() { "," } else { "" }
+            "    \"capacity_rps\": {},\n",
+            jsonfmt::num(h.capacity_rps)
         ));
+        out.push_str("    \"router_comparison\": [\n");
+        points_json(&mut out, &h.points, "      ");
+        out.push_str("    ]\n  }\n}\n");
+    } else {
+        out.push_str("  ]\n}\n");
     }
-    out.push_str("  ]\n}\n");
     out
 }
 
@@ -401,9 +529,9 @@ mod tests {
             crate::serving::DEFAULT_SLO,
             42,
         );
-        assert_eq!(points.len(), 4);
+        assert_eq!(points.len(), 6);
         let rendered = render_comparison(&points);
-        for p in ["round-robin", "jsq", "po2", "least-work"] {
+        for p in ["round-robin", "jsq", "po2", "least-work", "jsq-live", "least-work-live"] {
             assert!(rendered.contains(p), "missing {p} in\n{rendered}");
         }
         let scaling = default_scaling_sweep_with(
@@ -416,14 +544,75 @@ mod tests {
             crate::serving::DEFAULT_SLO,
             42,
         );
-        let json = to_json(&scaling, &points, 42);
-        // Cheap structural checks: balanced braces/brackets, all four
-        // policies present, no NaN leakage.
+        let json = to_json(&scaling, &points, None, 42);
+        // Cheap structural checks: balanced braces/brackets, every
+        // policy present, no NaN leakage.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(json.contains("\"router_comparison\""));
         assert!(json.contains("\"seed\": 42"), "the seed echo makes points reproducible");
+        assert!(json.contains("\"jsq-live\""));
         assert!(json.contains("\"least-work\""));
+        // Satellite: every point carries its own policy and seed.
+        let points_emitted = json.matches("\"policy\": \"").count();
+        let seeds_emitted = json.matches("\"seed\": 42").count();
+        assert_eq!(points_emitted, 1 + 6 + 1, "header + 6 comparison points + 1 scaling point");
+        assert_eq!(seeds_emitted, 1 + 6 + 1);
+        assert!(!json.contains("NaN"));
+    }
+
+    /// The refactor's acceptance point: on the mixed-fleet overload
+    /// head-to-head, live JSQ (measured queue depths) must beat the
+    /// estimated JSQ (analytic virtual queues) on SLO attainment.
+    #[test]
+    fn live_jsq_beats_estimated_jsq_on_the_hetero_overload_point() {
+        let run = |runner: &SweepRunner| {
+            default_hetero_comparison_with(
+                runner,
+                48,
+                DEFAULT_HETERO_LOAD,
+                crate::serving::DEFAULT_SLO,
+                42,
+            )
+        };
+        let hetero = run(&SweepRunner::serial());
+        assert_eq!(hetero, run(&SweepRunner::new(4)), "hetero comparison must be jobs-invariant");
+        assert_eq!(hetero.points.len(), 6);
+        let att = |policy: RouterPolicy| {
+            hetero
+                .points
+                .iter()
+                .find(|p| p.report.policy == policy)
+                .expect("policy present")
+                .attainment
+        };
+        let jsq = att(RouterPolicy::JoinShortestQueue);
+        let live = att(RouterPolicy::JoinShortestQueueLive);
+        assert!(
+            live > jsq,
+            "jsq-live ({live}) must beat estimated jsq ({jsq}) on the hetero overload point"
+        );
+        let rendered = render_hetero_comparison(&hetero);
+        assert!(rendered.contains("heterogeneous"), "table header names the experiment");
+        assert!(rendered.contains("jsq-live"));
+        let json = to_json(
+            &default_scaling_sweep_with(
+                &SweepRunner::serial(),
+                EngineKind::Vllm,
+                16,
+                &[1],
+                &[0.5],
+                RouterPolicy::JoinShortestQueue,
+                crate::serving::DEFAULT_SLO,
+                42,
+            ),
+            &[],
+            Some(&hetero),
+            42,
+        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"hetero\""));
         assert!(!json.contains("NaN"));
     }
 }

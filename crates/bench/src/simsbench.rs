@@ -23,6 +23,12 @@
 //! split, four replica simulations, and the merged fleet report
 //! included.
 //!
+//! The live-fleet variant (`sims_per_sec.fleet_live`) is the same
+//! fleet cell under `jsq-live` routing: the global event loop with
+//! per-arrival measured-state queries (the causal replay stepper) in
+//! place of the merged-timeline fast path — the cost of real-feedback
+//! routing on an otherwise identical cell.
+//!
 //! The chaos variant (`sims_per_sec.chaos`) replays the autoscale
 //! scenario under a fixed seeded kill schedule (~3 expected kills on
 //! the compressed day) with reactive replacement and retry/requeue —
@@ -180,6 +186,32 @@ impl SimsBench {
         fleet.run_with(
             &SweepRunner::serial(),
             RouterPolicy::JoinShortestQueue,
+            &self.fleet_reqs,
+        )
+    }
+
+    /// One live-routed fleet evaluation (`sims_per_sec.fleet_live`):
+    /// the same [`FLEET_REPLICAS`]-replica cell as
+    /// [`SimsBench::run_fleet_once`], but under `jsq-live` — the
+    /// global event loop queries every replica's measured state (via
+    /// the causal replay stepper) at each arrival instead of routing
+    /// on analytic virtual queues. The fast-path/event-loop cost
+    /// ratio is exactly what this figure tracks.
+    pub fn run_fleet_live_once(&self) -> FleetReport {
+        let fleet = Fleet::homogeneous(FLEET_REPLICAS, |_| {
+            Box::new(
+                VllmEngine::new(
+                    Arc::clone(&self.cluster),
+                    Arc::clone(&self.model),
+                    ParallelConfig::new(1, 2, 2),
+                    SchedulingPolicy::PrefillPrioritized,
+                )
+                .expect("valid config"),
+            ) as _
+        });
+        fleet.run_with(
+            &SweepRunner::serial(),
+            RouterPolicy::JoinShortestQueueLive,
             &self.fleet_reqs,
         )
     }

@@ -194,8 +194,8 @@ fn fleet_sweeps_are_byte_identical_across_job_counts() {
     assert_eq!(fleet::render_scaling(&s1), fleet::render_scaling(&s4));
     assert_eq!(fleet::render_comparison(&c1), fleet::render_comparison(&c4));
     assert_eq!(
-        fleet::to_json(&s1, &c1, seesaw_bench::SEED),
-        fleet::to_json(&s4, &c4, seesaw_bench::SEED)
+        fleet::to_json(&s1, &c1, None, seesaw_bench::SEED),
+        fleet::to_json(&s4, &c4, None, seesaw_bench::SEED)
     );
     // Warm rerun (pools and caches populated) must also reproduce.
     let warm = scaling(&SweepRunner::new(4));
@@ -271,6 +271,23 @@ fn repeated_fleet_runs_reproduce_the_first_report() {
     assert!(first.latency.is_some());
     for _ in 0..3 {
         assert_eq!(bench.run_fleet_once(), first, "warm-pool fleet rerun drifted");
+    }
+}
+
+/// The live-fleet sims/sec scenario (perf_report's `fleet_live`
+/// metric) reproduces exactly across warm-pool repetitions — the
+/// global event loop's measured-state queries must be as
+/// deterministic as the fast path they replace.
+#[test]
+fn repeated_fleet_live_runs_reproduce_the_first_report() {
+    use seesaw_bench::simsbench::{SimsBench, FLEET_REPLICAS};
+    let bench = SimsBench::new();
+    let first = bench.run_fleet_live_once();
+    assert_eq!(first.stats.requests, 24);
+    assert_eq!(first.replicas.len(), FLEET_REPLICAS);
+    assert!(first.latency.is_some());
+    for _ in 0..3 {
+        assert_eq!(bench.run_fleet_live_once(), first, "warm-pool live-fleet rerun drifted");
     }
 }
 

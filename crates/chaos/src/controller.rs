@@ -7,6 +7,16 @@
 //! does the rest. With an empty plan the schedule is empty and the
 //! replay is byte-identical to the plain autoscale run — one code
 //! path, no RNG on it.
+//!
+//! Kills fire as events on the replay's global clock, interleaved
+//! with dispatches in time order. Under an estimated routing policy
+//! the lost set is resolved from the capacity-calibrated `CalQueue`
+//! mirror; under a live policy (`jsq-live` / `least-work-live`) it is
+//! exactly the *measured* in-flight set of the victim at the kill
+//! instant, read from its engine replay. Either way, a dispatch that
+//! finds every replica dark no longer panics: the arrival parks until
+//! the first warming replica is ready (or requeues under the retry
+//! policy when nothing is warming).
 
 use crate::plan::FaultPlan;
 use seesaw_autoscale::{

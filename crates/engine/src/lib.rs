@@ -41,12 +41,14 @@ pub mod driver;
 pub mod online;
 pub mod report;
 pub mod seesaw;
+pub mod stepper;
 pub mod sweep;
 pub mod timing;
 pub mod vllm;
 
 pub use online::{OnlineEngine, ServiceRates};
 pub use report::{EngineReport, Phase, PhaseSpan};
+pub use stepper::{live_state, EngineStepper, LiveState};
 pub use sweep::{SweepResult, SweepRunner};
 pub use timing::TimingRecorder;
 

@@ -1,0 +1,180 @@
+//! The fleet's global time-ordered event loop.
+//!
+//! The merged-timeline fast path ([`Fleet::run_with`]) routes the
+//! whole stream up front and simulates replicas independently — valid
+//! precisely because feedback-free policies never read replica state.
+//! Live policies do: `jsq-live` and `least-work-live` rank replicas
+//! by *measured* queue depth / remaining work at each arrival
+//! instant, so the fleet must advance on one global clock.
+//!
+//! This module hosts the N replicas as actors on a single
+//! [`seesaw_sim::EventQueue`]: every arrival is an event; popping one
+//! advances the global clock to that instant, queries each replica's
+//! exact live state there (via [`seesaw_engine::EngineStepper`]'s
+//! causal replay — engines admit on arrival times, so replaying the
+//! assigned prefix reproduces the live trajectory exactly), routes on
+//! the measured state, and hands the request to the chosen actor.
+//! Decisions are serial in event order, so runs are deterministic and
+//! runner-invariant; the final per-replica simulations are
+//! independent and parallelize on the [`SweepRunner`] exactly like
+//! the fast path.
+//!
+//! For feedback-free policies the loop skips the live-state queries
+//! and the router falls through to its estimated decision — the same
+//! decision the fast path makes — so both paths produce byte-identical
+//! [`FleetReport`]s (enforced by `tests/event_core.rs`). That
+//! equivalence is what lets [`Fleet::run_with`] auto-select the fast
+//! path whenever the policy permits.
+
+use crate::fleet::Fleet;
+use crate::report::FleetReport;
+use crate::router::Router;
+use crate::router::RouterPolicy;
+use seesaw_engine::driver::assert_arrivals_sorted;
+use seesaw_engine::{EngineStepper, SweepRunner};
+use seesaw_sim::{EventQueue, SimTime};
+use seesaw_workload::{split_stream, Request};
+
+impl Fleet {
+    /// Serve `requests` (sorted by arrival) under `policy` on the
+    /// global event loop, with the final replica simulations
+    /// parallelized by `runner`.
+    ///
+    /// Works for *every* policy: live policies require it, and
+    /// feedback-free policies produce reports byte-identical to the
+    /// merged-timeline fast path (which [`Fleet::run_with`] selects
+    /// automatically for them — calling this directly just forgoes
+    /// the shortcut, e.g. to test the equivalence).
+    pub fn run_event_loop_with(
+        &self,
+        runner: &SweepRunner,
+        policy: RouterPolicy,
+        requests: &[Request],
+    ) -> FleetReport {
+        assert_arrivals_sorted(requests);
+        let n = self.replicas.len();
+        let rates = self.routing_rates(policy, requests);
+        let est = |replica: usize, req: &Request| {
+            rates.get(replica).map_or(1.0, |r| r.est_service_s(req))
+        };
+        let live_routing = policy.needs_live_state();
+        let mut router = Router::new(policy, n);
+        // One actor per replica: a stepper replaying the replica's
+        // assigned sub-stream to answer exact state queries. Only
+        // live policies consult them.
+        let mut actors: Vec<EngineStepper<'_>> = if live_routing {
+            self.replicas.iter().map(|r| EngineStepper::new(&**r, 0.0)).collect()
+        } else {
+            Vec::new()
+        };
+        let all: Vec<usize> = (0..n).collect();
+        let mut events: EventQueue<usize> = EventQueue::new();
+        for (idx, req) in requests.iter().enumerate() {
+            events.push(SimTime::from_secs(req.arrival_s), idx);
+        }
+        let mut assignment = vec![0usize; requests.len()];
+        while let Some((at, idx)) = events.pop() {
+            let req = &requests[idx];
+            let now = at.as_secs();
+            // Measured state of every replica at this instant —
+            // queried serially in replica order for determinism.
+            let live: Vec<(usize, f64)> = if live_routing {
+                actors
+                    .iter_mut()
+                    .map(|a| {
+                        let s = a.state_at(now);
+                        (s.queue_depth, s.work_s)
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let routed = router
+                .route_live_among(req, &all, &live, est)
+                .expect("every replica of a fixed fleet is eligible");
+            assignment[idx] = routed.replica;
+            if live_routing {
+                actors[routed.replica].push(req.clone());
+            }
+        }
+        drop(actors);
+        let streams = split_stream(requests, &assignment, n);
+        let indices: Vec<usize> = (0..n).collect();
+        let reports = runner.map(&indices, |&i| self.replicas[i].run(&streams[i]));
+        FleetReport::from_replica_reports(policy, reports, assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seesaw_engine::vllm::VllmEngine;
+    use seesaw_engine::{OnlineEngine, SchedulingPolicy};
+    use seesaw_hw::ClusterSpec;
+    use seesaw_model::presets;
+    use seesaw_parallel::ParallelConfig;
+    use seesaw_workload::{ArrivalDist, WorkloadGen};
+    use std::sync::Arc;
+
+    fn vllm_fleet(n: usize) -> Fleet {
+        let cluster = Arc::new(ClusterSpec::a10x4());
+        let model = Arc::new(presets::llama2_13b());
+        Fleet::homogeneous(n, |_| {
+            Box::new(
+                VllmEngine::new(
+                    Arc::clone(&cluster),
+                    Arc::clone(&model),
+                    ParallelConfig::new(1, 2, 2),
+                    SchedulingPolicy::PrefillPrioritized,
+                )
+                .expect("valid config"),
+            ) as Box<dyn OnlineEngine>
+        })
+    }
+
+    fn online_reqs(n: usize, rate: f64) -> Vec<Request> {
+        let base = WorkloadGen::constant(512, 24).generate(n);
+        ArrivalDist::Poisson { rate }
+            .attach(&base, 11)
+            .expect("valid arrivals")
+    }
+
+    #[test]
+    fn live_policies_serve_every_request_exactly_once() {
+        let fleet = vllm_fleet(3);
+        let reqs = online_reqs(24, 6.0);
+        for policy in RouterPolicy::all_live() {
+            let report = fleet.run_with(&SweepRunner::serial(), policy, &reqs);
+            assert_eq!(report.stats.requests, 24, "{policy}");
+            assert_eq!(report.timeline.len(), 24, "{policy}");
+            let mut ids: Vec<u64> = report.timeline.iter().map(|t| t.id).collect();
+            ids.dedup();
+            assert_eq!(ids.len(), 24, "{policy}: every id exactly once");
+            // Live routing actually spreads load.
+            assert!(
+                report.assignment.iter().any(|&r| r != report.assignment[0]),
+                "{policy}: more than one replica used"
+            );
+        }
+    }
+
+    #[test]
+    fn live_policies_are_runner_invariant() {
+        let fleet = vllm_fleet(4);
+        let reqs = online_reqs(20, 8.0);
+        for policy in RouterPolicy::all_live() {
+            let serial = fleet.run_with(&SweepRunner::serial(), policy, &reqs);
+            let parallel = fleet.run_with(&SweepRunner::new(4), policy, &reqs);
+            assert_eq!(serial, parallel, "{policy}");
+        }
+    }
+
+    #[test]
+    fn empty_stream_yields_empty_report() {
+        let fleet = vllm_fleet(2);
+        let report =
+            fleet.run_with(&SweepRunner::serial(), RouterPolicy::JoinShortestQueueLive, &[]);
+        assert_eq!(report.stats.requests, 0);
+        assert!(report.latency.is_none());
+    }
+}

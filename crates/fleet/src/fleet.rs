@@ -25,13 +25,13 @@ use seesaw_workload::{split_stream, Request};
 ///    [`FleetReport`] with fleet-level percentiles and imbalance
 ///    statistics.
 pub struct Fleet {
-    replicas: Vec<Box<dyn OnlineEngine>>,
+    pub(crate) replicas: Vec<Box<dyn OnlineEngine>>,
     /// Whether every replica is known-identical (constructed via
     /// [`Fleet::homogeneous`]), letting fleet runs compute one
     /// service-rate estimate instead of N. A label comparison cannot
     /// substitute: labels name the parallel configuration, not the
     /// hardware, so two `"T2P2"` replicas may sit on different GPUs.
-    homogeneous: bool,
+    pub(crate) homogeneous: bool,
 }
 
 impl Fleet {
@@ -101,29 +101,28 @@ impl Fleet {
     /// [`Fleet::run`] on an explicit runner. Deterministic and
     /// runner-invariant: routing is serial, replica runs are
     /// independent, and reports are collected in replica order.
+    ///
+    /// Dispatches on the policy: feedback-free (estimated-queue)
+    /// policies take this merged-timeline fast path — route the whole
+    /// stream serially, then simulate replicas independently — while
+    /// live policies ([`RouterPolicy::needs_live_state`]) run on the
+    /// global event loop ([`Fleet::run_event_loop_with`]), which
+    /// observes measured replica state at every arrival. The two
+    /// paths produce byte-identical reports for feedback-free
+    /// policies (enforced by tests), so the dispatch is purely a
+    /// performance choice.
     pub fn run_with(
         &self,
         runner: &SweepRunner,
         policy: RouterPolicy,
         requests: &[Request],
     ) -> FleetReport {
+        if policy.needs_live_state() {
+            return self.run_event_loop_with(runner, policy, requests);
+        }
         assert_arrivals_sorted(requests);
         let n = self.replicas.len();
-        let (avg_in, avg_out) = mean_lengths(requests);
-        // Round-robin is load-oblivious — no service estimates needed.
-        // A known-homogeneous fleet computes one analytic rate and
-        // shares it (rates can be expensive: disagg re-runs its split
-        // search per call); heterogeneous fleets estimate per replica.
-        let rates: Vec<ServiceRates> = if policy == RouterPolicy::RoundRobin {
-            Vec::new()
-        } else if self.homogeneous {
-            vec![self.replicas[0].service_rates(avg_in, avg_out); n]
-        } else {
-            self.replicas
-                .iter()
-                .map(|r| r.service_rates(avg_in, avg_out))
-                .collect()
-        };
+        let rates = self.routing_rates(policy, requests);
         // `rates` is empty for round-robin (the router never asks it
         // for estimates); the `get` keeps the closure total rather
         // than resting an index on that other-crate invariant.
@@ -134,6 +133,32 @@ impl Fleet {
         let indices: Vec<usize> = (0..n).collect();
         let reports = runner.map(&indices, |&i| self.replicas[i].run(&streams[i]));
         FleetReport::from_replica_reports(policy, reports, assignment)
+    }
+
+    /// Per-replica analytic service rates for routing under `policy`.
+    /// Round-robin is load-oblivious — no service estimates needed,
+    /// so the vec is empty. A known-homogeneous fleet computes one
+    /// analytic rate and shares it (rates can be expensive: disagg
+    /// re-runs its split search per call); heterogeneous fleets
+    /// estimate per replica. Shared by the fast path and the event
+    /// loop so both routes see identical estimates.
+    pub(crate) fn routing_rates(
+        &self,
+        policy: RouterPolicy,
+        requests: &[Request],
+    ) -> Vec<ServiceRates> {
+        let n = self.replicas.len();
+        let (avg_in, avg_out) = mean_lengths(requests);
+        if policy == RouterPolicy::RoundRobin {
+            Vec::new()
+        } else if self.homogeneous {
+            vec![self.replicas[0].service_rates(avg_in, avg_out); n]
+        } else {
+            self.replicas
+                .iter()
+                .map(|r| r.service_rates(avg_in, avg_out))
+                .collect()
+        }
     }
 }
 

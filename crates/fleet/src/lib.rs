@@ -13,23 +13,30 @@
 //!   assigns every request to a replica under a pluggable
 //!   [`RouterPolicy`]: round-robin, join-shortest-queue,
 //!   power-of-two-choices (seeded), or least-estimated-work using the
-//!   roofline service-rate estimates.
+//!   roofline service-rate estimates — plus the live-feedback
+//!   `jsq-live` and `least-work-live` policies that rank replicas by
+//!   *measured* engine state.
 //! * [`Fleet::run_with`] splits the stream per replica (order- and
 //!   therefore arrival-sortedness-preserving), runs every replica
 //!   through its existing per-engine online path — concurrently, on a
 //!   [`seesaw_engine::SweepRunner`] — and merges the per-replica
 //!   timelines into a [`FleetReport`] with fleet-level latency
 //!   percentiles, SLO attainment, goodput, and per-replica
-//!   load-imbalance statistics.
+//!   load-imbalance statistics. Live policies automatically run on
+//!   the global event loop ([`event_loop`]) instead; feedback-free
+//!   ones keep this merged-timeline fast path, which the event loop
+//!   reproduces byte-for-byte.
 //! * [`sweep`] evaluates capacity-scaling grids (replica count ×
 //!   offered load) and router-policy head-to-head comparisons.
 //!
-//! Everything is deterministic: routing is a single serial pass,
-//! replica simulations are independent, and results are collected in
-//! replica order — so fleet output is byte-identical for every
-//! `--jobs` value, and a single-replica round-robin fleet reproduces
-//! the bare engine's report exactly.
+//! Everything is deterministic: routing is a single serial pass (in
+//! arrival order on the fast path, in global event order on the event
+//! loop), replica simulations are independent, and results are
+//! collected in replica order — so fleet output is byte-identical for
+//! every `--jobs` value, and a single-replica round-robin fleet
+//! reproduces the bare engine's report exactly.
 
+pub mod event_loop;
 pub mod fleet;
 pub mod report;
 pub mod router;
@@ -37,10 +44,11 @@ pub mod sweep;
 
 pub use fleet::Fleet;
 pub use report::{FleetReport, LoadImbalance};
-pub use router::{Routed, Router, RouterPolicy};
+pub use router::{NoAcceptingReplica, Routed, Router, RouterPolicy};
 pub use sweep::{
-    offline_capacity, policy_comparison_at_capacity_with,
-    policy_comparison_patterned_at_capacity_with, policy_comparison_with,
+    hetero_offline_capacity, offline_capacity, policy_comparison_at_capacity_with,
+    policy_comparison_hetero_patterned_with, policy_comparison_patterned_at_capacity_with,
+    policy_comparison_with,
     scaling_sweep_at_capacity_with, scaling_sweep_patterned_at_capacity_with,
     scaling_sweep_with, FleetPoint, FleetScalingSweep,
 };

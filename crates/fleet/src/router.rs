@@ -45,9 +45,18 @@ pub enum RouterPolicy {
     /// Least estimated outstanding *work* (sum of roofline-estimated
     /// service seconds still in flight) wins — JSQ weighted by
     /// request size, so one huge prompt counts for more than several
-    /// small ones. The only policy that uses the cost model beyond
-    /// queue expiry.
+    /// small ones. The only estimated policy that uses the cost model
+    /// beyond queue expiry.
     LeastEstimatedWork,
+    /// JSQ over *measured* replica state: fewest actually-unfinished
+    /// requests at the arrival instant, observed from each replica's
+    /// exact engine replay (see `seesaw_engine::stepper`). Requires
+    /// the global event loop — there is no estimated fast path.
+    JoinShortestQueueLive,
+    /// Least *measured* remaining work: the replica whose in-flight
+    /// requests have the least summed remaining wall-clock seconds at
+    /// the arrival instant. Requires the global event loop.
+    LeastWorkLive,
 }
 
 impl std::fmt::Display for RouterPolicy {
@@ -57,13 +66,15 @@ impl std::fmt::Display for RouterPolicy {
             RouterPolicy::JoinShortestQueue => write!(f, "jsq"),
             RouterPolicy::PowerOfTwoChoices { .. } => write!(f, "po2"),
             RouterPolicy::LeastEstimatedWork => write!(f, "least-work"),
+            RouterPolicy::JoinShortestQueueLive => write!(f, "jsq-live"),
+            RouterPolicy::LeastWorkLive => write!(f, "least-work-live"),
         }
     }
 }
 
 impl RouterPolicy {
-    /// The four policies at their defaults (po2 seeded with 0), in
-    /// comparison-table order.
+    /// The four estimated-queue policies at their defaults (po2
+    /// seeded with 0), in comparison-table order.
     pub fn all_default() -> Vec<RouterPolicy> {
         vec![
             RouterPolicy::RoundRobin,
@@ -72,7 +83,52 @@ impl RouterPolicy {
             RouterPolicy::LeastEstimatedWork,
         ]
     }
+
+    /// The live-feedback policies, in comparison-table order.
+    pub fn all_live() -> Vec<RouterPolicy> {
+        vec![RouterPolicy::JoinShortestQueueLive, RouterPolicy::LeastWorkLive]
+    }
+
+    /// Every policy — the estimated four followed by the live two —
+    /// for head-to-head comparison tables.
+    pub fn all_with_live() -> Vec<RouterPolicy> {
+        let mut all = Self::all_default();
+        all.extend(Self::all_live());
+        all
+    }
+
+    /// Whether decisions under this policy read *measured* replica
+    /// state (live queue depth / remaining work) rather than the
+    /// router's virtual-queue estimates. Live policies must run on
+    /// the global event loop; feedback-free ones take the
+    /// merged-timeline fast path.
+    pub fn needs_live_state(&self) -> bool {
+        matches!(
+            self,
+            RouterPolicy::JoinShortestQueueLive | RouterPolicy::LeastWorkLive
+        )
+    }
 }
+
+/// Typed routing failure: every replica was ineligible (dark) at the
+/// arrival instant — mid-outage in a fault-injecting run. Callers
+/// buffer the arrival until a replica is accepting (or count it lost
+/// when none ever will be); a panic here would kill whole chaos
+/// sweeps on their most interesting points.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoAcceptingReplica {
+    /// Arrival time (seconds) at which routing found no accepting
+    /// replica.
+    pub at_s: f64,
+}
+
+impl std::fmt::Display for NoAcceptingReplica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no accepting replica at t={:.6}s", self.at_s)
+    }
+}
+
+impl std::error::Error for NoAcceptingReplica {}
 
 /// One replica's virtual FIFO server: requests in estimated flight.
 #[derive(Debug, Default, Clone)]
@@ -208,6 +264,13 @@ impl Router {
                 }
             }
             RouterPolicy::LeastEstimatedWork => self.argmin_by(|q| q.work),
+            RouterPolicy::JoinShortestQueueLive | RouterPolicy::LeastWorkLive => {
+                panic!(
+                    "{} reads measured replica state; route via the global \
+                     event loop (route_live_among), not the estimated path",
+                    self.policy
+                )
+            }
         };
         let est = est_service(chosen, req);
         assert!(
@@ -239,14 +302,20 @@ impl Router {
     /// queue-depth/wait signals exist regardless of policy; `route`
     /// keeps its bookkeeping-free round-robin fast path, which cannot
     /// diverge because round-robin decisions never read queue state.
+    ///
+    /// An empty `eligible` set — every replica dark mid-outage — is a
+    /// typed [`NoAcceptingReplica`] error, not a panic: the caller
+    /// decides whether to buffer, requeue, or fail the arrival.
     pub fn route_among(
         &mut self,
         req: &Request,
         eligible: &[usize],
         est_service: impl Fn(usize, &Request) -> f64,
-    ) -> Routed {
+    ) -> Result<Routed, NoAcceptingReplica> {
         let n = self.queues.len();
-        assert!(!eligible.is_empty(), "routing needs an accepting replica");
+        if eligible.is_empty() {
+            return Err(NoAcceptingReplica { at_s: req.arrival_s });
+        }
         debug_assert!(
             eligible.windows(2).all(|w| w[0] < w[1]) && *eligible.last().unwrap() < n,
             "eligible set must be sorted, unique, and in range"
@@ -291,6 +360,13 @@ impl Router {
                 }
             }
             RouterPolicy::LeastEstimatedWork => self.argmin_among(eligible, |q| q.work),
+            RouterPolicy::JoinShortestQueueLive | RouterPolicy::LeastWorkLive => {
+                panic!(
+                    "{} reads measured replica state; route via \
+                     route_live_among, not the estimated path",
+                    self.policy
+                )
+            }
         };
         let est = est_service(chosen, req);
         assert!(
@@ -298,7 +374,64 @@ impl Router {
             "service estimate must be positive and finite, got {est}"
         );
         let start = self.queues[chosen].push(now, est);
-        Routed { replica: chosen, est_wait_s: start - now }
+        Ok(Routed { replica: chosen, est_wait_s: start - now })
+    }
+
+    /// Route one request from *measured* replica state: `live[k]` is
+    /// the `(unfinished request count, remaining work seconds)` of
+    /// replica `eligible[k]` at the arrival instant, observed from
+    /// the engines' exact replays by the global event loop.
+    ///
+    /// Live policies take the argmin of their measured key with the
+    /// same round-robin tie rotor the estimated policies use;
+    /// estimated policies (including round-robin and po2) ignore
+    /// `live` and decide exactly as [`Router::route_among`] — so an
+    /// event loop can call this uniformly and feedback-free policies
+    /// still replay their merged-timeline decisions bit-for-bit.
+    /// Virtual-queue bookkeeping runs for every policy, keeping
+    /// `queue_state` meaningful regardless.
+    pub fn route_live_among(
+        &mut self,
+        req: &Request,
+        eligible: &[usize],
+        live: &[(usize, f64)],
+        est_service: impl Fn(usize, &Request) -> f64,
+    ) -> Result<Routed, NoAcceptingReplica> {
+        if !self.policy.needs_live_state() {
+            return self.route_among(req, eligible, est_service);
+        }
+        if eligible.is_empty() {
+            return Err(NoAcceptingReplica { at_s: req.arrival_s });
+        }
+        assert_eq!(
+            live.len(),
+            eligible.len(),
+            "live state must be supplied per eligible replica"
+        );
+        debug_assert!(
+            eligible.windows(2).all(|w| w[0] < w[1])
+                && *eligible.last().unwrap() < self.queues.len(),
+            "eligible set must be sorted, unique, and in range"
+        );
+        let now = req.arrival_s;
+        for q in &mut self.queues {
+            q.advance_to(now);
+        }
+        let keys: Vec<f64> = match self.policy {
+            RouterPolicy::JoinShortestQueueLive => {
+                live.iter().map(|&(depth, _)| depth as f64).collect()
+            }
+            RouterPolicy::LeastWorkLive => live.iter().map(|&(_, work)| work).collect(),
+            _ => unreachable!("estimated policies returned above"),
+        };
+        let chosen = self.argmin_live(eligible, &keys);
+        let est = est_service(chosen, req);
+        assert!(
+            est.is_finite() && est > 0.0,
+            "service estimate must be positive and finite, got {est}"
+        );
+        let start = self.queues[chosen].push(now, est);
+        Ok(Routed { replica: chosen, est_wait_s: start - now })
     }
 
     /// Forget replica `idx`'s virtual queue (reset to empty). A
@@ -348,6 +481,25 @@ impl Router {
         unreachable!("some eligible replica attains the minimum")
     }
 
+    /// [`Router::argmin_among`] over externally supplied keys
+    /// (`keys[k]` belongs to `eligible[k]`): the live-policy argmin,
+    /// sharing the same rotor walk so measured ties rotate exactly
+    /// like estimated ones.
+    fn argmin_live(&mut self, eligible: &[usize], keys: &[f64]) -> usize {
+        let n = self.queues.len();
+        let min = keys.iter().copied().fold(f64::INFINITY, f64::min);
+        for off in 0..n {
+            let i = (self.rr_next + off) % n;
+            if let Ok(pos) = eligible.binary_search(&i) {
+                if keys[pos] == min {
+                    self.rr_next = (i + 1) % n;
+                    return i;
+                }
+            }
+        }
+        unreachable!("some eligible replica attains the minimum")
+    }
+
     /// Replica minimizing `key`; exact ties resolve round-robin (the
     /// first tied replica at or after the rotor, cyclically), so a
     /// fleet whose estimated queues keep draining — light load —
@@ -371,7 +523,9 @@ impl Router {
 }
 
 /// Route a whole arrival-sorted stream, returning one replica index
-/// per request.
+/// per request. Estimated policies only — live policies have no
+/// whole-stream assignment (each decision needs measured state, so
+/// they run on the fleet's global event loop) and panic here.
 pub fn assign(
     policy: RouterPolicy,
     n_replicas: usize,
@@ -510,7 +664,7 @@ mod tests {
             let mut b = Router::new(policy, n);
             for r in &reqs {
                 let via_route = a.route(r, est);
-                let via_among = b.route_among(r, &all, est).replica;
+                let via_among = b.route_among(r, &all, est).expect("all eligible").replica;
                 assert_eq!(via_route, via_among, "{policy} diverged at request {}", r.id);
             }
         }
@@ -525,13 +679,13 @@ mod tests {
         let r0 = Request::new(0, 100, 10).with_arrival(0.0);
         let r1 = Request::new(1, 100, 10).with_arrival(0.1);
         // Only replica 1 is accepting: everything lands there.
-        assert_eq!(router.route_among(&r0, &[1], UNIT_EST).replica, 1);
-        assert_eq!(router.route_among(&r1, &[1], UNIT_EST).replica, 1);
+        assert_eq!(router.route_among(&r0, &[1], UNIT_EST).expect("eligible").replica, 1);
+        assert_eq!(router.route_among(&r1, &[1], UNIT_EST).expect("eligible").replica, 1);
         // A new replica appears with an empty queue; JSQ prefers it.
         let new = router.add_replica();
         assert_eq!(new, 2);
         let r2 = Request::new(2, 100, 10).with_arrival(0.2);
-        assert_eq!(router.route_among(&r2, &[1, 2], UNIT_EST).replica, 2);
+        assert_eq!(router.route_among(&r2, &[1, 2], UNIT_EST).expect("eligible").replica, 2);
         let state = router.queue_state(0.2);
         assert_eq!(state.len(), 3);
         assert_eq!(state[0].0, 0, "masked-out replica received nothing");
@@ -545,14 +699,19 @@ mod tests {
     #[test]
     fn est_wait_tracks_backlog() {
         let mut router = Router::new(RouterPolicy::JoinShortestQueue, 1);
-        let w0 = router.route_among(&Request::new(0, 1, 1).with_arrival(0.0), &[0], UNIT_EST);
-        let w1 = router.route_among(&Request::new(1, 1, 1).with_arrival(0.0), &[0], UNIT_EST);
-        let w2 = router.route_among(&Request::new(2, 1, 1).with_arrival(0.5), &[0], UNIT_EST);
+        let route_one = |router: &mut Router, id: u64, at: f64| {
+            router
+                .route_among(&Request::new(id, 1, 1).with_arrival(at), &[0], UNIT_EST)
+                .expect("eligible")
+        };
+        let w0 = route_one(&mut router, 0, 0.0);
+        let w1 = route_one(&mut router, 1, 0.0);
+        let w2 = route_one(&mut router, 2, 0.5);
         assert_eq!(w0.est_wait_s, 0.0);
         assert!((w1.est_wait_s - 1.0).abs() < 1e-12);
         assert!((w2.est_wait_s - 1.5).abs() < 1e-12, "0.5 into a 2 s backlog");
         // After the backlog drains the wait is zero again.
-        let w3 = router.route_among(&Request::new(3, 1, 1).with_arrival(10.0), &[0], UNIT_EST);
+        let w3 = route_one(&mut router, 3, 10.0);
         assert_eq!(w3.est_wait_s, 0.0);
     }
 
@@ -563,7 +722,9 @@ mod tests {
     fn reset_replica_clears_bookkeeping() {
         let mut router = Router::new(RouterPolicy::LeastEstimatedWork, 2);
         for id in 0..4 {
-            router.route_among(&Request::new(id, 1, 1).with_arrival(0.0), &[0, 1], UNIT_EST);
+            router
+                .route_among(&Request::new(id, 1, 1).with_arrival(0.0), &[0, 1], UNIT_EST)
+                .expect("eligible");
         }
         let before = router.queue_state(0.0);
         assert_eq!(before[0].0, 2);
@@ -572,14 +733,100 @@ mod tests {
         assert_eq!(after[0], (0, 0.0), "reset queue is empty");
         assert_eq!(after[1].0, 2, "other replicas keep their state");
         // The cleared replica now wins least-work against the loaded one.
-        let routed = router.route_among(&Request::new(9, 1, 1).with_arrival(0.0), &[0, 1], UNIT_EST);
+        let routed = router
+            .route_among(&Request::new(9, 1, 1).with_arrival(0.0), &[0, 1], UNIT_EST)
+            .expect("eligible");
         assert_eq!(routed.replica, 0);
     }
 
+    /// A fully-dark fleet (every replica ineligible mid-outage) is a
+    /// typed error, not a panic — chaos sweeps recover from it.
     #[test]
-    #[should_panic(expected = "accepting replica")]
-    fn empty_eligible_set_rejected() {
+    fn empty_eligible_set_is_typed_error() {
         let mut router = Router::new(RouterPolicy::JoinShortestQueue, 2);
-        router.route_among(&Request::new(0, 1, 1), &[], UNIT_EST);
+        let req = Request::new(0, 1, 1).with_arrival(3.5);
+        let err = router
+            .route_among(&req, &[], UNIT_EST)
+            .expect_err("no accepting replica");
+        assert_eq!(err, NoAcceptingReplica { at_s: 3.5 });
+        assert!(err.to_string().contains("no accepting replica"));
+        let err = router
+            .route_live_among(&req, &[], &[], UNIT_EST)
+            .expect_err("no accepting replica");
+        assert_eq!(err.at_s, 3.5);
+        // The router is still usable afterwards.
+        assert!(router.route_among(&req, &[0, 1], UNIT_EST).is_ok());
+    }
+
+    /// Live policies pick the argmin of the *measured* key supplied
+    /// per eligible replica, ignoring the virtual-queue estimates.
+    #[test]
+    fn live_policies_route_on_measured_state() {
+        let mut router = Router::new(RouterPolicy::JoinShortestQueueLive, 3);
+        let r = Request::new(0, 1, 1).with_arrival(0.0);
+        // Virtual queues are all empty, but the measured depths say
+        // replica 2 is least loaded.
+        let routed = router
+            .route_live_among(&r, &[0, 1, 2], &[(4, 9.0), (3, 1.0), (1, 5.0)], UNIT_EST)
+            .expect("eligible");
+        assert_eq!(routed.replica, 2);
+
+        let mut router = Router::new(RouterPolicy::LeastWorkLive, 3);
+        // Same depths — least-work-live keys on remaining seconds
+        // instead and picks replica 1.
+        let routed = router
+            .route_live_among(&r, &[0, 1, 2], &[(4, 9.0), (3, 1.0), (1, 5.0)], UNIT_EST)
+            .expect("eligible");
+        assert_eq!(routed.replica, 1);
+    }
+
+    /// Measured ties rotate through the rotor exactly like estimated
+    /// ties — an idle fleet degenerates to round-robin, not a hot
+    /// spot on replica 0.
+    #[test]
+    fn live_ties_rotate() {
+        let mut router = Router::new(RouterPolicy::JoinShortestQueueLive, 3);
+        let idle = [(0usize, 0.0f64); 3];
+        let mut picks = Vec::new();
+        for id in 0..6 {
+            let r = Request::new(id, 1, 1).with_arrival(id as f64 * 10.0);
+            picks.push(
+                router
+                    .route_live_among(&r, &[0, 1, 2], &idle, UNIT_EST)
+                    .expect("eligible")
+                    .replica,
+            );
+        }
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    /// Estimated policies passed through `route_live_among` ignore
+    /// the live values and decide exactly as `route_among` — the
+    /// event loop calls one entry point for every policy.
+    #[test]
+    fn route_live_among_delegates_for_estimated_policies() {
+        let reqs = reqs_at(&[0.0, 0.0, 0.3, 0.1, 2.0, 0.05]);
+        for policy in RouterPolicy::all_default() {
+            let all = [0usize, 1, 2];
+            let mut a = Router::new(policy, 3);
+            let mut b = Router::new(policy, 3);
+            for r in &reqs {
+                // Deliberately misleading live state: must be ignored.
+                let live = [(99, 99.0), (0, 0.0), (50, 1.0)];
+                let va = a.route_among(r, &all, UNIT_EST).expect("eligible").replica;
+                let vb = b
+                    .route_live_among(r, &all, &live, UNIT_EST)
+                    .expect("eligible")
+                    .replica;
+                assert_eq!(va, vb, "{policy} diverged at request {}", r.id);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "measured replica state")]
+    fn live_policy_rejects_estimated_route() {
+        let reqs = reqs_at(&[0.0]);
+        assign(RouterPolicy::JoinShortestQueueLive, 2, &reqs, UNIT_EST);
     }
 }

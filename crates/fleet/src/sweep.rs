@@ -313,6 +313,88 @@ pub fn policy_comparison_patterned_at_capacity_with(
     })
 }
 
+/// Aggregate offline capacity of a (possibly heterogeneous) fleet of
+/// `n_replicas` built by `build`: the sum of each replica's measured
+/// offline throughput on `base`, the unit a mixed fleet's load
+/// multipliers scale from. Also returns a run-length-encoded label
+/// (`"2x vllm-t2p2 + 2x vllm-t1p2"`-style) naming the mix.
+pub fn hetero_offline_capacity(
+    build: ReplicaBuilder,
+    n_replicas: usize,
+    base: &[Request],
+) -> (f64, String) {
+    assert!(n_replicas > 0, "a fleet needs at least one replica");
+    let offline: Vec<Request> = base.iter().map(|r| r.with_arrival(0.0)).collect();
+    let mut total = 0.0;
+    let mut runs: Vec<(String, usize)> = Vec::new();
+    for i in 0..n_replicas {
+        let engine = build(i);
+        total += engine.run(&offline).throughput_rps();
+        let label = engine.label();
+        match runs.last_mut() {
+            Some((l, count)) if *l == label => *count += 1,
+            _ => runs.push((label, 1)),
+        }
+    }
+    let label = runs
+        .iter()
+        .map(|(l, c)| format!("{c}x {l}"))
+        .collect::<Vec<_>>()
+        .join(" + ");
+    (total, label)
+}
+
+/// [`policy_comparison_patterned_at_capacity_with`] over an explicit
+/// (possibly heterogeneous) fleet: `build(i)` may return
+/// differently-configured engines per replica index, each replica's
+/// routing cost estimates come from its own engine, and offered load
+/// is `multiplier ×` the fleet's *aggregate* capacity (from
+/// [`hetero_offline_capacity`]) rather than `N ×` a single replica's.
+///
+/// This is the live-vs-estimated proving ground: on a mixed fleet the
+/// estimated policies price every replica through the same analytic
+/// queue model, while the live policies observe each replica's
+/// measured state — the gap between the two is exactly what the
+/// global event loop exists to capture.
+#[allow(clippy::too_many_arguments)]
+pub fn policy_comparison_hetero_patterned_with(
+    runner: &SweepRunner,
+    build: ReplicaBuilder,
+    base: &[Request],
+    aggregate_capacity_rps: f64,
+    unit: &[f64],
+    n_replicas: usize,
+    multiplier: f64,
+    policies: &[RouterPolicy],
+    slo: SloSpec,
+) -> Vec<FleetPoint> {
+    assert!(!base.is_empty(), "policy comparison needs requests");
+    assert_eq!(
+        unit.len(),
+        base.len(),
+        "arrival pattern must cover every request"
+    );
+    assert!(n_replicas > 0, "policy comparison needs replicas");
+    assert!(
+        aggregate_capacity_rps.is_finite() && aggregate_capacity_rps > 0.0,
+        "capacity must be positive and finite, got {aggregate_capacity_rps}"
+    );
+    let rate = multiplier * aggregate_capacity_rps;
+    let reqs = paced(base, unit, rate);
+    runner.map(policies, |&policy| {
+        let fleet = Fleet::new((0..n_replicas).map(|i| build(i)).collect());
+        let report = fleet.run_with(runner, policy, &reqs);
+        FleetPoint {
+            n_replicas,
+            load_multiplier: multiplier,
+            offered_rps: rate,
+            attainment: report.slo_attainment(slo),
+            goodput_rps: report.goodput_rps(slo),
+            report,
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,6 +454,51 @@ mod tests {
         let a1 = sweep.point(1, 0.5).unwrap().attainment;
         let a2 = sweep.point(2, 0.5).unwrap().attainment;
         assert!(a2 >= a1 - 0.25, "scaling out collapsed attainment: {a1} -> {a2}");
+    }
+
+    #[test]
+    fn hetero_comparison_scales_from_aggregate_capacity() {
+        let strong = Arc::new(ClusterSpec::a10x4());
+        let weak = Arc::new(ClusterSpec::l4x4());
+        let model = Arc::new(presets::llama2_13b());
+        // Two strong (A10, T2P2) + one weak (L4, P4) replica.
+        let build = move |i: usize| -> Box<dyn OnlineEngine> {
+            let (cluster, parallel) = if i < 2 {
+                (&strong, ParallelConfig::new(1, 2, 2))
+            } else {
+                (&weak, ParallelConfig::new(1, 1, 4))
+            };
+            Box::new(
+                VllmEngine::new(
+                    Arc::clone(cluster),
+                    Arc::clone(&model),
+                    parallel,
+                    SchedulingPolicy::PrefillPrioritized,
+                )
+                .expect("valid config"),
+            )
+        };
+        let base = WorkloadGen::constant(768, 48).generate(18);
+        let (cap, label) = hetero_offline_capacity(&build, 3, &base);
+        assert!(cap.is_finite() && cap > 0.0);
+        assert!(label.starts_with("2x "), "run-length label, got {label}");
+        assert!(label.contains(" + 1x "), "mix must name both configs: {label}");
+        let unit = ArrivalDist::Poisson { rate: 1.0 }
+            .sample_times(base.len(), 42 ^ ARRIVAL_SEED_SALT)
+            .expect("valid");
+        let policies = [RouterPolicy::JoinShortestQueue, RouterPolicy::JoinShortestQueueLive];
+        let run = |runner: &SweepRunner| {
+            policy_comparison_hetero_patterned_with(
+                runner, &build, &base, cap, &unit, 3, 1.1, &policies, SLO,
+            )
+        };
+        let serial = run(&SweepRunner::serial());
+        assert_eq!(serial, run(&SweepRunner::new(4)));
+        for (p, policy) in serial.iter().zip(policies) {
+            assert_eq!(p.report.policy, policy);
+            assert_eq!(p.report.stats.requests, 18);
+            assert!((p.offered_rps - 1.1 * cap).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Fleet event-core equivalence: the global event loop must
+//! reproduce the merged-timeline fast path byte-for-byte on every
+//! feedback-free policy (making the fast-path auto-selection purely a
+//! performance choice), and the live policies must be deterministic
+//! and jobs-invariant over arbitrary traces.
+
+use proptest::prelude::*;
+use seesaw_engine::vllm::VllmEngine;
+use seesaw_engine::{OnlineEngine, SchedulingPolicy, SweepRunner};
+use seesaw_fleet::{Fleet, RouterPolicy};
+use seesaw_hw::ClusterSpec;
+use seesaw_model::{presets, ModelConfig};
+use seesaw_parallel::ParallelConfig;
+use seesaw_workload::{ArrivalDist, Request, WorkloadGen};
+use std::sync::Arc;
+
+fn specs() -> (Arc<ClusterSpec>, Arc<ModelConfig>) {
+    (Arc::new(ClusterSpec::a10x4()), Arc::new(presets::llama2_13b()))
+}
+
+fn vllm_fleet(n: usize) -> Fleet {
+    let (cluster, model) = specs();
+    Fleet::homogeneous(n, |_| {
+        Box::new(
+            VllmEngine::new(
+                Arc::clone(&cluster),
+                Arc::clone(&model),
+                ParallelConfig::new(1, 2, 2),
+                SchedulingPolicy::PrefillPrioritized,
+            )
+            .expect("valid config"),
+        ) as Box<dyn OnlineEngine>
+    })
+}
+
+fn online_reqs(n: usize, rate: f64, seed: u64) -> Vec<Request> {
+    let base = WorkloadGen::sharegpt(seed).generate(n);
+    ArrivalDist::Poisson { rate }
+        .attach(&base, seed ^ seesaw_workload::ARRIVAL_SEED_SALT)
+        .expect("valid arrivals")
+}
+
+/// The acceptance bar for the refactor: for all four estimated-queue
+/// policies, forcing the global event loop produces a `FleetReport`
+/// byte-identical to the merged-timeline fast path — same
+/// assignments, same per-replica reports, same merged aggregates.
+#[test]
+fn event_loop_matches_fast_path_for_every_estimated_policy() {
+    let fleet = vllm_fleet(3);
+    let reqs = online_reqs(36, 5.0, 17);
+    for policy in RouterPolicy::all_default() {
+        assert!(!policy.needs_live_state(), "{policy} takes the fast path");
+        let fast = fleet.run_with(&SweepRunner::serial(), policy, &reqs);
+        let looped = fleet.run_event_loop_with(&SweepRunner::serial(), policy, &reqs);
+        assert_eq!(fast, looped, "{policy}: event loop diverged from fast path");
+    }
+}
+
+/// Same equivalence under burstier arrivals and a different fleet
+/// width, on a parallel runner — the interleaving of replica
+/// simulations must not matter on either path.
+#[test]
+fn event_loop_matches_fast_path_under_bursty_load() {
+    let fleet = vllm_fleet(4);
+    let base = WorkloadGen::constant(768, 32).generate(28);
+    let reqs = ArrivalDist::Gamma { rate: 9.0, cv: 2.5 }
+        .attach(&base, 23)
+        .expect("valid arrivals");
+    for policy in RouterPolicy::all_default() {
+        let fast = fleet.run_with(&SweepRunner::new(4), policy, &reqs);
+        let looped = fleet.run_event_loop_with(&SweepRunner::new(4), policy, &reqs);
+        assert_eq!(fast, looped, "{policy}: event loop diverged from fast path");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Live policies on the global event loop are deterministic and
+    /// jobs-invariant over random traces: serial and 4-job runs give
+    /// the same report, twice over.
+    #[test]
+    fn live_policies_are_jobs_invariant_on_random_traces(
+        n in 4usize..28,
+        n_replicas in 2usize..5,
+        seed in 0u64..200,
+        rate in 1.0f64..16.0,
+        live_idx in 0usize..2,
+    ) {
+        let base: Vec<Request> =
+            (0..n).map(|i| Request::new(i as u64, 256, 12)).collect();
+        let reqs = ArrivalDist::Poisson { rate }.attach(&base, seed).expect("valid");
+        let policy = RouterPolicy::all_live()[live_idx];
+        let fleet = vllm_fleet(n_replicas);
+        let serial = fleet.run_with(&SweepRunner::serial(), policy, &reqs);
+        let parallel = fleet.run_with(&SweepRunner::new(4), policy, &reqs);
+        prop_assert_eq!(&serial, &parallel, "{} diverged across job counts", policy);
+        let again = fleet.run_with(&SweepRunner::new(4), policy, &reqs);
+        prop_assert_eq!(&parallel, &again, "{} is not deterministic", policy);
+        prop_assert_eq!(serial.stats.requests as usize, n);
+    }
+}

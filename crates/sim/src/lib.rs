@@ -19,11 +19,13 @@
 //!   callers (`seesaw-roofline`, the engines) from the hardware cost
 //!   models.
 
+pub mod events;
 pub mod executor;
 pub mod resource;
 pub mod time;
 pub mod trace;
 
+pub use events::EventQueue;
 pub use executor::{acquire_pooled, release_pooled, ExecutorPool, SmallList, Simulator, TaskHandle, TaskSpec};
 pub use resource::{ResourceId, ResourcePool};
 pub use time::SimTime;

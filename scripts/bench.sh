@@ -4,9 +4,10 @@
 #   * parallel figure output diverges from serial (determinism), or
 #   * any sims/sec figure (seesaw, vllm, the online-serving
 #     load-point rate "serving", the 4-replica-JSQ fleet grid-cell
-#     rate "fleet", the reactive-diurnal autoscale grid-cell rate
-#     "autoscale", or the seeded-kill fault-injection grid-cell rate
-#     "chaos") regresses >20% vs the committed BENCH_sweep.json.
+#     rate "fleet", the same cell on the live-feedback global event
+#     loop "fleet_live", the reactive-diurnal autoscale grid-cell
+#     rate "autoscale", or the seeded-kill fault-injection grid-cell
+#     rate "chaos") regresses >20% vs the committed BENCH_sweep.json.
 #
 # Usage: scripts/bench.sh [subsample] [--jobs N]
 #   subsample defaults to 8 (the committed artifact's setting).
