@@ -44,12 +44,23 @@ use seesaw_engine::driver::assert_arrivals_sorted;
 use seesaw_engine::online::mean_lengths;
 use seesaw_engine::{live_state, EngineReport, LiveState, OnlineEngine, ServiceRates, SweepRunner};
 use seesaw_fleet::sweep::ReplicaBuilder;
+use seesaw_fleet::telemetry::{record_request_spans, replica_track};
 use seesaw_fleet::{FleetReport, Router, RouterPolicy};
+use seesaw_telemetry::{
+    fmt_secs, ControllerProfile, Instrument, CONTROLLER_TRACK, ROUTER_TRACK,
+};
 use seesaw_workload::{
     windowed_metrics, DispatchQueue, LatencyStats, Request, SloSpec, WindowMetrics,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::Instant;
+
+/// Elapsed seconds of an optional phase-timer start (0 when the timer
+/// never started — profiling off).
+fn lap(start: Option<Instant>) -> f64 {
+    start.map_or(0.0, |t| t.elapsed().as_secs_f64())
+}
 
 /// Controller configuration shared by every policy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -401,7 +412,61 @@ impl AutoscaleController {
         requests: &[Request],
         faults: &FaultSchedule,
     ) -> ElasticFleetReport {
+        self.run_faulted_instrumented_with(runner, build, requests, faults, &mut Instrument::off())
+    }
+
+    /// [`AutoscaleController::run_with`] collecting the wall-time
+    /// phase profile beside the report — the `perf_report` entry
+    /// point for answering "where does controller time go".
+    pub fn run_profiled_with(
+        &self,
+        runner: &SweepRunner,
+        build: ReplicaBuilder,
+        requests: &[Request],
+    ) -> (ElasticFleetReport, ControllerProfile) {
+        let mut instr = Instrument::profiling();
+        let report = self.run_faulted_instrumented_with(
+            runner,
+            build,
+            requests,
+            &FaultSchedule::none(),
+            &mut instr,
+        );
+        (report, instr.profile)
+    }
+
+    /// [`AutoscaleController::run_faulted_with`] with a telemetry
+    /// [`Instrument`]. When the recorder is enabled, the controller
+    /// records its decision trajectory as it happens — scale events,
+    /// kills, retries and parks on the controller track; route
+    /// decisions (with the measured or estimated state each one saw)
+    /// on the router track; one span per control window — and fills
+    /// request lifecycle spans and registry metrics from the finished
+    /// report. When `instr.profiling` is set, wall time is attributed
+    /// across the controller phases (routing / live-state replay /
+    /// engine runs / metrics) into `instr.profile`.
+    ///
+    /// With `Instrument::off()` this *is* `run_faulted_with`: every
+    /// recording site is a branch on a false bool, so the disabled
+    /// run's report is byte-identical (enforced by tests).
+    pub fn run_faulted_instrumented_with(
+        &self,
+        runner: &SweepRunner,
+        build: ReplicaBuilder,
+        requests: &[Request],
+        faults: &FaultSchedule,
+        instr: &mut Instrument,
+    ) -> ElasticFleetReport {
         let cfg = self.config;
+        let telemetry = instr.telemetry_on();
+        let prof = instr.profiling;
+        let run_start = prof.then(Instant::now);
+        // Replay accounting is deterministic (it follows the decision
+        // trajectory), so the counters run unconditionally; only the
+        // wall-clock timers are gated on `prof`.
+        let mut replay_s = 0.0f64;
+        let mut replays: u64 = 0;
+        let mut replayed_requests: u64 = 0;
         faults
             .validate()
             .unwrap_or_else(|e| panic!("invalid fault schedule: {e}"));
@@ -428,6 +493,15 @@ impl AutoscaleController {
             (0..n0).map(|i| spawn(i, 0.0, 0.0)).collect();
         let mut router = Router::new(cfg.router, n0);
         let mut assignment = vec![0usize; requests.len()];
+        if telemetry {
+            instr.recorder.track(CONTROLLER_TRACK, "controller");
+            instr.recorder.track(ROUTER_TRACK, &format!("router ({})", cfg.router));
+            for (i, rep) in replicas.iter().enumerate() {
+                instr
+                    .recorder
+                    .track(replica_track(i), &format!("replica{i} [{}]", rep.engine.label()));
+            }
+        }
 
         // Signal calibration: the roofline estimates are steady-state
         // optimistic, so scale them such that the mean request costs
@@ -521,6 +595,7 @@ impl AutoscaleController {
         // are still pending — the drain tail of a failure near the
         // trace end must still be replayed, not dropped.
         let mut w = 0usize;
+        let loop_start = prof.then(Instant::now);
         while w < base_windows || !dispatch.is_empty() || next_fault < faults.events.len() {
             let t0 = w as f64 * cfg.window_s;
             let t1 = t0 + cfg.window_s;
@@ -583,8 +658,11 @@ impl AutoscaleController {
                         // loses is exactly what the replica's replay
                         // says is unfinished at that instant.
                         let lost: Vec<(f64, f64, u64, usize, u32)> = if live_routing {
+                            let replay_start = prof.then(Instant::now);
                             let rep = &mut replicas[v];
                             if rep.live_cache.is_none() {
+                                replays += 1;
+                                replayed_requests += rep.stream.len() as u64;
                                 rep.live_cache =
                                     Some(rep.engine.run_ready(&rep.stream, rep.ready_s));
                             }
@@ -594,7 +672,8 @@ impl AutoscaleController {
                                 .iter()
                                 .map(|t| (t.id, t.completion_s))
                                 .collect();
-                            rep.stream
+                            let lost = rep
+                                .stream
                                 .iter()
                                 .zip(&rep.stream_meta)
                                 .filter_map(|(r, &(orig_idx, attempt, work))| {
@@ -602,7 +681,9 @@ impl AutoscaleController {
                                         completion.get(&r.id).copied().unwrap_or(f64::INFINITY);
                                     (done > tk).then_some((done, work, r.id, orig_idx, attempt))
                                 })
-                                .collect()
+                                .collect();
+                            replay_s += lap(replay_start);
+                            lost
                         } else {
                             let q = &mut cal[v];
                             while let Some(&(done, ..)) = q.inflight.front() {
@@ -621,6 +702,18 @@ impl AutoscaleController {
                             group,
                             lost_attempts: lost.len(),
                         });
+                        if telemetry {
+                            instr.recorder.instant(
+                                CONTROLLER_TRACK,
+                                &format!("kill r{v}"),
+                                tk,
+                                &[
+                                    ("lost_attempts", lost.len().to_string()),
+                                    ("group", group.map_or_else(|| "-".into(), |g| g.to_string())),
+                                ],
+                            );
+                            instr.metrics.counter_add("autoscale.kills", 1);
+                        }
                         for (done, service, attempt_id, orig_idx, attempt) in lost {
                             doomed.insert(attempt_id);
                             // The unserved remainder of the lost work
@@ -657,6 +750,15 @@ impl AutoscaleController {
                     base_next += 1;
                     (base_next - 1, 1)
                 };
+                if telemetry && is_retry && !resumed {
+                    instr.recorder.instant(
+                        CONTROLLER_TRACK,
+                        &format!("retry req {}", requests[orig_idx].id),
+                        req.arrival_s,
+                        &[("attempt", attempt.to_string())],
+                    );
+                    instr.metrics.counter_add("autoscale.retry_dispatches", 1);
+                }
                 eligible.clear();
                 eligible.extend(replicas.iter().enumerate().filter_map(|(i, rep)| {
                     (rep.live() && rep.ready_s <= req.arrival_s).then_some(i)
@@ -696,10 +798,27 @@ impl AutoscaleController {
                             Request::new(id, req.input_len, req.output_len)
                                 .with_arrival(resume),
                         );
+                        if telemetry {
+                            instr.recorder.instant(
+                                CONTROLLER_TRACK,
+                                &format!("park req {}", requests[orig_idx].id),
+                                req.arrival_s,
+                                &[("resume_s", fmt_secs(resume))],
+                            );
+                            instr.metrics.counter_add("autoscale.parked", 1);
+                        }
                     } else {
                         arrivals += 1;
                         attempts += 1;
                         lost_attempts += 1;
+                        if telemetry {
+                            instr.recorder.instant(
+                                CONTROLLER_TRACK,
+                                &format!("lost-at-dispatch req {}", requests[orig_idx].id),
+                                req.arrival_s,
+                                &[],
+                            );
+                        }
                         requeue_or_fail(
                             &mut dispatch,
                             &mut retry_meta,
@@ -723,13 +842,18 @@ impl AutoscaleController {
                 // queues). Queried serially in eligible order, so the
                 // trajectory stays deterministic and jobs-invariant.
                 let live: Vec<(usize, f64)> = if live_routing {
-                    eligible
-                        .iter()
-                        .map(|&i| {
-                            let s = replicas[i].live_state_at(req.arrival_s);
-                            (s.queue_depth, s.work_s)
-                        })
-                        .collect()
+                    let replay_start = prof.then(Instant::now);
+                    let mut states = Vec::with_capacity(eligible.len());
+                    for &i in &eligible {
+                        if replicas[i].live_cache.is_none() {
+                            replays += 1;
+                            replayed_requests += replicas[i].stream.len() as u64;
+                        }
+                        let s = replicas[i].live_state_at(req.arrival_s);
+                        states.push((s.queue_depth, s.work_s));
+                    }
+                    replay_s += lap(replay_start);
+                    states
                 } else {
                     Vec::new()
                 };
@@ -739,6 +863,34 @@ impl AutoscaleController {
                     })
                     .expect("eligible is non-empty");
                 assignment[orig_idx] = routed.replica;
+                if telemetry {
+                    // The state this decision saw: measured for live
+                    // policies, the router's virtual queue otherwise.
+                    let (depth, work_s) = if live_routing {
+                        let pos = eligible
+                            .iter()
+                            .position(|&i| i == routed.replica)
+                            .expect("routed among eligible");
+                        live[pos]
+                    } else {
+                        router.queue_state(req.arrival_s)[routed.replica]
+                    };
+                    instr.recorder.instant(
+                        ROUTER_TRACK,
+                        &format!("route {} -> r{}", req.id, routed.replica),
+                        req.arrival_s,
+                        &[
+                            ("queue_depth", depth.to_string()),
+                            ("work_s", fmt_secs(work_s)),
+                            ("est_wait_s", fmt_secs(routed.est_wait_s)),
+                            ("measured", live_routing.to_string()),
+                        ],
+                    );
+                    instr
+                        .metrics
+                        .counter_add(&format!("autoscale.route.replica{}", routed.replica), 1);
+                    instr.metrics.observe("autoscale.route.est_wait_s", routed.est_wait_s);
+                }
                 let work = calib * replicas[routed.replica].rates.est_service_s(&req);
                 waits_ok +=
                     usize::from(backlog_s / eligible.len() as f64 <= cfg.slo.ttft_s);
@@ -780,10 +932,16 @@ impl AutoscaleController {
             // replicas at the boundary, from their exact replays —
             // not the calibrated fluid estimate.
             let queue_depth = if live_routing {
+                let replay_start = prof.then(Instant::now);
                 let mut depth = 0usize;
                 for rep in replicas.iter_mut().filter(|r| r.live() && r.ready_s <= t1) {
+                    if rep.live_cache.is_none() {
+                        replays += 1;
+                        replayed_requests += rep.stream.len() as u64;
+                    }
                     depth += rep.live_state_at(t1).queue_depth;
                 }
+                replay_s += lap(replay_start);
                 depth as f64
             } else {
                 backlog_s * cfg.capacity_rps
@@ -819,11 +977,29 @@ impl AutoscaleController {
                         debug_assert_eq!(idx, replicas.len());
                         replicas.push(spawn(idx, t1, t1 + cfg.warmup_s));
                         cal.push(CalQueue::default());
+                        if telemetry {
+                            let label = replicas[idx].engine.label();
+                            instr
+                                .recorder
+                                .track(replica_track(idx), &format!("replica{idx} [{label}]"));
+                        }
                     }
                     desired = provisioned + k;
                     events.push(ScaleEvent { t_s: t1, from: provisioned, to: provisioned + k });
                     peak_replicas = peak_replicas.max(provisioned + k);
                     windows_since_event = 0;
+                    if telemetry {
+                        instr.recorder.instant(
+                            CONTROLLER_TRACK,
+                            &format!("scale-up {provisioned} -> {}", provisioned + k),
+                            t1,
+                            &[
+                                ("from", provisioned.to_string()),
+                                ("to", (provisioned + k).to_string()),
+                            ],
+                        );
+                        instr.metrics.counter_add("autoscale.scale_up", 1);
+                    }
                 }
                 ScaleDecision::Down(k) => {
                     // Retire the emptiest accepting replicas (fastest
@@ -847,6 +1023,18 @@ impl AutoscaleController {
                     desired = provisioned - k;
                     events.push(ScaleEvent { t_s: t1, from: provisioned, to: provisioned - k });
                     windows_since_event = 0;
+                    if telemetry {
+                        instr.recorder.instant(
+                            CONTROLLER_TRACK,
+                            &format!("scale-down {provisioned} -> {}", provisioned - k),
+                            t1,
+                            &[
+                                ("from", provisioned.to_string()),
+                                ("to", (provisioned - k).to_string()),
+                            ],
+                        );
+                        instr.metrics.counter_add("autoscale.scale_down", 1);
+                    }
                 }
             }
             // Replacement spawns: restore the policy's desired count
@@ -862,23 +1050,67 @@ impl AutoscaleController {
                         debug_assert_eq!(idx, replicas.len());
                         replicas.push(spawn(idx, t1, t1 + cfg.warmup_s));
                         cal.push(CalQueue::default());
+                        if telemetry {
+                            let label = replicas[idx].engine.label();
+                            instr
+                                .recorder
+                                .track(replica_track(idx), &format!("replica{idx} [{label}]"));
+                        }
                     }
                     events.push(ScaleEvent { t_s: t1, from: live_now, to: want });
                     peak_replicas = peak_replicas.max(want);
+                    if telemetry {
+                        instr.recorder.instant(
+                            CONTROLLER_TRACK,
+                            &format!("replace {live_now} -> {want}"),
+                            t1,
+                            &[("from", live_now.to_string()), ("to", want.to_string())],
+                        );
+                        instr.metrics.counter_add("autoscale.replacements", 1);
+                    }
                 }
+            }
+            if telemetry {
+                instr.recorder.span(
+                    CONTROLLER_TRACK,
+                    &format!("window {w}"),
+                    t0,
+                    cfg.window_s,
+                    &[
+                        ("arrivals", signals.arrivals.to_string()),
+                        ("offered_rps", fmt_secs(signals.offered_rps)),
+                        ("queue_depth", fmt_secs(signals.queue_depth)),
+                        ("est_attainment", fmt_secs(signals.est_attainment)),
+                        ("utilization_est", fmt_secs(signals.utilization_est)),
+                        ("ready", signals.ready.to_string()),
+                        ("provisioned", signals.provisioned.to_string()),
+                        ("failures", signals.failures.to_string()),
+                    ],
+                );
+                let peak = instr
+                    .metrics
+                    .gauge("autoscale.window.queue_depth.max")
+                    .unwrap_or(0.0)
+                    .max(signals.queue_depth);
+                instr.metrics.gauge_set("autoscale.window.queue_depth.max", peak);
+                instr.metrics.observe("autoscale.window.offered_rps", signals.offered_rps);
             }
             windows.push(signals);
             w += 1;
         }
+        let loop_s = lap(loop_start);
         // With no faults the loop runs exactly `base_windows` times,
         // so this equals the fault-free horizon.
         let horizon_s = windows.len() as f64 * cfg.window_s;
 
         // The trajectory is fixed; run the real simulations.
+        let engine_start = prof.then(Instant::now);
         let indices: Vec<usize> = (0..replicas.len()).collect();
         let mut reports = runner.map(&indices, |&i| {
             replicas[i].engine.run_ready(&replicas[i].stream, replicas[i].ready_s)
         });
+        let engine_s = lap(engine_start);
+        let metrics_start = prof.then(Instant::now);
         if injecting {
             // Drop attempts the fault schedule declared lost, and fold
             // surviving retries back onto their original request: the
@@ -951,6 +1183,42 @@ impl AutoscaleController {
                 windows.len(),
             ),
         };
+        let metrics_s = lap(metrics_start);
+        if telemetry {
+            record_request_spans(&mut instr.recorder, &fleet);
+            for (i, rep) in fleet.replicas.iter().enumerate() {
+                instr.metrics.counter_add(
+                    &format!("autoscale.requests.replica{i}"),
+                    rep.stats.requests as u64,
+                );
+            }
+            instr.metrics.counter_add("autoscale.windows", windows.len() as u64);
+            instr.metrics.counter_add("autoscale.attempts", attempts as u64);
+            instr.metrics.counter_add("autoscale.retries", retries as u64);
+            instr.metrics.counter_add("autoscale.lost_attempts", lost_attempts as u64);
+            instr.metrics.counter_add("autoscale.failed", failed as u64);
+            instr.metrics.counter_add("autoscale.replicas_killed", replicas_killed as u64);
+            instr.metrics.counter_add("autoscale.scale_events", events.len() as u64);
+            instr.metrics.counter_add("autoscale.replay.count", replays);
+            instr.metrics.counter_add("autoscale.replay.requests", replayed_requests);
+            instr.metrics.gauge_set("autoscale.peak_replicas", peak_replicas as f64);
+            instr
+                .metrics
+                .gauge_set("autoscale.unavailability_s", availability.unavailability_s);
+        }
+        if prof {
+            instr.profile.absorb(&ControllerProfile {
+                routing_s: (loop_s - replay_s).max(0.0),
+                replay_s,
+                engine_s,
+                metrics_s,
+                total_s: lap(run_start),
+                windows: windows.len(),
+                dispatches: attempts as u64,
+                replays,
+                replayed_requests,
+            });
+        }
         ElasticFleetReport {
             policy: self.policy,
             config: cfg,
@@ -1362,5 +1630,84 @@ mod tests {
         degenerate.replica_seconds = 0.0;
         assert_eq!(degenerate.mean_replicas(), 0.0);
         assert!(degenerate.attainment().is_finite());
+    }
+
+    /// Telemetry never perturbs the trajectory: an instrumented run's
+    /// report equals the plain run's, its recorded bytes are
+    /// `--jobs`-invariant, and `Instrument::off()` records nothing.
+    #[test]
+    fn instrumented_run_records_and_stays_jobs_invariant() {
+        let build = builder();
+        let reqs = traced(60, 3.0, 27);
+        let faults = kill_at(8.0, 1, true);
+        for router in [RouterPolicy::JoinShortestQueue, RouterPolicy::JoinShortestQueueLive] {
+            let config = AutoscaleConfig { router, ..cfg(5.0, 4.0, 6) };
+            let ctl = AutoscaleController::new(config, ScalingPolicy::reactive_default());
+            let plain = ctl.run_faulted_with(&SweepRunner::serial(), &build, &reqs, &faults);
+
+            let mut off = seesaw_telemetry::Instrument::off();
+            let quiet = ctl.run_faulted_instrumented_with(
+                &SweepRunner::serial(),
+                &build,
+                &reqs,
+                &faults,
+                &mut off,
+            );
+            assert_eq!(plain, quiet, "{router}: off instrument must not perturb the run");
+            assert!(off.recorder.spans().is_empty() && off.recorder.instants().is_empty());
+            assert!(off.metrics.is_empty());
+
+            let run = |jobs: Option<usize>| {
+                let runner = jobs.map_or_else(SweepRunner::serial, SweepRunner::new);
+                let mut instr = seesaw_telemetry::Instrument::tracing();
+                let report =
+                    ctl.run_faulted_instrumented_with(&runner, &build, &reqs, &faults, &mut instr);
+                let trace = seesaw_telemetry::perfetto::render(&instr.recorder, "autoscale");
+                (report, trace, instr.metrics.render_json())
+            };
+            let (r1, t1, m1) = run(None);
+            let (r4, t4, m4) = run(Some(4));
+            assert_eq!(r1, plain, "{router}: telemetry must not perturb the run");
+            assert_eq!(r1, r4, "{router}");
+            assert_eq!(t1, t4, "{router}: trace bytes must be jobs-invariant");
+            assert_eq!(m1, m4, "{router}: metric bytes must be jobs-invariant");
+            assert!(t1.contains("\"kill r"), "{router}: kill marker recorded");
+            assert!(t1.contains("window 0"), "{router}: window spans recorded");
+            assert!(t1.contains("route "), "{router}: route instants recorded");
+            assert!(t1.contains("req "), "{router}: request spans recorded");
+        }
+    }
+
+    /// The wall-time profile attributes most of the controller's run
+    /// and counts replays only where live routing replays.
+    #[test]
+    fn profile_attributes_controller_time() {
+        let build = builder();
+        let reqs = traced(60, 3.0, 29);
+        let config =
+            AutoscaleConfig { router: RouterPolicy::JoinShortestQueueLive, ..cfg(5.0, 4.0, 6) };
+        let ctl = AutoscaleController::new(config, ScalingPolicy::Static { n: 2 });
+        let (report, profile) = ctl.run_profiled_with(&SweepRunner::serial(), &build, &reqs);
+        assert_eq!(report, ctl.run_with(&SweepRunner::serial(), &build, &reqs));
+        assert_eq!(profile.windows, report.windows.len());
+        assert_eq!(profile.dispatches, 60);
+        assert!(profile.replays > 0, "live routing must replay");
+        assert!(profile.replayed_requests >= profile.replays);
+        assert!(profile.total_s > 0.0);
+        assert!(profile.replay_s > 0.0);
+        assert!(profile.engine_s > 0.0);
+        assert!(
+            profile.coverage() > 0.8,
+            "phases must explain the run: {:.1}% of {:.4}s",
+            100.0 * profile.coverage(),
+            profile.total_s
+        );
+
+        // Estimated routing never replays; the counters stay zero.
+        let est = AutoscaleController::new(cfg(5.0, 4.0, 6), ScalingPolicy::Static { n: 2 });
+        let (_, p2) = est.run_profiled_with(&SweepRunner::serial(), &build, &reqs);
+        assert_eq!(p2.replays, 0);
+        assert_eq!(p2.replayed_requests, 0);
+        assert_eq!(p2.replay_s, 0.0);
     }
 }

@@ -23,11 +23,12 @@ use crate::jsonfmt;
 use crate::serving::{default_engine_of, default_specs, EngineKind, DEFAULT_SLO};
 use crate::table::{f2, f3, Table};
 use seesaw_autoscale::{
-    frontier_sweep_with, AutoscaleConfig, ElasticFleetReport, FrontierPoint, FrontierSweep,
-    ScalingPolicy,
+    frontier_sweep_with, AutoscaleConfig, AutoscaleController, ElasticFleetReport, FaultSchedule,
+    FrontierPoint, FrontierSweep, ScalingPolicy,
 };
 use seesaw_engine::SweepRunner;
 use seesaw_fleet::offline_capacity;
+use seesaw_telemetry::{Instrument, MetricsRegistry};
 use seesaw_workload::{ArrivalDist, RateEnvelope, Request, WorkloadGen, ARRIVAL_SEED_SALT};
 
 /// Default trace length: one day.
@@ -211,6 +212,62 @@ pub fn default_frontier_with(
     ))
 }
 
+/// One frontier cell run with the telemetry recorder on: the
+/// dedicated observability cell behind the `autoscale` bin's
+/// `--trace-out` flag.
+#[derive(Debug)]
+pub struct ObservedFrontierCell {
+    /// Trace name (envelope name or replayed file path).
+    pub trace: String,
+    /// Scaling policy of the traced run.
+    pub policy: ScalingPolicy,
+    /// The (telemetry-identical) elastic-fleet report.
+    pub report: ElasticFleetReport,
+    /// The run's Perfetto/Chrome trace-event JSON.
+    pub trace_json: String,
+    /// The run's metric snapshot (for the `--json` telemetry block).
+    pub metrics: MetricsRegistry,
+}
+
+/// Run one dedicated frontier cell — the reactive controller on the
+/// first trace (the diurnal day, or the replayed `trace_file`) — with
+/// the telemetry recorder on, and render its Perfetto trace. Recorded
+/// bytes are sim-time only, so the trace is byte-identical for every
+/// `--jobs` value. Errs on an unreadable/malformed trace file.
+pub fn observed_frontier_cell_with(
+    runner: &SweepRunner,
+    spec: &ScenarioSpec,
+    mut config: AutoscaleConfig,
+    trace_file: Option<&str>,
+) -> Result<ObservedFrontierCell, String> {
+    let (cluster, model) = default_specs();
+    let build = |_: usize| default_engine_of(spec.kind, &cluster, &model);
+    let probe = WorkloadGen::sharegpt(spec.seed).generate(CAPACITY_PROBE_REQUESTS);
+    let (capacity_rps, _) = offline_capacity(&build, &probe);
+    config.capacity_rps = capacity_rps;
+    let (trace, requests) = match trace_file {
+        Some(path) => {
+            let times = seesaw_workload::load_trace_file(path)?;
+            (path.to_string(), requests_for_times(times, spec.seed))
+        }
+        None => {
+            let mut traces = default_traces(spec, capacity_rps);
+            traces.swap_remove(0)
+        }
+    };
+    let policy = ScalingPolicy::reactive_default();
+    let mut instr = Instrument::tracing();
+    let report = AutoscaleController::new(config, policy).run_faulted_instrumented_with(
+        runner,
+        &build,
+        &requests,
+        &FaultSchedule::none(),
+        &mut instr,
+    );
+    let trace_json = seesaw_telemetry::perfetto::render(&instr.recorder, "autoscale");
+    Ok(ObservedFrontierCell { trace, policy, report, trace_json, metrics: instr.metrics })
+}
+
 /// Render the frontier as the `autoscale` bin's table. Cost is billed
 /// replica-seconds; `cost vs peak` normalizes it to the same trace's
 /// static provision-for-peak row (< 1.0 means cheaper).
@@ -335,6 +392,17 @@ pub fn scenario_json(spec: &ScenarioSpec) -> String {
 /// alongside the controller config, so any cell is reproducible from
 /// the document alone.
 pub fn to_json(sweep: &FrontierSweep, spec: &ScenarioSpec) -> String {
+    to_json_with_telemetry(sweep, spec, None)
+}
+
+/// [`to_json`] with an optional `telemetry` metrics block (present
+/// only when a telemetry-enabled run produced one — the plain
+/// document stays byte-identical to pre-telemetry output).
+pub fn to_json_with_telemetry(
+    sweep: &FrontierSweep,
+    spec: &ScenarioSpec,
+    telemetry: Option<&MetricsRegistry>,
+) -> String {
     let cfg = &sweep.config;
     let mut out = String::new();
     out.push_str("{\n");
@@ -401,7 +469,11 @@ pub fn to_json(sweep: &FrontierSweep, spec: &ScenarioSpec) -> String {
             if i + 1 < sweep.points.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if let Some(m) = telemetry {
+        out.push_str(&format!(",\n  \"telemetry\": {}", m.render_json()));
+    }
+    out.push_str("\n}\n");
     out
 }
 

@@ -8,6 +8,7 @@
 //!             [--window S] [--warmup S] [--min N] [--max N]
 //!             [--trough M] [--peak M] [--slo-ttft S] [--slo-tpot S]
 //!             [--seed S] [--trace FILE] [--timeline POLICY] [--json]
+//!             [--trace-out FILE]
 //!
 //! Defaults: one 86 400 s day shaped by a sinusoidal diurnal envelope
 //! and a bimodal rush-hours envelope, both swinging between 0.25× and
@@ -20,6 +21,14 @@
 //! `--timeline POLICY` additionally prints that policy's per-window
 //! trajectory on the first trace. Output is byte-identical for every
 //! `--jobs` value.
+//!
+//! Observability: `--trace-out FILE` re-runs one dedicated cell (the
+//! reactive controller on the first trace) with the telemetry
+//! recorder on and writes its Perfetto/Chrome trace-event JSON —
+//! controller windows, scale events, warm-ups, and per-request spans
+//! on per-replica tracks; open it at ui.perfetto.dev or
+//! `chrome://tracing`. With `--json` the document additionally gains
+//! a `telemetry` metrics block.
 
 use seesaw_autoscale::AutoscaleConfig;
 use seesaw_bench::autoscale::{self, ScenarioSpec};
@@ -29,7 +38,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: autoscale [--jobs N] [--engine seesaw|vllm|disagg] [--day S] [--window S] \
          [--warmup S] [--min N] [--max N] [--trough M] [--peak M] [--slo-ttft S] \
-         [--slo-tpot S] [--seed S] [--trace FILE] [--timeline POLICY] [--json]"
+         [--slo-tpot S] [--seed S] [--trace FILE] [--timeline POLICY] [--json] \
+         [--trace-out FILE]"
     );
     std::process::exit(2);
 }
@@ -41,6 +51,7 @@ struct Args {
     trace_file: Option<String>,
     timeline: Option<String>,
     json: bool,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -51,6 +62,7 @@ fn parse_args() -> Args {
         trace_file: None,
         timeline: None,
         json: false,
+        trace_out: None,
     };
     let mut args = std::env::args().skip(1);
     let next_f64 = |args: &mut dyn Iterator<Item = String>, what: &str| -> f64 {
@@ -118,6 +130,7 @@ fn parse_args() -> Args {
                 });
             }
             "--trace" => parsed.trace_file = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace-out" => parsed.trace_out = Some(args.next().unwrap_or_else(|| usage())),
             "--timeline" => parsed.timeline = Some(args.next().unwrap_or_else(|| usage())),
             "--json" => parsed.json = true,
             _ => usage(),
@@ -147,8 +160,40 @@ fn main() {
         eprintln!("{e}");
         std::process::exit(2);
     });
+    // The dedicated observability cell: traced only when asked, so a
+    // plain run's output stays byte-identical to the untraced bin.
+    let observed = args.trace_out.as_deref().map(|path| {
+        let cell = autoscale::observed_frontier_cell_with(
+            &runner,
+            &args.spec,
+            args.config,
+            args.trace_file.as_deref(),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        std::fs::write(path, &cell.trace_json).unwrap_or_else(|e| {
+            eprintln!("cannot write trace to {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!(
+            "wrote Perfetto trace ({} on {}, {} events) to {path}",
+            cell.policy,
+            cell.trace,
+            cell.trace_json.matches("\"ph\":").count(),
+        );
+        cell
+    });
     if args.json {
-        print!("{}", autoscale::to_json(&sweep, &args.spec));
+        print!(
+            "{}",
+            autoscale::to_json_with_telemetry(
+                &sweep,
+                &args.spec,
+                observed.as_ref().map(|c| &c.metrics),
+            )
+        );
     } else {
         print!("{}", autoscale::render_frontier(&sweep));
         if let Some(policy) = &args.timeline {

@@ -10,7 +10,7 @@
 //!         [--seed S] [--fault-seed S] [--kills K] [--outages K]
 //!         [--groups N] [--detect S] [--retries N] [--backoff S]
 //!         [--backoff-cap S] [--deadline S]
-//!         [--timeline FAULT:RECOVERY] [--json]
+//!         [--timeline FAULT:RECOVERY] [--json] [--trace-out FILE]
 //!
 //! Defaults: the autoscale bin's diurnal day (86 400 s, 0.25×–5× of
 //! measured per-replica capacity) under three failure models — none,
@@ -24,6 +24,14 @@
 //! (`--kills 0 --outages 0`) reproduces the fault-free autoscale
 //! replay byte-for-byte, and output is byte-identical for every
 //! `--jobs` value.
+//!
+//! Observability: `--trace-out FILE` re-runs one dedicated cell
+//! (independent kills against reactive+replace) with the telemetry
+//! recorder on and writes its Perfetto/Chrome trace-event JSON —
+//! kill/retry/park markers on the controller track alongside windows
+//! and scale events; open it at ui.perfetto.dev or `chrome://tracing`.
+//! With `--json` the document additionally gains a `telemetry`
+//! metrics block.
 
 use seesaw_autoscale::AutoscaleConfig;
 use seesaw_bench::autoscale::ScenarioSpec;
@@ -36,7 +44,7 @@ fn usage() -> ! {
          [--warmup S] [--min N] [--max N] [--trough M] [--peak M] [--slo-ttft S] \
          [--slo-tpot S] [--seed S] [--fault-seed S] [--kills K] [--outages K] [--groups N] \
          [--detect S] [--retries N] [--backoff S] [--backoff-cap S] [--deadline S] \
-         [--timeline FAULT:RECOVERY] [--json]"
+         [--timeline FAULT:RECOVERY] [--json] [--trace-out FILE]"
     );
     std::process::exit(2);
 }
@@ -48,6 +56,7 @@ struct Args {
     config: AutoscaleConfig,
     timeline: Option<String>,
     json: bool,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -58,6 +67,7 @@ fn parse_args() -> Args {
         config: AutoscaleConfig::default(),
         timeline: None,
         json: false,
+        trace_out: None,
     };
     let mut args = std::env::args().skip(1);
     let next_f64 = |args: &mut dyn Iterator<Item = String>, what: &str| -> f64 {
@@ -136,6 +146,7 @@ fn parse_args() -> Args {
             }
             "--deadline" => parsed.chaos.retry.deadline_s = next_f64(&mut args, "--deadline"),
             "--timeline" => parsed.timeline = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace-out" => parsed.trace_out = Some(args.next().unwrap_or_else(|| usage())),
             "--json" => parsed.json = true,
             _ => usage(),
         }
@@ -156,8 +167,33 @@ fn main() {
     let runner = SweepRunner::with_jobs(args.jobs);
     let frontier =
         chaos::default_chaos_frontier_with(&runner, &args.spec, &args.chaos, args.config);
+    // The dedicated observability cell: traced only when asked, so a
+    // plain run's output stays byte-identical to the untraced bin.
+    let observed = args.trace_out.as_deref().map(|path| {
+        let cell =
+            chaos::observed_chaos_cell_with(&runner, &args.spec, &args.chaos, args.config);
+        std::fs::write(path, &cell.trace_json).unwrap_or_else(|e| {
+            eprintln!("cannot write trace to {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!(
+            "wrote Perfetto trace ({} under {}, {} events) to {path}",
+            cell.recovery,
+            cell.fault,
+            cell.trace_json.matches("\"ph\":").count(),
+        );
+        cell
+    });
     if args.json {
-        print!("{}", chaos::to_json(&frontier, &args.spec, &args.chaos));
+        print!(
+            "{}",
+            chaos::to_json_with_telemetry(
+                &frontier,
+                &args.spec,
+                &args.chaos,
+                observed.as_ref().map(|c| &c.metrics),
+            )
+        );
     } else {
         print!("{}", chaos::render_chaos(&frontier));
         if let Some(cell) = &args.timeline {

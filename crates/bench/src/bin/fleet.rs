@@ -10,6 +10,7 @@
 //!         [--hetero-load M] [--no-hetero]
 //!         [--slo-ttft S] [--slo-tpot S]
 //!         [--seed S] [--trace <file|diurnal>] [--json]
+//!         [--trace-out FILE] [--breakdown]
 //!
 //! Defaults: 200 ShareGPT-shaped requests per cell on vLLM-baseline
 //! replicas (LLaMA2-13B on 4×A10 each), replica counts 1/2/4/8, load
@@ -23,6 +24,15 @@
 //! the head-to-head a router × trace grid. Output is byte-identical
 //! for every `--jobs` value; `--json` emits the experiments as one
 //! machine-readable document.
+//!
+//! Observability: `--trace-out FILE` re-runs one dedicated cell (the
+//! head-to-head configuration under `--policy`) with the telemetry
+//! recorder on and writes its Perfetto/Chrome trace-event JSON —
+//! open it at ui.perfetto.dev or `chrome://tracing`. With `--json`
+//! the document additionally gains a `telemetry` metrics block.
+//! `--breakdown` runs the same cell with engine tracing and prints
+//! the fleet-wide engine-time breakdown (compute / communication /
+//! weight transfer / ...) merged from the per-replica sim spans.
 
 use seesaw_bench::fleet;
 use seesaw_bench::serving::EngineKind;
@@ -45,6 +55,8 @@ struct Args {
     seed: u64,
     trace: Option<String>,
     json: bool,
+    trace_out: Option<String>,
+    breakdown: bool,
 }
 
 fn usage() -> ! {
@@ -53,7 +65,8 @@ fn usage() -> ! {
          [--replicas n1,n2,...] [--loads m1,m2,...] \
          [--policy rr|jsq|po2|lew|jsq-live|lew-live] \
          [--compare-replicas N] [--compare-load M] [--hetero-load M] [--no-hetero] \
-         [--slo-ttft S] [--slo-tpot S] [--seed S] [--trace <file|diurnal>] [--json]"
+         [--slo-ttft S] [--slo-tpot S] [--seed S] [--trace <file|diurnal>] [--json] \
+         [--trace-out FILE] [--breakdown]"
     );
     std::process::exit(2);
 }
@@ -89,6 +102,8 @@ fn parse_args() -> Args {
         seed: seesaw_bench::SEED,
         trace: None,
         json: false,
+        trace_out: None,
+        breakdown: false,
     };
     let mut args = std::env::args().skip(1);
     let next_f64 = |args: &mut dyn Iterator<Item = String>, what: &str| -> f64 {
@@ -170,6 +185,8 @@ fn parse_args() -> Args {
                 });
             }
             "--trace" => parsed.trace = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace-out" => parsed.trace_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--breakdown" => parsed.breakdown = true,
             "--json" => parsed.json = true,
             other => match other.parse() {
                 Ok(n) if n > 0 => parsed.n_requests = n,
@@ -211,13 +228,64 @@ fn main() {
             args.seed,
         )
     });
+    // The dedicated observability cell: traced only when asked, so a
+    // plain run's output stays byte-identical to the untraced bin.
+    let observed = args.trace_out.as_deref().map(|path| {
+        let cell = fleet::observed_cell_with(
+            &runner,
+            args.engine,
+            args.n_requests,
+            args.compare_replicas,
+            args.compare_load,
+            args.policy,
+            args.seed,
+        );
+        std::fs::write(path, &cell.trace_json).unwrap_or_else(|e| {
+            eprintln!("cannot write trace to {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!(
+            "wrote Perfetto trace ({} replicas, {} policy, {} events) to {path}",
+            cell.n_replicas,
+            cell.policy,
+            cell.trace_json.matches("\"ph\":").count(),
+        );
+        cell
+    });
     if args.json {
-        print!("{}", fleet::to_json(&scaling, &comparison, hetero.as_ref(), args.seed));
+        print!(
+            "{}",
+            fleet::to_json_with_telemetry(
+                &scaling,
+                &comparison,
+                hetero.as_ref(),
+                args.seed,
+                observed.as_ref().map(|c| &c.metrics),
+            )
+        );
     } else {
         print!("{}", fleet::render_scaling(&scaling));
         print!("{}", fleet::render_comparison(&comparison));
         if let Some(h) = &hetero {
             print!("{}", fleet::render_hetero_comparison(h));
+        }
+    }
+    if args.breakdown {
+        let (report, summaries) = fleet::breakdown_cell_with(
+            &runner,
+            args.engine,
+            args.n_requests,
+            args.compare_replicas,
+            args.compare_load,
+            args.policy,
+            args.seed,
+        );
+        let table = fleet::render_breakdown(&report, &summaries);
+        if args.json {
+            // Keep stdout a valid JSON document.
+            eprint!("{table}");
+        } else {
+            print!("{table}");
         }
     }
 }

@@ -24,10 +24,13 @@ use crate::autoscale::{
 use crate::jsonfmt;
 use crate::serving::{default_engine_of, default_specs, DEFAULT_SLO};
 use crate::table::{f2, f3, Table};
-use seesaw_autoscale::{AutoscaleConfig, RetryPolicy, ScalingPolicy};
-use seesaw_chaos::{chaos_sweep_with, ChaosFrontier, ChaosPoint, FaultPlan, RecoverySpec};
+use seesaw_autoscale::{AutoscaleConfig, ElasticFleetReport, RetryPolicy, ScalingPolicy};
+use seesaw_chaos::{
+    chaos_sweep_with, ChaosController, ChaosFrontier, ChaosPoint, FaultPlan, RecoverySpec,
+};
 use seesaw_engine::SweepRunner;
 use seesaw_fleet::offline_capacity;
+use seesaw_telemetry::{Instrument, MetricsRegistry};
 use seesaw_workload::WorkloadGen;
 
 /// Failure-model knobs of the default chaos scenario, expressed per
@@ -170,6 +173,63 @@ pub fn default_chaos_frontier_with(
         (trace_name, requests),
         (capacity_rps, &label),
     )
+}
+
+/// One chaos cell run with the telemetry recorder on: the dedicated
+/// observability cell behind the `chaos` bin's `--trace-out` flag.
+#[derive(Debug)]
+pub struct ObservedChaosCell {
+    /// Fault-model name of the traced run.
+    pub fault: String,
+    /// Recovery-posture name of the traced run.
+    pub recovery: String,
+    /// The (telemetry-identical) elastic-fleet report.
+    pub report: ElasticFleetReport,
+    /// The run's Perfetto/Chrome trace-event JSON.
+    pub trace_json: String,
+    /// The run's metric snapshot (for the `--json` telemetry block).
+    pub metrics: MetricsRegistry,
+}
+
+/// Run one dedicated chaos cell — independent kills against the
+/// reactive-with-replacement posture on the diurnal day — with the
+/// telemetry recorder on, and render its Perfetto trace (kill and
+/// retry markers land on the controller track). Recorded bytes are
+/// sim-time only, so the trace is byte-identical for every `--jobs`
+/// value.
+pub fn observed_chaos_cell_with(
+    runner: &SweepRunner,
+    spec: &ScenarioSpec,
+    chaos: &ChaosSpec,
+    mut config: AutoscaleConfig,
+) -> ObservedChaosCell {
+    let (cluster, model) = default_specs();
+    let build = |_: usize| default_engine_of(spec.kind, &cluster, &model);
+    let probe = WorkloadGen::sharegpt(spec.seed).generate(CAPACITY_PROBE_REQUESTS);
+    let (capacity_rps, _) = offline_capacity(&build, &probe);
+    config.capacity_rps = capacity_rps;
+    let traces = default_traces(spec, capacity_rps);
+    let (_, requests) = &traces[0];
+    let plan = chaos.plan(spec.day_s, false);
+    let fault = format!("kills-{:.0}/day", chaos.kills_per_day);
+    let recovery = RecoverySpec {
+        policy: ScalingPolicy::reactive_default(),
+        replace_failures: true,
+        retry: chaos.retry,
+    };
+    let recovery_name = recovery.to_string();
+    let mut instr = Instrument::tracing();
+    let report = ChaosController::new(config, plan, recovery).run_instrumented_with(
+        runner, &build, requests, &mut instr,
+    );
+    let trace_json = seesaw_telemetry::perfetto::render(&instr.recorder, "chaos");
+    ObservedChaosCell {
+        fault,
+        recovery: recovery_name,
+        report,
+        trace_json,
+        metrics: instr.metrics,
+    }
 }
 
 /// A miniature chaos frontier (small day, small windows) for tests
@@ -316,6 +376,18 @@ pub fn render_chaos_timeline(point: &ChaosPoint) -> String {
 /// and rates) — so any frontier point is reproducible from the
 /// document alone.
 pub fn to_json(frontier: &ChaosFrontier, spec: &ScenarioSpec, chaos: &ChaosSpec) -> String {
+    to_json_with_telemetry(frontier, spec, chaos, None)
+}
+
+/// [`to_json`] with an optional `telemetry` metrics block (present
+/// only when a telemetry-enabled run produced one — the plain
+/// document stays byte-identical to pre-telemetry output).
+pub fn to_json_with_telemetry(
+    frontier: &ChaosFrontier,
+    spec: &ScenarioSpec,
+    chaos: &ChaosSpec,
+    telemetry: Option<&MetricsRegistry>,
+) -> String {
     let cfg = &frontier.config;
     let mut out = String::new();
     out.push_str("{\n");
@@ -386,7 +458,11 @@ pub fn to_json(frontier: &ChaosFrontier, spec: &ScenarioSpec, chaos: &ChaosSpec)
             if i + 1 < frontier.points.len() { "," } else { "" },
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if let Some(m) = telemetry {
+        out.push_str(&format!(",\n  \"telemetry\": {}", m.render_json()));
+    }
+    out.push_str("\n}\n");
     out
 }
 

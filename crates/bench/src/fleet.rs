@@ -33,9 +33,12 @@ use seesaw_fleet::{
     scaling_sweep_patterned_at_capacity_with, scaling_sweep_with, FleetPoint,
     FleetScalingSweep, RouterPolicy,
 };
+use seesaw_fleet::{Fleet, FleetReport};
 use seesaw_hw::ClusterSpec;
 use seesaw_parallel::ParallelConfig;
-use seesaw_workload::{unit_rate_pattern, ArrivalDist, SloSpec, ARRIVAL_SEED_SALT};
+use seesaw_sim::TraceSummary;
+use seesaw_telemetry::{Instrument, MetricsRegistry};
+use seesaw_workload::{unit_rate_pattern, ArrivalDist, Request, SloSpec, ARRIVAL_SEED_SALT};
 use std::sync::Arc;
 
 /// Default replica counts for the scaling sweep.
@@ -177,6 +180,150 @@ pub fn default_hetero_comparison_with(
         slo,
     );
     HeteroComparison { label, capacity_rps, points }
+}
+
+/// One fleet cell run with the telemetry recorder on: the dedicated
+/// observability cell behind the `fleet` bin's `--trace-out` flag.
+#[derive(Debug)]
+pub struct ObservedCell {
+    /// Routing policy of the traced run.
+    pub policy: RouterPolicy,
+    /// Fleet size.
+    pub n_replicas: usize,
+    /// Offered load, requests/second.
+    pub offered_rps: f64,
+    /// The (telemetry-identical) fleet report.
+    pub report: FleetReport,
+    /// The run's Perfetto/Chrome trace-event JSON.
+    pub trace_json: String,
+    /// The run's metric snapshot (for the `--json` telemetry block).
+    pub metrics: MetricsRegistry,
+}
+
+/// The head-to-head cell's request stream: `base` paced by a seeded
+/// unit-rate Poisson pattern scaled to `multiplier × N × capacity`.
+fn comparison_stream(
+    base: &[Request],
+    capacity_rps: f64,
+    n_replicas: usize,
+    multiplier: f64,
+    seed: u64,
+) -> (Vec<Request>, f64) {
+    let unit = ArrivalDist::Poisson { rate: 1.0 }
+        .sample_times(base.len(), seed ^ ARRIVAL_SEED_SALT)
+        .expect("unit-rate Poisson is valid");
+    let rate = multiplier * n_replicas as f64 * capacity_rps;
+    let reqs = base.iter().zip(&unit).map(|(r, &t)| r.with_arrival(t / rate)).collect();
+    (reqs, rate)
+}
+
+/// Run one dedicated fleet cell — the head-to-head's configuration
+/// under `policy` — with the telemetry recorder on, and render its
+/// Perfetto trace. Recorded bytes are sim-time only, so the trace is
+/// byte-identical for every `--jobs` value (enforced by tests).
+pub fn observed_cell_with(
+    runner: &SweepRunner,
+    kind: EngineKind,
+    n_requests: usize,
+    n_replicas: usize,
+    multiplier: f64,
+    policy: RouterPolicy,
+    seed: u64,
+) -> ObservedCell {
+    let (cluster, model) = default_specs();
+    let build = |_: usize| default_engine_of(kind, &cluster, &model);
+    let (_, base) = default_requests(n_requests, seed);
+    let (capacity_rps, _) = offline_capacity(&build, &base);
+    let (reqs, rate) = comparison_stream(&base, capacity_rps, n_replicas, multiplier, seed);
+    let fleet = Fleet::homogeneous(n_replicas, build);
+    let mut instr = Instrument::tracing();
+    let report = fleet.run_instrumented_with(runner, policy, &reqs, &mut instr);
+    let trace_json = seesaw_telemetry::perfetto::render(&instr.recorder, "fleet");
+    ObservedCell {
+        policy,
+        n_replicas,
+        offered_rps: rate,
+        report,
+        trace_json,
+        metrics: instr.metrics,
+    }
+}
+
+/// Run the same dedicated cell with engine tracing on and merge each
+/// replica's sim-level time buckets — the `--breakdown` flag's body.
+/// Returns the (trace-identical) report and the per-replica summaries
+/// in replica order.
+pub fn breakdown_cell_with(
+    runner: &SweepRunner,
+    kind: EngineKind,
+    n_requests: usize,
+    n_replicas: usize,
+    multiplier: f64,
+    policy: RouterPolicy,
+    seed: u64,
+) -> (FleetReport, Vec<TraceSummary>) {
+    let (cluster, model) = default_specs();
+    let build = |_: usize| default_engine_of(kind, &cluster, &model);
+    let (_, base) = default_requests(n_requests, seed);
+    let (capacity_rps, _) = offline_capacity(&build, &base);
+    let (reqs, _) = comparison_stream(&base, capacity_rps, n_replicas, multiplier, seed);
+    let fleet = Fleet::homogeneous(n_replicas, build);
+    fleet.run_breakdown_with(runner, policy, &reqs)
+}
+
+/// Render the merged engine-time breakdown as the `--breakdown`
+/// table: one row per replica plus a fleet-total row, bucketed the
+/// way the engine's sim spans are (compute / communication / weight
+/// transfer / reshard / kv swap / other).
+pub fn render_breakdown(report: &FleetReport, summaries: &[TraceSummary]) -> String {
+    let mut out = format!(
+        "\n=== fleet: engine time breakdown ({} replicas, {} policy, {} requests) ===\n\
+         per-replica sim spans merged fleet-wide; seconds of simulated device time\n",
+        summaries.len(),
+        report.policy,
+        report.stats.requests,
+    );
+    let mut t = Table::new(&[
+        "replica",
+        "compute",
+        "comm",
+        "weights",
+        "reshard",
+        "kv swap",
+        "other",
+        "total",
+    ]);
+    let mut fleet_total = TraceSummary::default();
+    for (i, s) in summaries.iter().enumerate() {
+        t.row(&[
+            format!("r{i}"),
+            f3(s.compute),
+            f3(s.communication),
+            f3(s.weight_transfer),
+            f3(s.reshard),
+            f3(s.kv_swap),
+            f3(s.other),
+            f3(s.total()),
+        ]);
+        fleet_total.compute += s.compute;
+        fleet_total.communication += s.communication;
+        fleet_total.weight_transfer += s.weight_transfer;
+        fleet_total.reshard += s.reshard;
+        fleet_total.kv_swap += s.kv_swap;
+        fleet_total.other += s.other;
+    }
+    t.row(&[
+        "fleet".into(),
+        f3(fleet_total.compute),
+        f3(fleet_total.communication),
+        f3(fleet_total.weight_transfer),
+        f3(fleet_total.reshard),
+        f3(fleet_total.kv_swap),
+        f3(fleet_total.other),
+        f3(fleet_total.total()),
+    ]);
+    out.push_str(&t.render());
+    out
 }
 
 /// Build the unit-rate arrival pattern behind a `--trace` argument:
@@ -426,6 +573,19 @@ pub fn to_json(
     hetero: Option<&HeteroComparison>,
     seed: u64,
 ) -> String {
+    to_json_with_telemetry(scaling, comparison, hetero, seed, None)
+}
+
+/// [`to_json`] with an optional `telemetry` metrics block (present
+/// only when a telemetry-enabled run produced one — the plain
+/// document stays byte-identical to pre-telemetry output).
+pub fn to_json_with_telemetry(
+    scaling: &FleetScalingSweep,
+    comparison: &[FleetPoint],
+    hetero: Option<&HeteroComparison>,
+    seed: u64,
+    telemetry: Option<&MetricsRegistry>,
+) -> String {
     let points_json = |out: &mut String, points: &[FleetPoint], indent: &str| {
         for (i, p) in points.iter().enumerate() {
             out.push_str(&format!(
@@ -461,10 +621,14 @@ pub fn to_json(
         ));
         out.push_str("    \"router_comparison\": [\n");
         points_json(&mut out, &h.points, "      ");
-        out.push_str("    ]\n  }\n}\n");
+        out.push_str("    ]\n  }");
     } else {
-        out.push_str("  ]\n}\n");
+        out.push_str("  ]");
     }
+    if let Some(m) = telemetry {
+        out.push_str(&format!(",\n  \"telemetry\": {}", m.render_json()));
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -493,6 +657,113 @@ mod tests {
         );
         // Unknown files error instead of exiting.
         assert!(trace_pattern("/no/such/trace.txt", 10, 0).is_err());
+    }
+
+    /// The `--trace-out` cell's recorded bytes — Perfetto trace and
+    /// metric snapshot — must be byte-identical across `--jobs`, and
+    /// the traced run must report exactly what the untraced cell
+    /// reports.
+    #[test]
+    fn observed_cell_is_jobs_invariant_and_report_faithful() {
+        let cell = |runner: &SweepRunner| {
+            observed_cell_with(
+                runner,
+                EngineKind::Vllm,
+                12,
+                2,
+                0.9,
+                RouterPolicy::JoinShortestQueue,
+                42,
+            )
+        };
+        let serial = cell(&SweepRunner::serial());
+        let parallel = cell(&SweepRunner::new(4));
+        assert_eq!(serial.report, parallel.report);
+        assert_eq!(
+            serial.trace_json, parallel.trace_json,
+            "trace bytes must be --jobs-invariant"
+        );
+        assert_eq!(serial.metrics.render_json(), parallel.metrics.render_json());
+        // The trace is a well-formed event array with per-replica
+        // tracks and per-request spans.
+        assert!(serial.trace_json.starts_with("{\"traceEvents\":"));
+        assert_eq!(
+            serial.trace_json.matches("\"thread_name\"").count(),
+            2 + serial.n_replicas,
+            "controller + router + one track per replica"
+        );
+        assert!(serial.trace_json.contains("req "));
+        // Telemetry must not perturb the cell: rerun it untraced.
+        let (cluster, model) = default_specs();
+        let build = |_: usize| default_engine_of(EngineKind::Vllm, &cluster, &model);
+        let (_, base) = default_requests(12, 42);
+        let (capacity_rps, _) = offline_capacity(&build, &base);
+        let (reqs, _) = comparison_stream(&base, capacity_rps, 2, 0.9, 42);
+        let plain = Fleet::homogeneous(2, build).run_with(
+            &SweepRunner::serial(),
+            RouterPolicy::JoinShortestQueue,
+            &reqs,
+        );
+        assert_eq!(plain, serial.report, "telemetry must not perturb the report");
+    }
+
+    /// The `--breakdown` cell's merged buckets reconcile: the fleet
+    /// row is the exact sum of the per-replica rows, and the table
+    /// carries every bucket column.
+    #[test]
+    fn breakdown_cell_reconciles_and_renders() {
+        let (report, summaries) = breakdown_cell_with(
+            &SweepRunner::serial(),
+            EngineKind::Vllm,
+            12,
+            2,
+            0.9,
+            RouterPolicy::JoinShortestQueue,
+            42,
+        );
+        assert_eq!(summaries.len(), 2, "one summary per replica");
+        assert!(summaries.iter().any(|s| s.total() > 0.0));
+        let table = render_breakdown(&report, &summaries);
+        for col in ["compute", "comm", "weights", "reshard", "kv swap", "fleet"] {
+            assert!(table.contains(col), "missing column {col}");
+        }
+        // The fleet row sums the per-replica compute bucket.
+        let total: f64 = summaries.iter().map(|s| s.compute).sum();
+        assert!(table.contains(&format!("{total:.3}")));
+    }
+
+    /// The `telemetry` block lands in the `--json` document only when
+    /// a metric snapshot is supplied; without one the document is the
+    /// exact pre-telemetry `to_json` output.
+    #[test]
+    fn json_telemetry_block_is_optional_and_well_formed() {
+        let scaling = default_scaling_sweep_with(
+            &SweepRunner::serial(),
+            EngineKind::Vllm,
+            12,
+            &[1],
+            &[0.5],
+            RouterPolicy::JoinShortestQueue,
+            crate::serving::DEFAULT_SLO,
+            42,
+        );
+        let plain = to_json(&scaling, &[], None, 42);
+        assert_eq!(plain, to_json_with_telemetry(&scaling, &[], None, 42, None));
+        let cell = observed_cell_with(
+            &SweepRunner::serial(),
+            EngineKind::Vllm,
+            12,
+            2,
+            0.9,
+            RouterPolicy::JoinShortestQueue,
+            42,
+        );
+        let with = to_json_with_telemetry(&scaling, &[], None, 42, Some(&cell.metrics));
+        assert!(with.contains("\"telemetry\": {"));
+        assert!(with.contains("\"counters\""));
+        assert_eq!(with.matches('{').count(), with.matches('}').count());
+        assert_eq!(with.matches('[').count(), with.matches(']').count());
+        assert!(!plain.contains("\"telemetry\""));
     }
 
     #[test]

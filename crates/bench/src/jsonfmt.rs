@@ -9,9 +9,13 @@
 
 use seesaw_workload::{LatencyStats, LatencySummary, SloSpec};
 
-/// Escape a string for a JSON string literal.
+/// Escape a string for a JSON string literal, per RFC 8259: quotes,
+/// backslashes, and *every* control character below U+0020 (a raw
+/// newline or tab in a label would corrupt the whole document).
+/// Delegates to the telemetry exporter's escaper so the two JSON
+/// writers can never drift.
 pub fn esc(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    seesaw_telemetry::perfetto::esc(s)
 }
 
 /// A finite number at 6 decimal places; `null` otherwise (JSON has no
@@ -69,6 +73,20 @@ mod tests {
         assert_eq!(num(0.5), "0.500000");
         assert_eq!(num(f64::NAN), "null");
         assert_eq!(num(f64::INFINITY), "null");
+    }
+
+    /// A pathological label with every escape class RFC 8259 names:
+    /// quote, backslash, the short-form control characters, and a raw
+    /// C0 control that needs the `\u00XX` form.
+    #[test]
+    fn esc_handles_control_characters() {
+        assert_eq!(
+            esc("a\"b\\c\nd\te\rf\u{0008}g\u{000C}h\u{0001}i"),
+            "a\\\"b\\\\c\\nd\\te\\rf\\bg\\fh\\u0001i"
+        );
+        // The escaped form parses back as a JSON string: no raw
+        // control characters survive.
+        assert!(esc("x\u{0000}y\u{001f}z").chars().all(|c| (c as u32) >= 0x20));
     }
 
     #[test]

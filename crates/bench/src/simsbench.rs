@@ -46,6 +46,7 @@ use seesaw_fleet::{Fleet, FleetReport, RouterPolicy};
 use seesaw_hw::ClusterSpec;
 use seesaw_model::{presets, ModelConfig};
 use seesaw_parallel::ParallelConfig;
+use seesaw_telemetry::Instrument;
 use seesaw_workload::{ArrivalDist, RateEnvelope, Request, SloSpec, WorkloadGen};
 use std::sync::Arc;
 
@@ -216,6 +217,53 @@ impl SimsBench {
         )
     }
 
+    /// The live-fleet cell's fleet (shared by the plain, traced, and
+    /// disabled-telemetry variants so they measure identical work).
+    fn live_fleet(&self) -> Fleet {
+        Fleet::homogeneous(FLEET_REPLICAS, |_| {
+            Box::new(
+                VllmEngine::new(
+                    Arc::clone(&self.cluster),
+                    Arc::clone(&self.model),
+                    ParallelConfig::new(1, 2, 2),
+                    SchedulingPolicy::PrefillPrioritized,
+                )
+                .expect("valid config"),
+            ) as _
+        })
+    }
+
+    /// One telemetry-traced live-fleet evaluation
+    /// (`sims_per_sec.fleet_live_traced`): the
+    /// [`SimsBench::run_fleet_live_once`] cell with the span recorder
+    /// and metrics registry on — the enabled-telemetry cost of the
+    /// same unit of work. Returns the filled instrument so callers
+    /// can render or validate the trace.
+    pub fn run_fleet_live_traced_once(&self) -> (FleetReport, Instrument) {
+        let mut instr = Instrument::tracing();
+        let report = self.live_fleet().run_instrumented_with(
+            &SweepRunner::serial(),
+            RouterPolicy::JoinShortestQueueLive,
+            &self.fleet_reqs,
+            &mut instr,
+        );
+        (report, instr)
+    }
+
+    /// The live-fleet cell through the instrumented entry point with
+    /// the instrument *off* — the telemetry-disabled code path whose
+    /// throughput `perf_report` holds to within 5% of `fleet_live`
+    /// (zero-cost-when-disabled, measured rather than assumed).
+    pub fn run_fleet_live_disabled_once(&self) -> FleetReport {
+        let mut instr = Instrument::off();
+        self.live_fleet().run_instrumented_with(
+            &SweepRunner::serial(),
+            RouterPolicy::JoinShortestQueueLive,
+            &self.fleet_reqs,
+            &mut instr,
+        )
+    }
+
     /// One autoscale evaluation (`sims_per_sec.autoscale`): the
     /// reactive controller replaying the compressed diurnal day —
     /// per-window routing over the elastic vLLM fleet, scaling
@@ -237,6 +285,34 @@ impl SimsBench {
             )
         };
         controller.run_with(&SweepRunner::serial(), &build, &self.autoscale_reqs)
+    }
+
+    /// One *profiled* autoscale evaluation: the compressed diurnal
+    /// day under `jsq-live` routing (so live-state replay shows up as
+    /// a phase) with the controller's self-profiling timers on.
+    /// Returns the report plus the wall-time phase attribution
+    /// (routing / live-state replay / engine runs / metrics) that
+    /// `perf_report` renders — the "where do the cells/s go" answer.
+    pub fn run_autoscale_profiled_once(
+        &self,
+    ) -> (ElasticFleetReport, seesaw_telemetry::ControllerProfile) {
+        let config = AutoscaleConfig {
+            router: RouterPolicy::JoinShortestQueueLive,
+            ..self.autoscale_config()
+        };
+        let controller = AutoscaleController::new(config, ScalingPolicy::reactive_default());
+        let build = |_: usize| -> Box<dyn OnlineEngine> {
+            Box::new(
+                VllmEngine::new(
+                    Arc::clone(&self.cluster),
+                    Arc::clone(&self.model),
+                    ParallelConfig::new(1, 2, 2),
+                    SchedulingPolicy::PrefillPrioritized,
+                )
+                .expect("valid config"),
+            )
+        };
+        controller.run_profiled_with(&SweepRunner::serial(), &build, &self.autoscale_reqs)
     }
 
     /// The autoscale scenario's shared controller config (fixed; the

@@ -24,6 +24,7 @@ use seesaw_autoscale::{
 };
 use seesaw_engine::SweepRunner;
 use seesaw_fleet::sweep::ReplicaBuilder;
+use seesaw_telemetry::Instrument;
 use seesaw_workload::Request;
 use serde::{Deserialize, Serialize};
 
@@ -103,6 +104,21 @@ impl ChaosController {
         build: ReplicaBuilder,
         requests: &[Request],
     ) -> ElasticFleetReport {
+        self.run_instrumented_with(runner, build, requests, &mut Instrument::off())
+    }
+
+    /// [`ChaosController::run_with`] with a telemetry [`Instrument`]:
+    /// a straight passthrough to the instrumented autoscale replay,
+    /// so kills, retries, parks, scale events, route decisions, and
+    /// request lifecycles land on the same tracks as a fault-free
+    /// run. With `Instrument::off()` this *is* `run_with`.
+    pub fn run_instrumented_with(
+        &self,
+        runner: &SweepRunner,
+        build: ReplicaBuilder,
+        requests: &[Request],
+        instr: &mut Instrument,
+    ) -> ElasticFleetReport {
         let last_arrival = requests.last().map_or(0.0, |r| r.arrival_s);
         let horizon_s = ((last_arrival / self.config.window_s) as usize + 1) as f64
             * self.config.window_s;
@@ -110,7 +126,7 @@ impl ChaosController {
             self.plan
                 .schedule(horizon_s, self.recovery.retry, self.recovery.replace_failures);
         AutoscaleController::new(self.config, self.recovery.policy)
-            .run_faulted_with(runner, build, requests, &schedule)
+            .run_faulted_instrumented_with(runner, build, requests, &schedule, instr)
     }
 }
 

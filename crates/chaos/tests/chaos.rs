@@ -227,3 +227,36 @@ proptest! {
         prop_assert!(report.attainment().is_finite());
     }
 }
+
+/// The instrumented chaos entry point is a passthrough: with the
+/// instrument off it reproduces `run_with` byte-for-byte, and with
+/// tracing on it records the injected kills without perturbing the
+/// report.
+#[test]
+fn instrumented_chaos_run_records_kills_without_perturbing() {
+    let build = builder();
+    let reqs = traced(50, 2.5, 31);
+    let chaos = ChaosController::new(
+        cfg(RouterPolicy::JoinShortestQueue),
+        dense_kills(5),
+        RecoverySpec::healing(ScalingPolicy::reactive_default()),
+    );
+    let plain = chaos.run_with(&SweepRunner::serial(), &build, &reqs);
+
+    let mut off = seesaw_telemetry::Instrument::off();
+    let quiet = chaos.run_instrumented_with(&SweepRunner::serial(), &build, &reqs, &mut off);
+    assert_eq!(plain, quiet, "off instrument must not perturb the chaos run");
+    assert!(off.recorder.spans().is_empty() && off.metrics.is_empty());
+
+    let mut instr = seesaw_telemetry::Instrument::tracing();
+    let traced = chaos.run_instrumented_with(&SweepRunner::serial(), &build, &reqs, &mut instr);
+    assert_eq!(plain, traced, "telemetry must not perturb the chaos run");
+    assert!(plain.availability.replicas_killed > 0, "plan must strike the trace");
+    let trace = seesaw_telemetry::perfetto::render(&instr.recorder, "chaos");
+    assert!(trace.contains("\"kill r"), "kill markers recorded");
+    assert!(trace.contains("window 0"), "window spans recorded");
+    assert_eq!(
+        instr.metrics.counter("autoscale.kills"),
+        plain.availability.replicas_killed as u64
+    );
+}

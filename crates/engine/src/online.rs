@@ -65,6 +65,17 @@ pub trait OnlineEngine: Send + Sync {
     /// request).
     fn service_rates(&self, avg_in: usize, avg_out: usize) -> ServiceRates;
 
+    /// [`OnlineEngine::run`] with span recording enabled
+    /// ([`seesaw_sim::Trace`]), returning the report plus the
+    /// per-category busy-time summary — the fleet `--breakdown`
+    /// path. The report must equal `run`'s byte-for-byte (tracing
+    /// only observes). Engines without a traced path fall back to an
+    /// untraced run and an all-zero summary, which renders as an
+    /// empty breakdown rather than wrong numbers.
+    fn run_traced(&self, requests: &[Request]) -> (EngineReport, seesaw_sim::TraceSummary) {
+        (self.run(requests), seesaw_sim::TraceSummary::default())
+    }
+
     /// [`OnlineEngine::run`] for a replica that only becomes ready
     /// (weights loaded) at `ready_s` seconds: requests arriving
     /// earlier wait — their *dispatch* is clamped to `ready_s`, riding

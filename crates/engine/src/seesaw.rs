@@ -33,7 +33,7 @@ use seesaw_kv::{BufferedSeq, CpuKvBuffer, KvLayout, PagedKvCache, SwapSizer};
 use seesaw_model::ModelConfig;
 use seesaw_parallel::{FitError, MemoryPlan, ParallelConfig, ReshardPlan};
 use seesaw_roofline::Roofline;
-use seesaw_sim::{SimTime, TaskHandle, TaskKind};
+use seesaw_sim::{SimTime, TaskHandle, TaskKind, TraceSummary};
 use seesaw_workload::{LatencyStats, Request, RequestMap, RunStats};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -182,7 +182,19 @@ impl SeesawEngine {
 
     /// Process `requests` to completion.
     pub fn run(&self, requests: &[Request]) -> EngineReport {
-        let mut st = SeesawRun::new(self, requests);
+        self.run_impl(requests, false).0
+    }
+
+    /// [`SeesawEngine::run`] with span recording on
+    /// ([`ClusterSim::with_trace`]), additionally returning the
+    /// per-category busy-time summary. The report itself is identical
+    /// to `run`'s — tracing only observes.
+    pub fn run_traced(&self, requests: &[Request]) -> (EngineReport, TraceSummary) {
+        self.run_impl(requests, true)
+    }
+
+    fn run_impl(&self, requests: &[Request], traced: bool) -> (EngineReport, TraceSummary) {
+        let mut st = SeesawRun::new(self, requests, traced);
         st.run();
         st.finish(requests, self.spec.label())
     }
@@ -195,6 +207,10 @@ impl crate::online::OnlineEngine for SeesawEngine {
 
     fn run(&self, requests: &[Request]) -> EngineReport {
         SeesawEngine::run(self, requests)
+    }
+
+    fn run_traced(&self, requests: &[Request]) -> (EngineReport, TraceSummary) {
+        SeesawEngine::run_traced(self, requests)
     }
 
     fn service_rates(&self, avg_in: usize, avg_out: usize) -> crate::online::ServiceRates {
@@ -260,10 +276,14 @@ struct SeesawRun<'a> {
 }
 
 impl<'a> SeesawRun<'a> {
-    fn new(eng: &'a SeesawEngine, requests: &[Request]) -> Self {
+    fn new(eng: &'a SeesawEngine, requests: &[Request], traced: bool) -> Self {
         assert_arrivals_sorted(requests);
         let dp = eng.spec.prefill.dp;
-        let cs = ClusterSim::new(Arc::clone(&eng.cluster));
+        let cs = if traced {
+            ClusterSim::with_trace(Arc::clone(&eng.cluster))
+        } else {
+            ClusterSim::new(Arc::clone(&eng.cluster))
+        };
         let rl = Roofline::new(Arc::clone(&eng.cluster), Arc::clone(&eng.model));
         let replicas = (0..dp)
             .map(|d| Replica::new(d, eng.plan_p.kv_tokens_per_replica, eng.spec.prefill.pp))
@@ -758,14 +778,15 @@ impl<'a> SeesawRun<'a> {
         self.record_phase(Phase::Reshard, t0.as_secs());
     }
 
-    fn finish(mut self, requests: &[Request], label: String) -> EngineReport {
+    fn finish(mut self, requests: &[Request], label: String) -> (EngineReport, TraceSummary) {
         let end = self.cs.sim.run_until_idle();
         assert_eq!(self.completed, requests.len(), "all requests must finish");
+        let trace_summary = self.cs.sim.trace().summary();
         let gpu_utilization = self.cs.mean_compute_utilization();
         let timeline =
             std::mem::take(&mut self.rec).resolve(&self.cs.sim, &self.meta);
         let latency = LatencyStats::from_timeline(&timeline);
-        EngineReport {
+        let report = EngineReport {
             label,
             stats: RunStats::from_requests(requests, end.as_secs()),
             prefill_wall_s: self.prefill_wall,
@@ -779,7 +800,8 @@ impl<'a> SeesawRun<'a> {
             gpu_utilization,
             timeline,
             latency,
-        }
+        };
+        (report, trace_summary)
     }
 }
 

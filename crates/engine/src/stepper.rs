@@ -94,6 +94,8 @@ pub struct EngineStepper<'a> {
     ready_s: f64,
     assigned: Vec<Request>,
     cache: Option<EngineReport>,
+    replays: u64,
+    replayed_requests: u64,
 }
 
 impl<'a> EngineStepper<'a> {
@@ -104,7 +106,14 @@ impl<'a> EngineStepper<'a> {
             ready_s.is_finite() && ready_s >= 0.0,
             "replica ready time must be finite and non-negative, got {ready_s}"
         );
-        EngineStepper { engine, ready_s, assigned: Vec::new(), cache: None }
+        EngineStepper {
+            engine,
+            ready_s,
+            assigned: Vec::new(),
+            cache: None,
+            replays: 0,
+            replayed_requests: 0,
+        }
     }
 
     /// Assign `req` to this replica. Arrivals must be nondecreasing
@@ -129,9 +138,18 @@ impl<'a> EngineStepper<'a> {
 
     fn report(&mut self) -> &EngineReport {
         if self.cache.is_none() {
+            self.replays += 1;
+            self.replayed_requests += self.assigned.len() as u64;
             self.cache = Some(self.engine.run_ready(&self.assigned, self.ready_s));
         }
         self.cache.as_ref().expect("cache was just filled")
+    }
+
+    /// `(cache refills, total requests re-simulated across them)` —
+    /// the replay-amplification counters telemetry aggregates. Each
+    /// refill is one `run_ready` over the current assigned prefix.
+    pub fn replay_counts(&self) -> (u64, u64) {
+        (self.replays, self.replayed_requests)
     }
 
     /// Exact live state at `t`, which must be at or after the last
@@ -249,6 +267,10 @@ mod tests {
         let b = stepper.state_at(0.5);
         assert_eq!(a, b);
         assert!(stepper.cache.is_some(), "state queries memoize the replay");
+        assert_eq!(stepper.replay_counts(), (1, 1), "one refill, one request replayed");
+        stepper.push(Request::new(1, 128, 8).with_arrival(1.0));
+        stepper.state_at(1.0);
+        assert_eq!(stepper.replay_counts(), (2, 3), "second refill replays both requests");
     }
 
     #[test]

@@ -21,7 +21,7 @@ use seesaw_hw::ClusterSpec;
 use seesaw_model::ModelConfig;
 use seesaw_parallel::{FitError, MemoryPlan, ParallelConfig};
 use seesaw_roofline::{BatchShape, Roofline};
-use seesaw_sim::{SimTime, TaskHandle};
+use seesaw_sim::{SimTime, TaskHandle, TraceSummary};
 use seesaw_workload::{LatencyStats, Request, RequestMap, RunStats};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -96,7 +96,19 @@ impl VllmEngine {
 
     /// Process `requests` to completion, returning the run report.
     pub fn run(&self, requests: &[Request]) -> EngineReport {
-        let mut st = RunState::new(self, requests);
+        self.run_impl(requests, false).0
+    }
+
+    /// [`VllmEngine::run`] with span recording on
+    /// ([`ClusterSim::with_trace`]), additionally returning the
+    /// per-category busy-time summary. The report itself is identical
+    /// to `run`'s — tracing only observes.
+    pub fn run_traced(&self, requests: &[Request]) -> (EngineReport, TraceSummary) {
+        self.run_impl(requests, true)
+    }
+
+    fn run_impl(&self, requests: &[Request], traced: bool) -> (EngineReport, TraceSummary) {
+        let mut st = RunState::new(self, requests, traced);
         match self.policy {
             SchedulingPolicy::PrefillPrioritized => st.run_prefill_prioritized(),
             SchedulingPolicy::DecodePrioritized => st.run_decode_prioritized(),
@@ -113,6 +125,10 @@ impl OnlineEngine for VllmEngine {
 
     fn run(&self, requests: &[Request]) -> EngineReport {
         VllmEngine::run(self, requests)
+    }
+
+    fn run_traced(&self, requests: &[Request]) -> (EngineReport, TraceSummary) {
+        VllmEngine::run_traced(self, requests)
     }
 
     fn service_rates(&self, avg_in: usize, avg_out: usize) -> ServiceRates {
@@ -145,9 +161,13 @@ struct RunState<'a> {
 }
 
 impl<'a> RunState<'a> {
-    fn new(eng: &'a VllmEngine, requests: &[Request]) -> Self {
+    fn new(eng: &'a VllmEngine, requests: &[Request], traced: bool) -> Self {
         assert_arrivals_sorted(requests);
-        let cs = ClusterSim::new(Arc::clone(&eng.cluster));
+        let cs = if traced {
+            ClusterSim::with_trace(Arc::clone(&eng.cluster))
+        } else {
+            ClusterSim::new(Arc::clone(&eng.cluster))
+        };
         let rl = Roofline::new(Arc::clone(&eng.cluster), Arc::clone(&eng.model));
         let replicas = (0..eng.cfg.dp)
             .map(|d| Replica::new(d, eng.plan.kv_tokens_per_replica, eng.cfg.pp))
@@ -536,13 +556,14 @@ impl<'a> RunState<'a> {
         Some(join)
     }
 
-    fn finish(mut self, requests: &[Request], label: String) -> EngineReport {
+    fn finish(mut self, requests: &[Request], label: String) -> (EngineReport, TraceSummary) {
         let end = self.cs.sim.run_until_idle();
         assert_eq!(self.completed, requests.len(), "all requests must finish");
+        let trace_summary = self.cs.sim.trace().summary();
         let gpu_utilization = self.cs.mean_compute_utilization();
         let timeline = self.rec.resolve(&self.cs.sim, &self.meta);
         let latency = LatencyStats::from_timeline(&timeline);
-        EngineReport {
+        let report = EngineReport {
             label,
             stats: RunStats::from_requests(requests, end.as_secs()),
             prefill_wall_s: self.prefill_wall,
@@ -556,7 +577,8 @@ impl<'a> RunState<'a> {
             gpu_utilization,
             timeline,
             latency,
-        }
+        };
+        (report, trace_summary)
     }
 }
 
@@ -585,6 +607,22 @@ mod tests {
         assert!(report.throughput_rps() > 0.0);
         assert!(report.prefill_wall_s > 0.0);
         assert!(report.decode_wall_s > 0.0);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_fills_buckets() {
+        let eng = VllmEngine::new(
+            ClusterSpec::a10x4(),
+            presets::llama2_13b(),
+            ParallelConfig::new(1, 2, 2),
+            SchedulingPolicy::PrefillPrioritized,
+        )
+        .unwrap();
+        let reqs = small_requests(12);
+        let (report, summary) = eng.run_traced(&reqs);
+        assert_eq!(report, eng.run(&reqs), "tracing only observes");
+        assert!(summary.compute > 0.0, "forward passes land in compute");
+        assert!(summary.total() > 0.0);
     }
 
     #[test]

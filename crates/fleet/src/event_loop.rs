@@ -30,9 +30,11 @@ use crate::fleet::Fleet;
 use crate::report::FleetReport;
 use crate::router::Router;
 use crate::router::RouterPolicy;
+use crate::telemetry::{record_request_spans, register_tracks};
 use seesaw_engine::driver::assert_arrivals_sorted;
 use seesaw_engine::{EngineStepper, SweepRunner};
 use seesaw_sim::{EventQueue, SimTime};
+use seesaw_telemetry::{fmt_secs, Instrument, ROUTER_TRACK};
 use seesaw_workload::{split_stream, Request};
 
 impl Fleet {
@@ -51,7 +53,26 @@ impl Fleet {
         policy: RouterPolicy,
         requests: &[Request],
     ) -> FleetReport {
+        self.run_event_loop_instrumented_with(runner, policy, requests, &mut Instrument::off())
+    }
+
+    /// [`Fleet::run_event_loop_with`] with a telemetry [`Instrument`]:
+    /// route decisions (and the measured or estimated state each one
+    /// saw) are recorded as instants on the router track while the
+    /// loop runs; request lifecycle spans and registry metrics are
+    /// filled in from the finished report. With `Instrument::off()`
+    /// this *is* `run_event_loop_with` — every recording site is a
+    /// branch on a false bool, so disabled output is byte-identical
+    /// (enforced by tests).
+    pub fn run_event_loop_instrumented_with(
+        &self,
+        runner: &SweepRunner,
+        policy: RouterPolicy,
+        requests: &[Request],
+        instr: &mut Instrument,
+    ) -> FleetReport {
         assert_arrivals_sorted(requests);
+        let telemetry = instr.telemetry_on();
         let n = self.replicas.len();
         let rates = self.routing_rates(policy, requests);
         let est = |replica: usize, req: &Request| {
@@ -71,6 +92,9 @@ impl Fleet {
         let mut events: EventQueue<usize> = EventQueue::new();
         for (idx, req) in requests.iter().enumerate() {
             events.push(SimTime::from_secs(req.arrival_s), idx);
+        }
+        if telemetry {
+            register_tracks(&mut instr.recorder, &format!("router ({policy})"), &self.labels());
         }
         let mut assignment = vec![0usize; requests.len()];
         while let Some((at, idx)) = events.pop() {
@@ -93,15 +117,58 @@ impl Fleet {
                 .route_live_among(req, &all, &live, est)
                 .expect("every replica of a fixed fleet is eligible");
             assignment[idx] = routed.replica;
+            if telemetry {
+                // The state this decision saw: measured for live
+                // policies, the router's virtual queue otherwise.
+                let (depth, work_s) = if live_routing {
+                    live[routed.replica]
+                } else {
+                    router.queue_state(now)[routed.replica]
+                };
+                instr.recorder.instant(
+                    ROUTER_TRACK,
+                    &format!("route {} -> r{}", req.id, routed.replica),
+                    now,
+                    &[
+                        ("queue_depth", depth.to_string()),
+                        ("work_s", fmt_secs(work_s)),
+                        ("est_wait_s", fmt_secs(routed.est_wait_s)),
+                        ("measured", live_routing.to_string()),
+                    ],
+                );
+                instr
+                    .metrics
+                    .counter_add(&format!("fleet.route.{policy}.replica{}", routed.replica), 1);
+                instr.metrics.observe("fleet.route.est_wait_s", routed.est_wait_s);
+            }
             if live_routing {
                 actors[routed.replica].push(req.clone());
             }
+        }
+        if telemetry {
+            instr.metrics.counter_add("fleet.events.pushed", events.total_pushes());
+            instr.metrics.counter_add("fleet.events.popped", events.total_pops());
+            let (replays, replayed) = actors
+                .iter()
+                .map(EngineStepper::replay_counts)
+                .fold((0, 0), |(a, b), (c, d)| (a + c, b + d));
+            instr.metrics.counter_add("fleet.replay.count", replays);
+            instr.metrics.counter_add("fleet.replay.requests", replayed);
         }
         drop(actors);
         let streams = split_stream(requests, &assignment, n);
         let indices: Vec<usize> = (0..n).collect();
         let reports = runner.map(&indices, |&i| self.replicas[i].run(&streams[i]));
-        FleetReport::from_replica_reports(policy, reports, assignment)
+        let report = FleetReport::from_replica_reports(policy, reports, assignment);
+        if telemetry {
+            record_request_spans(&mut instr.recorder, &report);
+            for (i, rep) in report.replicas.iter().enumerate() {
+                instr
+                    .metrics
+                    .counter_add(&format!("fleet.requests.replica{i}"), rep.stats.requests as u64);
+            }
+        }
+        report
     }
 }
 

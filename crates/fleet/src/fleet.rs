@@ -120,6 +120,35 @@ impl Fleet {
         if policy.needs_live_state() {
             return self.run_event_loop_with(runner, policy, requests);
         }
+        self.run_fast_path(runner, policy, requests)
+    }
+
+    /// [`Fleet::run_with`] under a telemetry [`Instrument`]. When
+    /// recording is on, every policy runs on the global event loop so
+    /// the route-decision instants carry the state each decision saw
+    /// (for feedback-free policies the loop reproduces the fast path
+    /// byte-for-byte, so only wall-time differs); with
+    /// [`seesaw_telemetry::Instrument::off()`] this dispatches
+    /// exactly like `run_with`.
+    pub fn run_instrumented_with(
+        &self,
+        runner: &SweepRunner,
+        policy: RouterPolicy,
+        requests: &[Request],
+        instr: &mut seesaw_telemetry::Instrument,
+    ) -> FleetReport {
+        if policy.needs_live_state() || instr.telemetry_on() {
+            return self.run_event_loop_instrumented_with(runner, policy, requests, instr);
+        }
+        self.run_fast_path(runner, policy, requests)
+    }
+
+    fn run_fast_path(
+        &self,
+        runner: &SweepRunner,
+        policy: RouterPolicy,
+        requests: &[Request],
+    ) -> FleetReport {
         assert_arrivals_sorted(requests);
         let n = self.replicas.len();
         let rates = self.routing_rates(policy, requests);
@@ -133,6 +162,42 @@ impl Fleet {
         let indices: Vec<usize> = (0..n).collect();
         let reports = runner.map(&indices, |&i| self.replicas[i].run(&streams[i]));
         FleetReport::from_replica_reports(policy, reports, assignment)
+    }
+
+    /// Serve `requests` under `policy` with engine span recording on
+    /// ([`OnlineEngine::run_traced`]), returning the fleet report plus
+    /// each replica's per-category busy-time summary (replica order) —
+    /// the `fleet --breakdown` path. Routing is identical to
+    /// [`Fleet::run_with`]; only the final simulations record spans,
+    /// so the report matches the untraced run byte-for-byte. Engines
+    /// without a traced path contribute all-zero summaries.
+    pub fn run_breakdown_with(
+        &self,
+        runner: &SweepRunner,
+        policy: RouterPolicy,
+        requests: &[Request],
+    ) -> (FleetReport, Vec<seesaw_sim::TraceSummary>) {
+        let n = self.replicas.len();
+        let assignment = if policy.needs_live_state() {
+            // Live routing needs the causal replay loop; reuse it and
+            // keep only the assignment (the traced re-runs below
+            // reproduce the same per-replica reports).
+            self.run_event_loop_with(runner, policy, requests).assignment
+        } else {
+            assert_arrivals_sorted(requests);
+            let rates = self.routing_rates(policy, requests);
+            router::assign(policy, n, requests, |replica, req| {
+                rates.get(replica).map_or(1.0, |r| r.est_service_s(req))
+            })
+        };
+        let streams = split_stream(requests, &assignment, n);
+        let indices: Vec<usize> = (0..n).collect();
+        let traced = runner.map(&indices, |&i| self.replicas[i].run_traced(&streams[i]));
+        let (reports, summaries): (Vec<_>, Vec<_>) = traced.into_iter().unzip();
+        (
+            FleetReport::from_replica_reports(policy, reports, assignment),
+            summaries,
+        )
     }
 
     /// Per-replica analytic service rates for routing under `policy`.
@@ -228,6 +293,63 @@ mod tests {
             let serial = fleet.run_with(&SweepRunner::serial(), policy, &reqs);
             let parallel = fleet.run_with(&SweepRunner::new(4), policy, &reqs);
             assert_eq!(serial, parallel, "{policy}");
+        }
+    }
+
+    #[test]
+    fn off_instrument_reproduces_run_with_exactly() {
+        let fleet = small_fleet(3);
+        let reqs = online_reqs(18, 6.0);
+        for policy in RouterPolicy::all_with_live() {
+            let plain = fleet.run_with(&SweepRunner::serial(), policy, &reqs);
+            let mut off = seesaw_telemetry::Instrument::off();
+            let instrumented =
+                fleet.run_instrumented_with(&SweepRunner::serial(), policy, &reqs, &mut off);
+            assert_eq!(plain, instrumented, "{policy}: disabled telemetry is invisible");
+            assert!(off.recorder.spans().is_empty());
+            assert!(off.metrics.is_empty());
+        }
+    }
+
+    #[test]
+    fn instrumented_run_records_and_stays_jobs_invariant() {
+        let fleet = small_fleet(3);
+        let reqs = online_reqs(18, 6.0);
+        for policy in [RouterPolicy::JoinShortestQueue, RouterPolicy::JoinShortestQueueLive] {
+            let run = |runner: &SweepRunner| {
+                let mut instr = seesaw_telemetry::Instrument::tracing();
+                let report = fleet.run_instrumented_with(runner, policy, &reqs, &mut instr);
+                (report, seesaw_telemetry::perfetto::render(&instr.recorder, "fleet"),
+                 instr.metrics.render_json())
+            };
+            let (r1, t1, m1) = run(&SweepRunner::serial());
+            let (r4, t4, m4) = run(&SweepRunner::new(4));
+            assert_eq!(r1, r4, "{policy}");
+            assert_eq!(t1, t4, "{policy}: trace bytes are jobs-invariant");
+            assert_eq!(m1, m4, "{policy}: metric bytes are jobs-invariant");
+            assert!(t1.contains("\"ph\":\"X\""), "{policy}: request spans present");
+            assert!(t1.contains("route "), "{policy}: route instants present");
+            // The report itself matches the uninstrumented run: for
+            // live policies trivially, for estimated ones because the
+            // event loop reproduces the fast path byte-for-byte.
+            assert_eq!(r1, fleet.run_with(&SweepRunner::serial(), policy, &reqs), "{policy}");
+        }
+    }
+
+    #[test]
+    fn breakdown_matches_untraced_report_and_fills_buckets() {
+        let fleet = small_fleet(2);
+        let reqs = online_reqs(12, 5.0);
+        for policy in [RouterPolicy::JoinShortestQueue, RouterPolicy::JoinShortestQueueLive] {
+            let plain = fleet.run_with(&SweepRunner::serial(), policy, &reqs);
+            let (report, summaries) =
+                fleet.run_breakdown_with(&SweepRunner::serial(), policy, &reqs);
+            assert_eq!(plain, report, "{policy}: tracing only observes");
+            assert_eq!(summaries.len(), 2);
+            assert!(
+                summaries.iter().all(|s| s.compute > 0.0),
+                "{policy}: every replica ran traced compute"
+            );
         }
     }
 

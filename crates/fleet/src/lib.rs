@@ -41,6 +41,7 @@ pub mod fleet;
 pub mod report;
 pub mod router;
 pub mod sweep;
+pub mod telemetry;
 
 pub use fleet::Fleet;
 pub use report::{FleetReport, LoadImbalance};

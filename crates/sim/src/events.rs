@@ -47,6 +47,7 @@ pub struct EventQueue<T> {
     free: Vec<usize>,
     seq: u64,
     now: SimTime,
+    pops: u64,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -64,7 +65,18 @@ impl<T> EventQueue<T> {
             free: Vec::new(),
             seq: 0,
             now: SimTime::ZERO,
+            pops: 0,
         }
+    }
+
+    /// Lifetime push count (telemetry hook: event-loop volume).
+    pub fn total_pushes(&self) -> u64 {
+        self.seq
+    }
+
+    /// Lifetime pop count (telemetry hook: events actually driven).
+    pub fn total_pops(&self) -> u64 {
+        self.pops
     }
 
     /// Current simulated time: the timestamp of the last popped
@@ -117,6 +129,7 @@ impl<T> EventQueue<T> {
         let at = unpack_time(key);
         debug_assert!(unpack_seq(key) <= self.seq);
         self.now = at;
+        self.pops += 1;
         let payload = self.slots[slot].take().expect("slot holds a pending event");
         self.free.push(slot);
         Some((at, payload))
@@ -176,6 +189,20 @@ mod tests {
         q.pop();
         assert_eq!(q.now(), SimTime::from_secs(4.0));
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn push_pop_counters_track_volume() {
+        let mut q = EventQueue::new();
+        assert_eq!((q.total_pushes(), q.total_pops()), (0, 0));
+        q.push(SimTime::from_secs(1.0), ());
+        q.push(SimTime::from_secs(2.0), ());
+        assert_eq!((q.total_pushes(), q.total_pops()), (2, 0));
+        q.pop();
+        assert_eq!((q.total_pushes(), q.total_pops()), (2, 1));
+        q.pop();
+        q.pop();
+        assert_eq!((q.total_pushes(), q.total_pops()), (2, 2), "empty pops don't count");
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! The metrics registry: counters, gauges, and histograms whose
+//! snapshots are deterministic (name-sorted via `BTreeMap`) and merge
+//! associatively — two registries filled on different shards combine
+//! into the same snapshot as one registry filled serially.
+
+use std::collections::BTreeMap;
+
+/// Log-spaced histogram bounds: powers of two from 1 ms up to ~4096 s,
+/// a span that covers TTFT, e2e latency, and queue waits alike.
+/// Fixed bounds are what make histograms mergeable bucket-wise.
+const HIST_BOUNDS: [f64; 23] = [
+    0.001, 0.002, 0.004, 0.008, 0.016, 0.032, 0.064, 0.128, 0.256, 0.512, 1.0, 2.0, 4.0, 8.0,
+    16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0,
+];
+
+/// One histogram: fixed log-spaced buckets plus sum/count/max.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Count per bucket; `counts[i]` holds values `<= HIST_BOUNDS[i]`,
+    /// with one final overflow bucket.
+    pub counts: Vec<u64>,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+    /// Largest observed value (0.0 when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    fn new() -> Self {
+        HistogramSnapshot { counts: vec![0; HIST_BOUNDS.len() + 1], sum: 0.0, count: 0, max: 0.0 }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let idx = HIST_BOUNDS.iter().position(|&b| v <= b).unwrap_or(HIST_BOUNDS.len());
+        self.counts[idx] += 1;
+        self.sum += v;
+        self.count += 1;
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Upper-bound estimate of quantile `q` in [0, 1]: the bound of
+    /// the bucket where the cumulative count crosses `q * count`.
+    pub fn quantile_bound(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return HIST_BOUNDS.get(i).copied().unwrap_or(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Counters, gauges, and histograms under sorted string names.
+///
+/// Naming convention: dotted lowercase paths, tier first —
+/// `fleet.route.jsq.replica3`, `autoscale.scale_up`,
+/// `chaos.retries`. Deterministic iteration order is the point:
+/// [`MetricsRegistry::render_json`] walks the maps in name order, so
+/// snapshot bytes are stable across runs and job counts.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Add `v` to counter `name` (created at zero).
+    pub fn counter_add(&mut self, name: &str, v: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += v;
+    }
+
+    /// Set gauge `name` to `v` (last write wins; merges keep the max,
+    /// so "high-water" gauges survive sharded collection).
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Record one observation into histogram `name`.
+    pub fn observe(&mut self, name: &str, v: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(HistogramSnapshot::new)
+            .observe(v);
+    }
+
+    /// Counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, when set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram snapshot, when any observation landed.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Fold `other` into `self`: counters add, gauges keep the max,
+    /// histograms merge bucket-wise. Associative and commutative, so
+    /// shard merge order never changes the result.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let e = self.gauges.entry(k.clone()).or_insert(f64::NEG_INFINITY);
+            if *v > *e {
+                *e = *v;
+            }
+        }
+        for (k, h) in &other.histograms {
+            self.histograms
+                .entry(k.clone())
+                .or_insert_with(HistogramSnapshot::new)
+                .merge(h);
+        }
+    }
+
+    /// Render the registry as one JSON object with `counters`,
+    /// `gauges`, and `histograms` sub-objects, keys in sorted order,
+    /// numbers at fixed precision — byte-stable across reruns.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n      \"counters\": {");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n        \"{}\": {v}", crate::perfetto::esc(k)));
+        }
+        out.push_str("\n      },\n      \"gauges\": {");
+        first = true;
+        for (k, v) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n        \"{}\": {v:.6}", crate::perfetto::esc(k)));
+        }
+        out.push_str("\n      },\n      \"histograms\": {");
+        first = true;
+        for (k, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n        \"{}\": {{\"count\": {}, \"sum\": {:.6}, \"max\": {:.6}, \"p50_le\": {:.6}, \"p99_le\": {:.6}}}",
+                crate::perfetto::esc(k),
+                h.count,
+                h.sum,
+                h.max,
+                h.quantile_bound(0.50),
+                h.quantile_bound(0.99),
+            ));
+        }
+        out.push_str("\n      }\n    }");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_round_trip() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("a.routes", 3);
+        m.counter_add("a.routes", 2);
+        m.gauge_set("a.depth", 7.5);
+        m.observe("a.wait_s", 0.01);
+        m.observe("a.wait_s", 3.0);
+        assert_eq!(m.counter("a.routes"), 5);
+        assert_eq!(m.gauge("a.depth"), Some(7.5));
+        let h = m.histogram("a.wait_s").unwrap();
+        assert_eq!(h.count, 2);
+        assert!((h.mean() - 1.505).abs() < 1e-12);
+        assert_eq!(h.max, 3.0);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.counter_add("n", 1);
+        b.counter_add("n", 2);
+        a.gauge_set("g", 4.0);
+        b.gauge_set("g", 9.0);
+        a.observe("h", 0.5);
+        b.observe("h", 2.0);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("n"), 3);
+        assert_eq!(ab.gauge("g"), Some(9.0));
+        assert_eq!(ab.histogram("h").unwrap().count, 2);
+        assert_eq!(ab.render_json(), ba.render_json());
+    }
+
+    #[test]
+    fn quantile_bound_walks_buckets() {
+        let mut h = HistogramSnapshot::new();
+        for _ in 0..99 {
+            h.observe(0.01);
+        }
+        h.observe(100.0);
+        assert_eq!(h.quantile_bound(0.5), 0.016);
+        assert_eq!(h.quantile_bound(1.0), 128.0);
+        assert_eq!(HistogramSnapshot::new().quantile_bound(0.5), 0.0);
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_objects() {
+        let m = MetricsRegistry::new();
+        assert!(m.is_empty());
+        let json = m.render_json();
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"histograms\""));
+    }
+}

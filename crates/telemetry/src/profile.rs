@@ -1,0 +1,160 @@
+//! Controller self-profiling: wall-time attribution across the
+//! autoscale controller's phases, answering the ROADMAP's "where do
+//! the ~800 cells/s go" with data instead of guesses.
+//!
+//! This is *host* time (`std::time::Instant`), deliberately outside
+//! the deterministic recorder: profiles ride beside reports, never
+//! inside them, so report byte-identity is untouched.
+
+/// Wall-time spent per controller phase, plus work counters that give
+/// the times denominators.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ControllerProfile {
+    /// Route-decision time: the dispatch loop minus live-state replay.
+    pub routing_s: f64,
+    /// Live-state replay: `run_ready` re-simulations behind
+    /// `live_state_at` (dispatch-time queries, window-boundary
+    /// observations, kill-time in-flight reads).
+    pub replay_s: f64,
+    /// Final per-replica engine simulations (the `runner.map` block).
+    pub engine_s: f64,
+    /// Report assembly: retry fold-back, lifecycles, fleet merge,
+    /// windowed metrics, availability accounting.
+    pub metrics_s: f64,
+    /// End-to-end controller wall time.
+    pub total_s: f64,
+    /// Windows processed.
+    pub windows: usize,
+    /// Requests dispatched (including retries).
+    pub dispatches: u64,
+    /// Live-state cache refills (each is one `run_ready` replay).
+    pub replays: u64,
+    /// Total requests re-simulated across those refills — the replay
+    /// amplification numerator (`replayed_requests / dispatches` is
+    /// how many times the average request is re-run before the final
+    /// pass).
+    pub replayed_requests: u64,
+}
+
+impl ControllerProfile {
+    /// Sum of the four attributed phases.
+    pub fn accounted_s(&self) -> f64 {
+        self.routing_s + self.replay_s + self.engine_s + self.metrics_s
+    }
+
+    /// Fraction of total wall time the phases explain (1.0 when no
+    /// time was measured — an unprofiled run has nothing unexplained).
+    pub fn coverage(&self) -> f64 {
+        if self.total_s <= 0.0 {
+            1.0
+        } else {
+            self.accounted_s() / self.total_s
+        }
+    }
+
+    /// Replay amplification: re-simulated requests per dispatched
+    /// request (0.0 when nothing dispatched).
+    pub fn replay_amplification(&self) -> f64 {
+        if self.dispatches == 0 {
+            0.0
+        } else {
+            self.replayed_requests as f64 / self.dispatches as f64
+        }
+    }
+
+    /// Fold another profile in (for averaging across repeated runs).
+    pub fn absorb(&mut self, other: &ControllerProfile) {
+        self.routing_s += other.routing_s;
+        self.replay_s += other.replay_s;
+        self.engine_s += other.engine_s;
+        self.metrics_s += other.metrics_s;
+        self.total_s += other.total_s;
+        self.windows += other.windows;
+        self.dispatches += other.dispatches;
+        self.replays += other.replays;
+        self.replayed_requests += other.replayed_requests;
+    }
+
+    /// Human-readable attribution block (the `perf_report` rendering).
+    pub fn render(&self) -> String {
+        let pct = |s: f64| if self.total_s > 0.0 { 100.0 * s / self.total_s } else { 0.0 };
+        let mut out = String::new();
+        out.push_str(&format!(
+            "controller phase attribution ({} windows, {} dispatches):\n",
+            self.windows, self.dispatches
+        ));
+        out.push_str(&format!(
+            "  routing            {:>9.4}s  {:>5.1}%\n",
+            self.routing_s,
+            pct(self.routing_s)
+        ));
+        out.push_str(&format!(
+            "  live-state replay  {:>9.4}s  {:>5.1}%  ({} replays, {:.1}x amplification)\n",
+            self.replay_s,
+            pct(self.replay_s),
+            self.replays,
+            self.replay_amplification()
+        ));
+        out.push_str(&format!(
+            "  engine runs        {:>9.4}s  {:>5.1}%\n",
+            self.engine_s,
+            pct(self.engine_s)
+        ));
+        out.push_str(&format!(
+            "  metrics            {:>9.4}s  {:>5.1}%\n",
+            self.metrics_s,
+            pct(self.metrics_s)
+        ));
+        out.push_str(&format!(
+            "  accounted          {:>9.4}s  {:>5.1}% of {:.4}s total\n",
+            self.accounted_s(),
+            100.0 * self.coverage(),
+            self.total_s
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_and_amplification() {
+        let p = ControllerProfile {
+            routing_s: 1.0,
+            replay_s: 6.0,
+            engine_s: 2.0,
+            metrics_s: 0.5,
+            total_s: 10.0,
+            windows: 12,
+            dispatches: 100,
+            replays: 40,
+            replayed_requests: 450,
+            ..Default::default()
+        };
+        assert!((p.accounted_s() - 9.5).abs() < 1e-12);
+        assert!((p.coverage() - 0.95).abs() < 1e-12);
+        assert!((p.replay_amplification() - 4.5).abs() < 1e-12);
+        let text = p.render();
+        assert!(text.contains("live-state replay"));
+        assert!(text.contains("95.0% of 10.0000s total"));
+    }
+
+    #[test]
+    fn empty_profile_is_fully_covered() {
+        let p = ControllerProfile::default();
+        assert_eq!(p.coverage(), 1.0);
+        assert_eq!(p.replay_amplification(), 0.0);
+    }
+
+    #[test]
+    fn absorb_sums_fields() {
+        let mut a = ControllerProfile { routing_s: 1.0, dispatches: 5, ..Default::default() };
+        let b = ControllerProfile { routing_s: 2.0, dispatches: 7, windows: 3, ..Default::default() };
+        a.absorb(&b);
+        assert_eq!(a.routing_s, 3.0);
+        assert_eq!(a.dispatches, 12);
+        assert_eq!(a.windows, 3);
+    }
+}

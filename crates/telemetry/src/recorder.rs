@@ -1,0 +1,234 @@
+//! The structured event recorder: sim-time spans and instants on
+//! named tracks.
+//!
+//! A *track* is a logical timeline the Perfetto exporter renders as
+//! one thread row: the controller, the router, and one row per
+//! replica. Track ids are stable small integers so recorded bytes
+//! are reproducible; names attach via [`Recorder::track`] and become
+//! `thread_name` metadata on export.
+//!
+//! Every timestamp is **simulated** seconds. The recorder is filled
+//! from the serial, causal parts of each tier (the routing loop, the
+//! window loop), so insertion order — and therefore rendered output —
+//! is independent of how many worker threads later simulate the
+//! consequences.
+//!
+//! Long days produce millions of per-request events; the recorder
+//! bounds memory with per-kind caps ([`Recorder::with_caps`]) and
+//! counts what it dropped, so a capped trace says so instead of
+//! silently looking complete.
+
+/// Track id of the controller timeline (windows, scale events, faults).
+pub const CONTROLLER_TRACK: u32 = 1;
+/// Track id of the router timeline (route decisions).
+pub const ROUTER_TRACK: u32 = 2;
+/// Track id of replica `i` is `REPLICA_TRACK_BASE + i`.
+pub const REPLICA_TRACK_BASE: u32 = 10;
+
+/// Default cap on recorded spans (request lifecycles dominate).
+pub(crate) const DEFAULT_SPAN_CAP: usize = 50_000;
+/// Default cap on recorded instants (route decisions dominate).
+pub(crate) const DEFAULT_INSTANT_CAP: usize = 100_000;
+
+/// A closed interval on a track. `args` are pre-formatted key/value
+/// pairs (callers format numbers deterministically before recording).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Track the span belongs to.
+    pub track: u32,
+    /// Display name.
+    pub name: String,
+    /// Start, simulated seconds.
+    pub start_s: f64,
+    /// Duration, simulated seconds (clamped non-negative).
+    pub dur_s: f64,
+    /// Extra key/value payload.
+    pub args: Vec<(String, String)>,
+}
+
+/// A point event on a track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstantEvent {
+    /// Track the instant belongs to.
+    pub track: u32,
+    /// Display name.
+    pub name: String,
+    /// Timestamp, simulated seconds.
+    pub t_s: f64,
+    /// Extra key/value payload.
+    pub args: Vec<(String, String)>,
+}
+
+/// An append-only, capacity-bounded log of spans and instants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recorder {
+    enabled: bool,
+    tracks: Vec<(u32, String)>,
+    spans: Vec<SpanEvent>,
+    instants: Vec<InstantEvent>,
+    span_cap: usize,
+    instant_cap: usize,
+    dropped_spans: u64,
+    dropped_instants: u64,
+}
+
+impl Recorder {
+    /// A recording recorder with the default caps.
+    pub fn enabled() -> Self {
+        Recorder {
+            enabled: true,
+            tracks: Vec::new(),
+            spans: Vec::new(),
+            instants: Vec::new(),
+            span_cap: DEFAULT_SPAN_CAP,
+            instant_cap: DEFAULT_INSTANT_CAP,
+            dropped_spans: 0,
+            dropped_instants: 0,
+        }
+    }
+
+    /// A no-op recorder: every record call is a branch on `false`.
+    pub fn disabled() -> Self {
+        Recorder { enabled: false, ..Recorder::enabled() }
+    }
+
+    /// A recording recorder with explicit span/instant caps.
+    pub fn with_caps(span_cap: usize, instant_cap: usize) -> Self {
+        Recorder { span_cap, instant_cap, ..Recorder::enabled() }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Register (or rename) a track. Idempotent per id; registration
+    /// order fixes the exported row order.
+    pub fn track(&mut self, id: u32, name: &str) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(t) = self.tracks.iter_mut().find(|(tid, _)| *tid == id) {
+            t.1 = name.to_string();
+        } else {
+            self.tracks.push((id, name.to_string()));
+        }
+    }
+
+    /// Record a span. Negative durations clamp to zero; beyond the
+    /// cap the span is counted as dropped instead of stored.
+    pub fn span(&mut self, track: u32, name: &str, start_s: f64, dur_s: f64, args: &[(&str, String)]) {
+        if !self.enabled {
+            return;
+        }
+        if self.spans.len() >= self.span_cap {
+            self.dropped_spans += 1;
+            return;
+        }
+        self.spans.push(SpanEvent {
+            track,
+            name: name.to_string(),
+            start_s,
+            dur_s: dur_s.max(0.0),
+            args: own_args(args),
+        });
+    }
+
+    /// Record an instant event (same capping rules as spans).
+    pub fn instant(&mut self, track: u32, name: &str, t_s: f64, args: &[(&str, String)]) {
+        if !self.enabled {
+            return;
+        }
+        if self.instants.len() >= self.instant_cap {
+            self.dropped_instants += 1;
+            return;
+        }
+        self.instants.push(InstantEvent {
+            track,
+            name: name.to_string(),
+            t_s,
+            args: own_args(args),
+        });
+    }
+
+    /// Registered tracks, in registration order.
+    pub fn tracks(&self) -> &[(u32, String)] {
+        &self.tracks
+    }
+
+    /// Recorded spans, in insertion order.
+    pub fn spans(&self) -> &[SpanEvent] {
+        &self.spans
+    }
+
+    /// Recorded instants, in insertion order.
+    pub fn instants(&self) -> &[InstantEvent] {
+        &self.instants
+    }
+
+    /// `(dropped_spans, dropped_instants)` — events refused by caps.
+    pub fn dropped(&self) -> (u64, u64) {
+        (self.dropped_spans, self.dropped_instants)
+    }
+}
+
+fn own_args(args: &[(&str, String)]) -> Vec<(String, String)> {
+    args.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+}
+
+/// Deterministic fixed-precision formatting for numeric args: six
+/// decimals, matching the bins' JSON number rendering, so recorded
+/// bytes never depend on locale or float shortest-repr quirks.
+pub fn fmt_secs(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_a_no_op() {
+        let mut r = Recorder::disabled();
+        r.track(CONTROLLER_TRACK, "controller");
+        r.span(CONTROLLER_TRACK, "w0", 0.0, 1.0, &[]);
+        r.instant(ROUTER_TRACK, "route", 0.5, &[]);
+        assert!(r.tracks().is_empty());
+        assert!(r.spans().is_empty());
+        assert!(r.instants().is_empty());
+        assert_eq!(r.dropped(), (0, 0));
+    }
+
+    #[test]
+    fn caps_count_drops_instead_of_growing() {
+        let mut r = Recorder::with_caps(1, 2);
+        r.span(1, "a", 0.0, 1.0, &[]);
+        r.span(1, "b", 1.0, 1.0, &[]);
+        r.instant(1, "x", 0.0, &[]);
+        r.instant(1, "y", 0.0, &[]);
+        r.instant(1, "z", 0.0, &[]);
+        assert_eq!(r.spans().len(), 1);
+        assert_eq!(r.instants().len(), 2);
+        assert_eq!(r.dropped(), (1, 1));
+    }
+
+    #[test]
+    fn track_registration_is_idempotent_and_ordered() {
+        let mut r = Recorder::enabled();
+        r.track(ROUTER_TRACK, "router");
+        r.track(CONTROLLER_TRACK, "controller");
+        r.track(ROUTER_TRACK, "router (renamed)");
+        assert_eq!(
+            r.tracks(),
+            &[(ROUTER_TRACK, "router (renamed)".to_string()), (CONTROLLER_TRACK, "controller".to_string())]
+        );
+    }
+
+    #[test]
+    fn negative_durations_clamp() {
+        let mut r = Recorder::enabled();
+        r.span(1, "s", 5.0, -1.0, &[("k", fmt_secs(0.25))]);
+        assert_eq!(r.spans()[0].dur_s, 0.0);
+        assert_eq!(r.spans()[0].args[0], ("k".to_string(), "0.250000".to_string()));
+    }
+}

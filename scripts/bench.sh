@@ -5,9 +5,15 @@
 #   * any sims/sec figure (seesaw, vllm, the online-serving
 #     load-point rate "serving", the 4-replica-JSQ fleet grid-cell
 #     rate "fleet", the same cell on the live-feedback global event
-#     loop "fleet_live", the reactive-diurnal autoscale grid-cell
+#     loop "fleet_live", that cell with telemetry recording on
+#     "fleet_live_traced", the reactive-diurnal autoscale grid-cell
 #     rate "autoscale", or the seeded-kill fault-injection grid-cell
-#     rate "chaos") regresses >20% vs the committed BENCH_sweep.json.
+#     rate "chaos") regresses >20% vs the committed BENCH_sweep.json,
+#   * the telemetry-disabled instrumented path costs >5% vs plain
+#     fleet_live, or the controller self-profile explains <90% of
+#     wall time (both checked inside perf_report), or
+#   * the fleet bin's --trace-out export is not a well-formed
+#     Perfetto document with the expected tracks.
 #
 # Usage: scripts/bench.sh [subsample] [--jobs N]
 #   subsample defaults to 8 (the committed artifact's setting).
@@ -18,10 +24,28 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -p seesaw-bench --bin perf_report
+cargo build --release -p seesaw-bench --bin perf_report --bin fleet
 
 ./target/release/perf_report "$@" \
     --out target/BENCH_sweep.json \
     --baseline BENCH_sweep.json
+
+# Telemetry smoke test: export a small fleet trace and validate it.
+trace=target/fleet.trace.json
+./target/release/fleet 16 --replicas 1 --loads 0.5 --no-hetero \
+    --compare-replicas 2 --trace-out "$trace" > /dev/null
+
+python3 - "$trace" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+tracks = [e for e in events if e.get("name") == "thread_name"]
+# controller + router + 2 replica tracks from --compare-replicas 2.
+assert len(tracks) == 4, f"expected 4 tracks, got {len(tracks)}"
+assert any(e.get("ph") == "X" for e in events), "no spans recorded"
+assert any(e.get("ph") == "i" for e in events), "no instants recorded"
+print(f"bench.sh: trace OK ({len(events)} events, {len(tracks)} tracks)")
+EOF
 
 echo "bench.sh: OK (fresh artifact at target/BENCH_sweep.json)"
