@@ -35,6 +35,7 @@
 //! exactly — byte-for-byte — onto the fixed [`seesaw_fleet::Fleet`]
 //! of the same size.
 
+use crate::alert::{AlertEngine, AlertEvent, AlertKind, AlertRule};
 use crate::faults::{
     accepting_capacity_per_window, unavailability_s, AvailabilityStats, FailureEvent,
     FaultKind, FaultSchedule,
@@ -47,10 +48,11 @@ use seesaw_fleet::sweep::ReplicaBuilder;
 use seesaw_fleet::telemetry::{record_request_spans, replica_track};
 use seesaw_fleet::{FleetReport, Router, RouterPolicy};
 use seesaw_telemetry::{
-    fmt_secs, ControllerProfile, Instrument, CONTROLLER_TRACK, ROUTER_TRACK,
+    fmt_secs, ControllerProfile, Instrument, ALERT_TRACK, CONTROLLER_TRACK, ROUTER_TRACK,
 };
 use seesaw_workload::{
-    windowed_metrics, DispatchQueue, LatencyStats, Request, SloSpec, WindowMetrics,
+    windowed_metrics, DispatchQueue, LatencyStats, Request, SloSpec, SummaryMode,
+    WindowAccumulator, WindowMetrics,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -255,6 +257,9 @@ pub struct ElasticFleetReport {
     /// past the horizon (the drain tail) extend the axis, so this may
     /// be longer than [`ElasticFleetReport::windows`].
     pub windowed: Vec<WindowMetrics>,
+    /// Burn-rate alert transitions the controller's rule emitted over
+    /// the measured window axis, in window order.
+    pub alerts: Vec<AlertEvent>,
     /// The control horizon (last window end), seconds.
     pub horizon_s: f64,
     /// Total billed replica-seconds — the frontier's cost axis.
@@ -357,16 +362,47 @@ pub struct AutoscaleController {
     pub config: AutoscaleConfig,
     /// The replica-count policy.
     pub policy: ScalingPolicy,
+    /// How window TTFT summaries are computed: [`SummaryMode::Exact`]
+    /// (the default — byte-identical to pre-sketch behaviour) sorts
+    /// each window's samples post-hoc; [`SummaryMode::Sketch`] folds
+    /// completions into a streaming [`WindowAccumulator`] of
+    /// mergeable quantile sketches as replica reports land.
+    pub summary: SummaryMode,
+    /// The burn-rate alert rule evaluated over the measured window
+    /// axis ([`ElasticFleetReport::alerts`]).
+    pub alert: AlertRule,
 }
 
 impl AutoscaleController {
     /// A controller; panics on invalid configuration or policy (use
     /// [`AutoscaleConfig::validate`] / [`ScalingPolicy::validate`]
-    /// for recoverable checks).
+    /// for recoverable checks). Summaries default to
+    /// [`SummaryMode::Exact`] and alerting to [`AlertRule::default`];
+    /// override with [`AutoscaleController::with_summary`] /
+    /// [`AutoscaleController::with_alert`].
     pub fn new(config: AutoscaleConfig, policy: ScalingPolicy) -> Self {
         config.validate().unwrap_or_else(|e| panic!("invalid autoscale config: {e}"));
         policy.validate().unwrap_or_else(|e| panic!("invalid scaling policy: {e}"));
-        AutoscaleController { config, policy }
+        AutoscaleController {
+            config,
+            policy,
+            summary: SummaryMode::Exact,
+            alert: AlertRule::default(),
+        }
+    }
+
+    /// The same controller with `summary` as its window-summary mode.
+    pub fn with_summary(mut self, summary: SummaryMode) -> Self {
+        self.summary = summary;
+        self
+    }
+
+    /// The same controller evaluating `alert`; panics on an invalid
+    /// rule.
+    pub fn with_alert(mut self, alert: AlertRule) -> Self {
+        alert.validate().unwrap_or_else(|e| panic!("invalid alert rule: {e}"));
+        self.alert = alert;
+        self
     }
 
     /// Replay `requests` (sorted by arrival) on replicas built by
@@ -1157,8 +1193,26 @@ impl AutoscaleController {
             })
             .collect();
         let replica_seconds: f64 = lifecycles.iter().map(ReplicaLifecycle::billed_s).sum();
+        // In sketch mode the window axis is built *streamingly*: each
+        // replica report's completions fold into the accumulator as
+        // they land — no post-hoc sort of the merged timeline. The
+        // accumulator is push-order-invariant (property-tested
+        // against the oracle), so the result stays byte-identical for
+        // every `--jobs` value. Exact mode keeps the original
+        // post-hoc path untouched.
+        let mut acc = (self.summary == SummaryMode::Sketch)
+            .then(|| WindowAccumulator::new(cfg.slo, cfg.window_s, SummaryMode::Sketch));
+        if let Some(acc) = acc.as_mut() {
+            for report in &reports {
+                acc.observe(&report.timeline);
+            }
+        }
         let fleet = FleetReport::from_replica_reports(cfg.router, reports, assignment);
-        let windowed = windowed_metrics(&fleet.timeline, cfg.slo, cfg.window_s, horizon_s);
+        let windowed = match acc {
+            Some(acc) => acc.finish(horizon_s),
+            None => windowed_metrics(&fleet.timeline, cfg.slo, cfg.window_s, horizon_s),
+        };
+        let alerts = AlertEngine::evaluate(&[self.alert], &windowed);
         // Conservation: every offered request either completed or was
         // counted failed — nothing is silently dropped.
         let completed = fleet.timeline.len();
@@ -1186,6 +1240,27 @@ impl AutoscaleController {
         let metrics_s = lap(metrics_start);
         if telemetry {
             record_request_spans(&mut instr.recorder, &fleet);
+            for a in &alerts {
+                let name = match a.kind {
+                    AlertKind::Fire => "alert.fire",
+                    AlertKind::Clear => "alert.clear",
+                };
+                instr.recorder.instant(
+                    ALERT_TRACK,
+                    name,
+                    a.t_s,
+                    &[
+                        ("rule", a.rule.clone()),
+                        ("window", a.window.to_string()),
+                        ("short_burn", format!("{:.2}", a.short_burn)),
+                        ("long_burn", format!("{:.2}", a.long_burn)),
+                    ],
+                );
+            }
+            instr.metrics.counter_add(
+                "autoscale.alerts.fired",
+                alerts.iter().filter(|a| a.kind == AlertKind::Fire).count() as u64,
+            );
             for (i, rep) in fleet.replicas.iter().enumerate() {
                 instr.metrics.counter_add(
                     &format!("autoscale.requests.replica{i}"),
@@ -1229,6 +1304,7 @@ impl AutoscaleController {
             failures,
             availability,
             windowed,
+            alerts,
             horizon_s,
             replica_seconds,
             peak_replicas,
@@ -1384,6 +1460,58 @@ mod tests {
             let parallel = ctl.run_with(&SweepRunner::new(4), &build, &reqs);
             assert_eq!(serial, parallel, "{policy}");
         }
+    }
+
+    #[test]
+    fn sketch_mode_keeps_exact_counters_and_stays_jobs_invariant() {
+        let build = builder();
+        let reqs = traced(120, 4.0, 3);
+        let ctl =
+            AutoscaleController::new(cfg(5.0, 8.0, 6), ScalingPolicy::reactive_default());
+        let exact = ctl.run_with(&SweepRunner::serial(), &build, &reqs);
+        // Exact is the default: `with_summary(Exact)` is a no-op, and
+        // the whole report — not just the window axis — is
+        // byte-identical to the plain run.
+        assert_eq!(
+            exact,
+            ctl.with_summary(SummaryMode::Exact)
+                .run_with(&SweepRunner::serial(), &build, &reqs)
+        );
+        let sketch = ctl
+            .with_summary(SummaryMode::Sketch)
+            .run_with(&SweepRunner::serial(), &build, &reqs);
+        // Everything outside the window axis is untouched by the
+        // summary mode...
+        assert_eq!(sketch.fleet, exact.fleet);
+        assert_eq!(sketch.windows, exact.windows);
+        assert_eq!(sketch.events, exact.events);
+        assert_eq!(sketch.availability, exact.availability);
+        // ...and alerting (driven by the exact counters) transitions
+        // identically in both modes.
+        assert_eq!(sketch.alerts, exact.alerts);
+        // The window axis keeps exact counters; only the TTFT summary
+        // is sketched, within its 1% bound.
+        assert_eq!(sketch.windowed.len(), exact.windowed.len());
+        for (s, e) in sketch.windowed.iter().zip(&exact.windowed) {
+            assert_eq!(s.arrivals, e.arrivals);
+            assert_eq!(s.completions, e.completions);
+            assert_eq!(s.attainment, e.attainment);
+            assert_eq!(s.goodput_rps, e.goodput_rps);
+            assert_eq!(s.ttft.is_some(), e.ttft.is_some());
+            if let (Some(sk), Some(ex)) = (s.ttft, e.ttft) {
+                for (a, b) in [(sk.p50, ex.p50), (sk.p90, ex.p90), (sk.max, ex.max)] {
+                    assert!((a - b).abs() <= (b.abs() * 0.01).max(1e-9));
+                }
+            }
+        }
+        // The streaming fold consumes per-replica reports, but its
+        // output is push-order-invariant: byte-identical across
+        // `--jobs`.
+        assert_eq!(
+            sketch,
+            ctl.with_summary(SummaryMode::Sketch)
+                .run_with(&SweepRunner::new(4), &build, &reqs)
+        );
     }
 
     #[test]

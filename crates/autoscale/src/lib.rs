@@ -42,11 +42,13 @@
 //! [`seesaw_fleet::Fleet`] of the same size byte-for-byte, so the
 //! elastic tier nests the static one exactly.
 
+pub mod alert;
 pub mod controller;
 pub mod faults;
 pub mod policy;
 pub mod sweep;
 
+pub use alert::{score_detection, AlertEngine, AlertEvent, AlertKind, AlertRule, DetectionScore};
 pub use controller::{
     AutoscaleConfig, AutoscaleController, ElasticFleetReport, ReplicaLifecycle, ScaleEvent,
     WindowSignals,

@@ -264,6 +264,7 @@ pub fn observed_frontier_cell_with(
         &FaultSchedule::none(),
         &mut instr,
     );
+    instr.snapshot_drops();
     let trace_json = seesaw_telemetry::perfetto::render(&instr.recorder, "autoscale");
     Ok(ObservedFrontierCell { trace, policy, report, trace_json, metrics: instr.metrics })
 }

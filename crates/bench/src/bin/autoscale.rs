@@ -8,7 +8,7 @@
 //!             [--window S] [--warmup S] [--min N] [--max N]
 //!             [--trough M] [--peak M] [--slo-ttft S] [--slo-tpot S]
 //!             [--seed S] [--trace FILE] [--timeline POLICY] [--json]
-//!             [--trace-out FILE]
+//!             [--trace-out FILE] [--metrics-out FILE]
 //!
 //! Defaults: one 86 400 s day shaped by a sinusoidal diurnal envelope
 //! and a bimodal rush-hours envelope, both swinging between 0.25× and
@@ -28,7 +28,10 @@
 //! controller windows, scale events, warm-ups, and per-request spans
 //! on per-replica tracks; open it at ui.perfetto.dev or
 //! `chrome://tracing`. With `--json` the document additionally gains
-//! a `telemetry` metrics block.
+//! a `telemetry` metrics block, and `--metrics-out FILE` writes the
+//! same metric snapshot (counters / gauges / histograms, including
+//! the recorder's dropped-event health counters) as a standalone
+//! JSON file.
 
 use seesaw_autoscale::AutoscaleConfig;
 use seesaw_bench::autoscale::{self, ScenarioSpec};
@@ -39,7 +42,7 @@ fn usage() -> ! {
         "usage: autoscale [--jobs N] [--engine seesaw|vllm|disagg] [--day S] [--window S] \
          [--warmup S] [--min N] [--max N] [--trough M] [--peak M] [--slo-ttft S] \
          [--slo-tpot S] [--seed S] [--trace FILE] [--timeline POLICY] [--json] \
-         [--trace-out FILE]"
+         [--trace-out FILE] [--metrics-out FILE]"
     );
     std::process::exit(2);
 }
@@ -52,6 +55,7 @@ struct Args {
     timeline: Option<String>,
     json: bool,
     trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -63,6 +67,7 @@ fn parse_args() -> Args {
         timeline: None,
         json: false,
         trace_out: None,
+        metrics_out: None,
     };
     let mut args = std::env::args().skip(1);
     let next_f64 = |args: &mut dyn Iterator<Item = String>, what: &str| -> f64 {
@@ -131,6 +136,7 @@ fn parse_args() -> Args {
             }
             "--trace" => parsed.trace_file = Some(args.next().unwrap_or_else(|| usage())),
             "--trace-out" => parsed.trace_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--metrics-out" => parsed.metrics_out = Some(args.next().unwrap_or_else(|| usage())),
             "--timeline" => parsed.timeline = Some(args.next().unwrap_or_else(|| usage())),
             "--json" => parsed.json = true,
             _ => usage(),
@@ -162,8 +168,8 @@ fn main() {
     });
     // The dedicated observability cell: traced only when asked, so a
     // plain run's output stays byte-identical to the untraced bin.
-    let observed = args.trace_out.as_deref().map(|path| {
-        let cell = autoscale::observed_frontier_cell_with(
+    let observed = (args.trace_out.is_some() || args.metrics_out.is_some()).then(|| {
+        autoscale::observed_frontier_cell_with(
             &runner,
             &args.spec,
             args.config,
@@ -172,7 +178,9 @@ fn main() {
         .unwrap_or_else(|e| {
             eprintln!("{e}");
             std::process::exit(2);
-        });
+        })
+    });
+    if let (Some(path), Some(cell)) = (args.trace_out.as_deref(), observed.as_ref()) {
         std::fs::write(path, &cell.trace_json).unwrap_or_else(|e| {
             eprintln!("cannot write trace to {path}: {e}");
             std::process::exit(2);
@@ -183,8 +191,14 @@ fn main() {
             cell.trace,
             cell.trace_json.matches("\"ph\":").count(),
         );
-        cell
-    });
+    }
+    if let (Some(path), Some(cell)) = (args.metrics_out.as_deref(), observed.as_ref()) {
+        std::fs::write(path, format!("{}\n", cell.metrics.render_json())).unwrap_or_else(|e| {
+            eprintln!("cannot write metrics to {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote metrics snapshot ({} on {}) to {path}", cell.policy, cell.trace);
+    }
     if args.json {
         print!(
             "{}",

@@ -11,6 +11,7 @@
 //!         [--groups N] [--detect S] [--retries N] [--backoff S]
 //!         [--backoff-cap S] [--deadline S]
 //!         [--timeline FAULT:RECOVERY] [--json] [--trace-out FILE]
+//!         [--metrics-out FILE]
 //!
 //! Defaults: the autoscale bin's diurnal day (86 400 s, 0.25×–5× of
 //! measured per-replica capacity) under three failure models — none,
@@ -25,13 +26,22 @@
 //! replay byte-for-byte, and output is byte-identical for every
 //! `--jobs` value.
 //!
+//! Each cell also evaluates the default multi-window SLO burn-rate
+//! rule over its measured window axis; the fault-detection frontier
+//! table scores those alert streams against the injected correlated
+//! outages (median detection latency, missed outages, and — on the
+//! fault-free row — false fires).
+//!
 //! Observability: `--trace-out FILE` re-runs one dedicated cell
 //! (independent kills against reactive+replace) with the telemetry
 //! recorder on and writes its Perfetto/Chrome trace-event JSON —
 //! kill/retry/park markers on the controller track alongside windows
 //! and scale events; open it at ui.perfetto.dev or `chrome://tracing`.
 //! With `--json` the document additionally gains a `telemetry`
-//! metrics block.
+//! metrics block, and `--metrics-out FILE` writes the same metric
+//! snapshot (counters / gauges / histograms, including the
+//! recorder's dropped-event health counters) as a standalone JSON
+//! file.
 
 use seesaw_autoscale::AutoscaleConfig;
 use seesaw_bench::autoscale::ScenarioSpec;
@@ -44,7 +54,7 @@ fn usage() -> ! {
          [--warmup S] [--min N] [--max N] [--trough M] [--peak M] [--slo-ttft S] \
          [--slo-tpot S] [--seed S] [--fault-seed S] [--kills K] [--outages K] [--groups N] \
          [--detect S] [--retries N] [--backoff S] [--backoff-cap S] [--deadline S] \
-         [--timeline FAULT:RECOVERY] [--json] [--trace-out FILE]"
+         [--timeline FAULT:RECOVERY] [--json] [--trace-out FILE] [--metrics-out FILE]"
     );
     std::process::exit(2);
 }
@@ -57,6 +67,7 @@ struct Args {
     timeline: Option<String>,
     json: bool,
     trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -68,6 +79,7 @@ fn parse_args() -> Args {
         timeline: None,
         json: false,
         trace_out: None,
+        metrics_out: None,
     };
     let mut args = std::env::args().skip(1);
     let next_f64 = |args: &mut dyn Iterator<Item = String>, what: &str| -> f64 {
@@ -147,6 +159,7 @@ fn parse_args() -> Args {
             "--deadline" => parsed.chaos.retry.deadline_s = next_f64(&mut args, "--deadline"),
             "--timeline" => parsed.timeline = Some(args.next().unwrap_or_else(|| usage())),
             "--trace-out" => parsed.trace_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--metrics-out" => parsed.metrics_out = Some(args.next().unwrap_or_else(|| usage())),
             "--json" => parsed.json = true,
             _ => usage(),
         }
@@ -169,9 +182,10 @@ fn main() {
         chaos::default_chaos_frontier_with(&runner, &args.spec, &args.chaos, args.config);
     // The dedicated observability cell: traced only when asked, so a
     // plain run's output stays byte-identical to the untraced bin.
-    let observed = args.trace_out.as_deref().map(|path| {
-        let cell =
-            chaos::observed_chaos_cell_with(&runner, &args.spec, &args.chaos, args.config);
+    let observed = (args.trace_out.is_some() || args.metrics_out.is_some()).then(|| {
+        chaos::observed_chaos_cell_with(&runner, &args.spec, &args.chaos, args.config)
+    });
+    if let (Some(path), Some(cell)) = (args.trace_out.as_deref(), observed.as_ref()) {
         std::fs::write(path, &cell.trace_json).unwrap_or_else(|e| {
             eprintln!("cannot write trace to {path}: {e}");
             std::process::exit(2);
@@ -182,8 +196,14 @@ fn main() {
             cell.fault,
             cell.trace_json.matches("\"ph\":").count(),
         );
-        cell
-    });
+    }
+    if let (Some(path), Some(cell)) = (args.metrics_out.as_deref(), observed.as_ref()) {
+        std::fs::write(path, format!("{}\n", cell.metrics.render_json())).unwrap_or_else(|e| {
+            eprintln!("cannot write metrics to {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote metrics snapshot ({} under {}) to {path}", cell.recovery, cell.fault);
+    }
     if args.json {
         print!(
             "{}",
@@ -196,6 +216,7 @@ fn main() {
         );
     } else {
         print!("{}", chaos::render_chaos(&frontier));
+        print!("{}", chaos::render_detection_frontier(&frontier));
         if let Some(cell) = &args.timeline {
             let (fault, recovery) = cell.split_once(':').unwrap_or_else(|| {
                 eprintln!("--timeline wants FAULT:RECOVERY (e.g. kills-8/day:reactive+replace)");

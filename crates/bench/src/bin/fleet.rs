@@ -10,7 +10,7 @@
 //!         [--hetero-load M] [--no-hetero]
 //!         [--slo-ttft S] [--slo-tpot S]
 //!         [--seed S] [--trace <file|diurnal>] [--json]
-//!         [--trace-out FILE] [--breakdown]
+//!         [--trace-out FILE] [--metrics-out FILE] [--breakdown]
 //!
 //! Defaults: 200 ShareGPT-shaped requests per cell on vLLM-baseline
 //! replicas (LLaMA2-13B on 4×A10 each), replica counts 1/2/4/8, load
@@ -29,7 +29,10 @@
 //! head-to-head configuration under `--policy`) with the telemetry
 //! recorder on and writes its Perfetto/Chrome trace-event JSON —
 //! open it at ui.perfetto.dev or `chrome://tracing`. With `--json`
-//! the document additionally gains a `telemetry` metrics block.
+//! the document additionally gains a `telemetry` metrics block, and
+//! `--metrics-out FILE` writes the same metric snapshot (counters /
+//! gauges / histograms, including the recorder's dropped-event
+//! health counters) as a standalone JSON file.
 //! `--breakdown` runs the same cell with engine tracing and prints
 //! the fleet-wide engine-time breakdown (compute / communication /
 //! weight transfer / ...) merged from the per-replica sim spans.
@@ -56,6 +59,7 @@ struct Args {
     trace: Option<String>,
     json: bool,
     trace_out: Option<String>,
+    metrics_out: Option<String>,
     breakdown: bool,
 }
 
@@ -66,7 +70,7 @@ fn usage() -> ! {
          [--policy rr|jsq|po2|lew|jsq-live|lew-live] \
          [--compare-replicas N] [--compare-load M] [--hetero-load M] [--no-hetero] \
          [--slo-ttft S] [--slo-tpot S] [--seed S] [--trace <file|diurnal>] [--json] \
-         [--trace-out FILE] [--breakdown]"
+         [--trace-out FILE] [--metrics-out FILE] [--breakdown]"
     );
     std::process::exit(2);
 }
@@ -103,6 +107,7 @@ fn parse_args() -> Args {
         trace: None,
         json: false,
         trace_out: None,
+        metrics_out: None,
         breakdown: false,
     };
     let mut args = std::env::args().skip(1);
@@ -186,6 +191,7 @@ fn parse_args() -> Args {
             }
             "--trace" => parsed.trace = Some(args.next().unwrap_or_else(|| usage())),
             "--trace-out" => parsed.trace_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--metrics-out" => parsed.metrics_out = Some(args.next().unwrap_or_else(|| usage())),
             "--breakdown" => parsed.breakdown = true,
             "--json" => parsed.json = true,
             other => match other.parse() {
@@ -230,8 +236,8 @@ fn main() {
     });
     // The dedicated observability cell: traced only when asked, so a
     // plain run's output stays byte-identical to the untraced bin.
-    let observed = args.trace_out.as_deref().map(|path| {
-        let cell = fleet::observed_cell_with(
+    let observed = (args.trace_out.is_some() || args.metrics_out.is_some()).then(|| {
+        fleet::observed_cell_with(
             &runner,
             args.engine,
             args.n_requests,
@@ -239,7 +245,9 @@ fn main() {
             args.compare_load,
             args.policy,
             args.seed,
-        );
+        )
+    });
+    if let (Some(path), Some(cell)) = (args.trace_out.as_deref(), observed.as_ref()) {
         std::fs::write(path, &cell.trace_json).unwrap_or_else(|e| {
             eprintln!("cannot write trace to {path}: {e}");
             std::process::exit(2);
@@ -250,8 +258,14 @@ fn main() {
             cell.policy,
             cell.trace_json.matches("\"ph\":").count(),
         );
-        cell
-    });
+    }
+    if let (Some(path), Some(cell)) = (args.metrics_out.as_deref(), observed.as_ref()) {
+        std::fs::write(path, format!("{}\n", cell.metrics.render_json())).unwrap_or_else(|e| {
+            eprintln!("cannot write metrics to {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote metrics snapshot ({} replicas, {} policy) to {path}", cell.n_replicas, cell.policy);
+    }
     if args.json {
         print!(
             "{}",

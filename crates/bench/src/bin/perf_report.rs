@@ -24,9 +24,14 @@
 //!
 //! With `--baseline PATH`, the report exits non-zero when any
 //! sims/sec figure (`seesaw`, `vllm`, `serving`, `fleet`,
-//! `fleet_live`, `fleet_live_traced`, `autoscale`, `chaos`) regresses
-//! more than 20% against the committed artifact (or when parallel
-//! output ever diverges from serial).
+//! `fleet_live`, `fleet_live_traced`, `autoscale`,
+//! `autoscale_sketch`, `chaos`) regresses more than 20% against the
+//! committed artifact (or when parallel output ever diverges from
+//! serial). `autoscale_sketch` is the streaming metrics pipeline in
+//! isolation (sketch-mode window accumulation + burn-rate evaluation
+//! over a precomputed day) and must additionally clear 1.5x the full
+//! `autoscale` cell rate — the pipeline may never become comparable
+//! in cost to the replay it summarizes.
 //!
 //! Two telemetry figures ride along: `fleet_live_traced` times the
 //! live-fleet cell with the span recorder and metrics registry on
@@ -58,6 +63,9 @@ const SIMS_REGRESSION_TOLERANCE: f64 = 0.20;
 /// Maximum tolerated throughput cost of the telemetry-disabled
 /// instrumented entry point vs the plain `fleet_live` path.
 const TELEMETRY_DISABLED_TOLERANCE: f64 = 0.05;
+/// Minimum ratio of the streaming-metrics pipeline rate
+/// (`autoscale_sketch`) to the full autoscale cell rate.
+const SKETCH_SPEEDUP_FLOOR: f64 = 1.5;
 /// Profiled controller runs folded into one attribution block.
 const PROFILE_RUNS: usize = 3;
 /// Minimum fraction of controller wall time the profile must explain.
@@ -110,12 +118,13 @@ struct Sims {
     fleet_live: f64,
     fleet_live_traced: f64,
     autoscale: f64,
+    autoscale_sketch: f64,
     chaos: f64,
 }
 
 impl Sims {
     /// `(gate-key, value)` pairs, in report order.
-    fn named(&self) -> [(&'static str, f64); 8] {
+    fn named(&self) -> [(&'static str, f64); 9] {
         [
             ("seesaw", self.seesaw),
             ("vllm", self.vllm),
@@ -124,6 +133,7 @@ impl Sims {
             ("fleet_live", self.fleet_live),
             ("fleet_live_traced", self.fleet_live_traced),
             ("autoscale", self.autoscale),
+            ("autoscale_sketch", self.autoscale_sketch),
             ("chaos", self.chaos),
         ]
     }
@@ -138,6 +148,7 @@ impl Sims {
             fleet_live: self.fleet_live.max(other.fleet_live),
             fleet_live_traced: self.fleet_live_traced.max(other.fleet_live_traced),
             autoscale: self.autoscale.max(other.autoscale),
+            autoscale_sketch: self.autoscale_sketch.max(other.autoscale_sketch),
             chaos: self.chaos.max(other.chaos),
         }
     }
@@ -162,10 +173,12 @@ impl Sims {
 /// merged-timeline fast path. `autoscale` is the frontier-sweep
 /// grid-cell rate: one reactive controller replay of the compressed
 /// diurnal trace (windowed routing, scaling decisions, elastic
-/// replica runs, merged windowed report) per second. `chaos` is the
-/// same replay under a fixed seeded kill schedule with replacement
-/// spawns and retry/requeue — one chaos-frontier grid cell per
-/// evaluation.
+/// replica runs, merged windowed report) per second.
+/// `autoscale_sketch` is the streaming metrics pipeline alone: one
+/// sketch-mode window-accumulator pass plus burn-rate evaluation over
+/// the autoscale cell's precomputed day. `chaos` is the same replay
+/// under a fixed seeded kill schedule with replacement spawns and
+/// retry/requeue — one chaos-frontier grid cell per evaluation.
 fn measure_sims_per_sec(bench: &SimsBench) -> Sims {
     Sims {
         seesaw: sims_per_sec(|| {
@@ -188,6 +201,9 @@ fn measure_sims_per_sec(bench: &SimsBench) -> Sims {
         }),
         autoscale: sims_per_sec(|| {
             std::hint::black_box(bench.run_autoscale_once());
+        }),
+        autoscale_sketch: sims_per_sec(|| {
+            std::hint::black_box(bench.run_autoscale_sketch_once());
         }),
         chaos: sims_per_sec(|| {
             std::hint::black_box(bench.run_chaos_once());
@@ -408,6 +424,17 @@ fn main() {
             "ERROR: controller profile explains only {:.1}% of wall time (floor {:.0}%)",
             100.0 * profile.coverage(),
             100.0 * PROFILE_COVERAGE_FLOOR
+        );
+        std::process::exit(1);
+    }
+    let sketch_ratio = sims.autoscale_sketch / sims.autoscale.max(1e-9);
+    println!(
+        "autoscale_sketch vs autoscale: {sketch_ratio:.1}x (floor {SKETCH_SPEEDUP_FLOOR:.1}x)"
+    );
+    if sketch_ratio < SKETCH_SPEEDUP_FLOOR {
+        eprintln!(
+            "ERROR: streaming metrics pipeline only {sketch_ratio:.2}x the full autoscale \
+             cell (floor {SKETCH_SPEEDUP_FLOOR:.1}x)"
         );
         std::process::exit(1);
     }

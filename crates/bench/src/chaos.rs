@@ -222,6 +222,7 @@ pub fn observed_chaos_cell_with(
     let report = ChaosController::new(config, plan, recovery).run_instrumented_with(
         runner, &build, requests, &mut instr,
     );
+    instr.snapshot_drops();
     let trace_json = seesaw_telemetry::perfetto::render(&instr.recorder, "chaos");
     ObservedChaosCell {
         fault,
@@ -322,6 +323,45 @@ pub fn render_chaos(frontier: &ChaosFrontier) -> String {
             format!("{:.0}", p.unavailability_s),
             format!("{:.1}%", 100.0 * p.attainment),
             f3(p.goodput_rps),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Render the detection frontier: how the burn-rate rule's alert
+/// stream lines up against each cell's injected correlated outages.
+/// The `"none"` fault row is the false-positive column — a clean day
+/// must not page. Rows where the whole fleet dies and nothing heals
+/// expose the attainment-burn blind spot: no completions means no
+/// windowed arrivals, so the burn reads 0 while the fleet is dark
+/// (the `dark s` column of the availability table catches what the
+/// pager misses).
+pub fn render_detection_frontier(frontier: &ChaosFrontier) -> String {
+    let mut out = format!(
+        "\n=== chaos: fault-detection frontier (rule {}) ===\n\
+         fires matched to correlated outages; detection latency from outage to fire\n",
+        frontier.alert_rule,
+    );
+    let mut t = Table::new(&[
+        "fault",
+        "recovery",
+        "outages",
+        "detected",
+        "missed",
+        "median detect s",
+        "false fires",
+    ]);
+    for p in &frontier.points {
+        let d = &p.detection;
+        t.row(&[
+            p.fault.clone(),
+            p.recovery.clone(),
+            d.outages.to_string(),
+            d.detected.to_string(),
+            d.missed.to_string(),
+            d.median_latency_s.map_or("-".into(), |l| format!("{:.0}", l)),
+            d.false_fires.to_string(),
         ]);
     }
     out.push_str(&t.render());
@@ -431,6 +471,8 @@ pub fn to_json_with_telemetry(
              \"retries\": {}, \"replicas_killed\": {}, \"retry_amplification\": {}, \
              \"unavailability_s\": {}, \"replica_seconds\": {}, \"mean_replicas\": {}, \
              \"peak_replicas\": {}, \"attainment\": {}, \"goodput_rps\": {}, \
+             \"detection\": {{\"rule\": \"{}\", \"outages\": {}, \"detected\": {}, \
+             \"missed\": {}, \"median_latency_s\": {}, \"false_fires\": {}}}, \
              \"latency\": {}}}{}\n",
             jsonfmt::esc(&p.fault),
             jsonfmt::esc(&p.recovery),
@@ -454,6 +496,12 @@ pub fn to_json_with_telemetry(
             p.peak_replicas,
             jsonfmt::num(p.attainment),
             jsonfmt::num(p.goodput_rps),
+            jsonfmt::esc(&frontier.alert_rule),
+            p.detection.outages,
+            p.detection.detected,
+            p.detection.missed,
+            p.detection.median_latency_s.map_or("null".to_string(), jsonfmt::num),
+            p.detection.false_fires,
             jsonfmt::latency_stats(p.report.fleet.latency.as_ref()),
             if i + 1 < frontier.points.len() { "," } else { "" },
         ));
@@ -469,6 +517,70 @@ pub fn to_json_with_telemetry(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use seesaw_autoscale::{
+        score_detection, AutoscaleController, FaultEvent, FaultKind, FaultSchedule,
+    };
+
+    /// The acceptance bar for the default burn-rate rule: every
+    /// injected correlated outage fires within
+    /// `detect_s + 2 control windows`, and the same fleet's fault-free
+    /// day never pages. Outages are placed in loaded windows — a
+    /// burn-rate pager watches *user impact*, so an outage the fleet's
+    /// headroom fully absorbs is (correctly) invisible to it.
+    #[test]
+    fn default_rule_detects_loaded_outages_and_stays_quiet_fault_free() {
+        let day_s = 1200.0;
+        let spec = ScenarioSpec { day_s, seed: 42, ..ScenarioSpec::default() };
+        let (cluster, model) = default_specs();
+        let build = |_: usize| default_engine_of(spec.kind, &cluster, &model);
+        let probe = WorkloadGen::sharegpt(42).generate(64);
+        let (capacity_rps, _) = offline_capacity(&build, &probe);
+        let config = AutoscaleConfig {
+            window_s: 100.0,
+            warmup_s: 25.0,
+            min_replicas: 1,
+            max_replicas: 8,
+            slo: DEFAULT_SLO,
+            capacity_rps,
+            ..AutoscaleConfig::default()
+        };
+        let traces = default_traces(&spec, capacity_rps);
+        let (_, requests) = &traces[0];
+        let controller =
+            AutoscaleController::new(config, ScalingPolicy::Static { n: 5 });
+        let runner = SweepRunner::new(4);
+
+        let clean = controller.run_with(&runner, &build, requests);
+        assert!(
+            clean.alerts.is_empty(),
+            "fault-free day must not page: {:?}",
+            clean.alerts
+        );
+
+        // Two group outages in loaded windows: one on the morning
+        // ramp, one on the evening shoulder, separated enough for the
+        // first alert to clear before the second outage strikes.
+        let schedule = FaultSchedule {
+            events: vec![
+                FaultEvent { t_s: 405.0, kind: FaultKind::GroupOutage { group: 0 } },
+                FaultEvent { t_s: 710.0, kind: FaultKind::GroupOutage { group: 1 } },
+            ],
+            groups: 2,
+            detect_s: 10.0,
+            retry: ChaosSpec::default().retry,
+            replace_failures: true,
+        };
+        let faulted = controller.run_faulted_with(&runner, &build, requests, &schedule);
+        let score = score_detection(&faulted.alerts, &schedule);
+        assert_eq!(score.outages, 2);
+        assert_eq!(score.missed, 0, "alerts: {:?}", faulted.alerts);
+        assert_eq!(score.false_fires, 0, "alerts: {:?}", faulted.alerts);
+        let median = score.median_latency_s.expect("detected outages have a latency");
+        assert!(
+            median <= schedule.detect_s + 2.0 * config.window_s,
+            "median detection latency {median}s exceeds detect + 2 windows"
+        );
+    }
 
     #[test]
     fn rosters_cover_the_default_grid() {
@@ -531,7 +643,20 @@ mod tests {
         let rendered = render_chaos(&serial);
         assert!(rendered.contains("retry amp"));
         assert!(rendered.contains("reactive+replace"));
+        // Detection scoring rides along on every cell: a kills-only
+        // grid injects no correlated outages, so nothing can be
+        // detected or missed.
+        let det = render_detection_frontier(&serial);
+        assert!(det.contains("fault-detection frontier"));
+        assert!(det.contains(&serial.alert_rule));
+        for p in &serial.points {
+            assert_eq!(p.detection.outages, 0, "{}/{}", p.fault, p.recovery);
+            assert_eq!(p.detection.missed, 0);
+            assert_eq!(p.detection.median_latency_s, None);
+        }
         let json = to_json(&serial, &spec, &chaos);
+        assert!(json.contains("\"detection\""));
+        assert!(json.contains("\"false_fires\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(json.contains("\"plan\""));

@@ -238,6 +238,7 @@ pub fn observed_cell_with(
     let fleet = Fleet::homogeneous(n_replicas, build);
     let mut instr = Instrument::tracing();
     let report = fleet.run_instrumented_with(runner, policy, &reqs, &mut instr);
+    instr.snapshot_drops();
     let trace_json = seesaw_telemetry::perfetto::render(&instr.recorder, "fleet");
     ObservedCell {
         policy,
@@ -761,6 +762,11 @@ mod tests {
         let with = to_json_with_telemetry(&scaling, &[], None, 42, Some(&cell.metrics));
         assert!(with.contains("\"telemetry\": {"));
         assert!(with.contains("\"counters\""));
+        // The recorder's overflow health counters are always present
+        // (zero on an uncapped run) so capped traces can't silently
+        // look complete.
+        assert!(with.contains("\"telemetry.dropped_spans\": 0"));
+        assert!(with.contains("\"telemetry.dropped_instants\": 0"));
         assert_eq!(with.matches('{').count(), with.matches('}').count());
         assert_eq!(with.matches('[').count(), with.matches(']').count());
         assert!(!plain.contains("\"telemetry\""));

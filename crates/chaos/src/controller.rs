@@ -20,7 +20,8 @@
 
 use crate::plan::FaultPlan;
 use seesaw_autoscale::{
-    AutoscaleConfig, AutoscaleController, ElasticFleetReport, RetryPolicy, ScalingPolicy,
+    AlertRule, AutoscaleConfig, AutoscaleController, ElasticFleetReport, RetryPolicy,
+    ScalingPolicy,
 };
 use seesaw_engine::SweepRunner;
 use seesaw_fleet::sweep::ReplicaBuilder;
@@ -77,14 +78,28 @@ pub struct ChaosController {
     pub plan: FaultPlan,
     /// The recovery posture.
     pub recovery: RecoverySpec,
+    /// Burn-rate rule forwarded to the inner autoscale controller —
+    /// the fault-*detection* side of the chaos tier: its fire/clear
+    /// stream is scored against the plan's injected outages.
+    pub alert: AlertRule,
 }
 
 impl ChaosController {
     /// Build a controller; panics on an invalid plan or config (the
-    /// inner [`AutoscaleController`] validates the latter).
+    /// inner [`AutoscaleController`] validates the latter). Alerting
+    /// defaults to [`AlertRule::default`]; override with
+    /// [`ChaosController::with_alert`].
     pub fn new(config: AutoscaleConfig, plan: FaultPlan, recovery: RecoverySpec) -> Self {
         plan.validate().unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
-        ChaosController { config, plan, recovery }
+        ChaosController { config, plan, recovery, alert: AlertRule::default() }
+    }
+
+    /// The same controller evaluating `alert`; panics on an invalid
+    /// rule.
+    pub fn with_alert(mut self, alert: AlertRule) -> Self {
+        alert.validate().unwrap_or_else(|e| panic!("invalid alert rule: {e}"));
+        self.alert = alert;
+        self
     }
 
     /// Replay `requests` under the fault plan, parallelizing replica
@@ -119,14 +134,21 @@ impl ChaosController {
         requests: &[Request],
         instr: &mut Instrument,
     ) -> ElasticFleetReport {
+        let schedule = self.schedule_for(requests);
+        AutoscaleController::new(self.config, self.recovery.policy)
+            .with_alert(self.alert)
+            .run_faulted_instrumented_with(runner, build, requests, &schedule, instr)
+    }
+
+    /// The resolved fault schedule a replay of `requests` runs under —
+    /// the detection-scoring ground truth. Spans the trace's base
+    /// window horizon, exactly as [`ChaosController::run_with`] does.
+    pub fn schedule_for(&self, requests: &[Request]) -> seesaw_autoscale::FaultSchedule {
         let last_arrival = requests.last().map_or(0.0, |r| r.arrival_s);
         let horizon_s = ((last_arrival / self.config.window_s) as usize + 1) as f64
             * self.config.window_s;
-        let schedule =
-            self.plan
-                .schedule(horizon_s, self.recovery.retry, self.recovery.replace_failures);
-        AutoscaleController::new(self.config, self.recovery.policy)
-            .run_faulted_instrumented_with(runner, build, requests, &schedule, instr)
+        self.plan
+            .schedule(horizon_s, self.recovery.retry, self.recovery.replace_failures)
     }
 }
 

@@ -11,7 +11,7 @@
 
 use crate::controller::{ChaosController, RecoverySpec};
 use crate::plan::FaultPlan;
-use seesaw_autoscale::{AutoscaleConfig, ElasticFleetReport};
+use seesaw_autoscale::{score_detection, AutoscaleConfig, DetectionScore, ElasticFleetReport};
 use seesaw_engine::SweepRunner;
 use seesaw_fleet::sweep::ReplicaBuilder;
 use seesaw_workload::Request;
@@ -55,6 +55,11 @@ pub struct ChaosPoint {
     pub retry_amplification: f64,
     /// Seconds with zero accepting replicas — the availability axis.
     pub unavailability_s: f64,
+    /// The controller's burn-rate alert stream scored against this
+    /// cell's injected correlated outages — the detection-frontier
+    /// cell (on the `"none"` fault row, `false_fires` is the rule's
+    /// false-positive count on a fault-free day).
+    pub detection: DetectionScore,
     /// The full fault-injected run behind the numbers.
     pub report: ElasticFleetReport,
 }
@@ -75,6 +80,9 @@ pub struct ChaosFrontier {
     pub faults: Vec<String>,
     /// Recovery-posture names, in column order.
     pub recoveries: Vec<String>,
+    /// Display name of the burn-rate rule every cell's detection was
+    /// scored under.
+    pub alert_rule: String,
     /// Cells in row-major faults × recoveries order.
     pub points: Vec<ChaosPoint>,
 }
@@ -110,6 +118,7 @@ pub fn chaos_sweep_with(
         let (fault_name, plan) = &faults[f];
         let controller = ChaosController::new(config, *plan, recoveries[r]);
         let report = controller.run_with(runner, build, requests);
+        let detection = score_detection(&report.alerts, &controller.schedule_for(requests));
         let a = &report.availability;
         ChaosPoint {
             fault: fault_name.clone(),
@@ -128,6 +137,7 @@ pub fn chaos_sweep_with(
             replicas_killed: a.replicas_killed,
             retry_amplification: a.retry_amplification(),
             unavailability_s: a.unavailability_s,
+            detection,
             report,
         }
     });
@@ -138,6 +148,7 @@ pub fn chaos_sweep_with(
         trace: trace_name.into(),
         faults: faults.iter().map(|(n, _)| n.clone()).collect(),
         recoveries: recoveries.iter().map(RecoverySpec::to_string).collect(),
+        alert_rule: seesaw_autoscale::AlertRule::default().to_string(),
         points,
     }
 }

@@ -35,8 +35,8 @@ mod recorder;
 pub use metrics::{HistogramSnapshot, MetricsRegistry};
 pub use profile::ControllerProfile;
 pub use recorder::{
-    fmt_secs, InstantEvent, Recorder, SpanEvent, CONTROLLER_TRACK, REPLICA_TRACK_BASE,
-    ROUTER_TRACK,
+    fmt_secs, InstantEvent, Recorder, SpanEvent, ALERT_TRACK, CONTROLLER_TRACK,
+    DEFAULT_INSTANT_CAP, DEFAULT_SPAN_CAP, REPLICA_TRACK_BASE, ROUTER_TRACK,
 };
 
 /// One bundle of everything an instrumented run can capture: the
@@ -72,6 +72,14 @@ impl Instrument {
         Instrument { recorder: Recorder::enabled(), ..Instrument::off() }
     }
 
+    /// [`Instrument::tracing`] with explicit recorder caps instead of
+    /// [`DEFAULT_SPAN_CAP`]/[`DEFAULT_INSTANT_CAP`], for callers that
+    /// trade trace completeness against memory (or tests that force
+    /// overflow).
+    pub fn tracing_with_caps(span_cap: usize, instant_cap: usize) -> Self {
+        Instrument { recorder: Recorder::with_caps(span_cap, instant_cap), ..Instrument::off() }
+    }
+
     /// Collect only the wall-time phase profile (perf_report's mode).
     pub fn profiling() -> Self {
         Instrument { profiling: true, ..Instrument::off() }
@@ -85,6 +93,20 @@ impl Instrument {
     /// Whether deterministic telemetry (events + metrics) is on.
     pub fn telemetry_on(&self) -> bool {
         self.recorder.is_enabled()
+    }
+
+    /// Fold the recorder's overflow counters into the registry as
+    /// `telemetry.dropped_spans` / `telemetry.dropped_instants`, so a
+    /// capped trace's `--json` telemetry block says how much it lost
+    /// (both appear even at zero — their presence is the health
+    /// signal). No-op when telemetry is off.
+    pub fn snapshot_drops(&mut self) {
+        if !self.telemetry_on() {
+            return;
+        }
+        let (spans, instants) = self.recorder.dropped();
+        self.metrics.counter_add("telemetry.dropped_spans", spans);
+        self.metrics.counter_add("telemetry.dropped_instants", instants);
     }
 }
 
@@ -100,6 +122,31 @@ mod tests {
         i.recorder.instant(ROUTER_TRACK, "route", 1.0, &[]);
         assert_eq!(i.recorder.instants().len(), 0);
         assert!(i.metrics.is_empty());
+    }
+
+    #[test]
+    fn capped_instrument_counts_drops_into_metrics() {
+        let mut i = Instrument::tracing_with_caps(1, 2);
+        assert!(i.telemetry_on());
+        for k in 0..4 {
+            i.recorder.span(CONTROLLER_TRACK, "w", k as f64, 1.0, &[]);
+            i.recorder.instant(ROUTER_TRACK, "route", k as f64, &[]);
+        }
+        i.snapshot_drops();
+        assert_eq!(i.metrics.counter("telemetry.dropped_spans"), 3);
+        assert_eq!(i.metrics.counter("telemetry.dropped_instants"), 2);
+
+        // Uncapped runs still surface the counters, at zero.
+        let mut clean = Instrument::tracing();
+        clean.recorder.span(CONTROLLER_TRACK, "w", 0.0, 1.0, &[]);
+        clean.snapshot_drops();
+        assert_eq!(clean.metrics.counter("telemetry.dropped_spans"), 0);
+        assert!(clean.metrics.render_json().contains("\"telemetry.dropped_instants\": 0"));
+
+        // And an off instrument stays empty.
+        let mut off = Instrument::off();
+        off.snapshot_drops();
+        assert!(off.metrics.is_empty());
     }
 
     #[test]

@@ -22,13 +22,15 @@
 pub const CONTROLLER_TRACK: u32 = 1;
 /// Track id of the router timeline (route decisions).
 pub const ROUTER_TRACK: u32 = 2;
+/// Track id of the SLO alerting timeline (burn-rate fire/clear).
+pub const ALERT_TRACK: u32 = 3;
 /// Track id of replica `i` is `REPLICA_TRACK_BASE + i`.
 pub const REPLICA_TRACK_BASE: u32 = 10;
 
 /// Default cap on recorded spans (request lifecycles dominate).
-pub(crate) const DEFAULT_SPAN_CAP: usize = 50_000;
+pub const DEFAULT_SPAN_CAP: usize = 50_000;
 /// Default cap on recorded instants (route decisions dominate).
-pub(crate) const DEFAULT_INSTANT_CAP: usize = 100_000;
+pub const DEFAULT_INSTANT_CAP: usize = 100_000;
 
 /// A closed interval on a track. `args` are pre-formatted key/value
 /// pairs (callers format numbers deterministically before recording).

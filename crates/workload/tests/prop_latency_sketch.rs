@@ -1,0 +1,245 @@
+//! Property tests for the streaming metrics pipeline: the mergeable
+//! quantile sketch (accuracy vs exact nearest-rank, merge
+//! associativity) and the streaming [`WindowAccumulator`] against
+//! the post-hoc [`windowed_metrics`] oracle.
+
+use proptest::prelude::*;
+use seesaw_workload::{
+    percentile, windowed_metrics, LatencySketch, RequestTiming, SloSpec, SummaryMode,
+    WindowAccumulator,
+};
+
+/// Deterministic uniform stream from a seed (SplitMix64).
+fn unit_stream(seed: u64) -> impl FnMut() -> f64 {
+    let mut x = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    move || {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// `n` samples from one of three latency-shaped distributions:
+/// Poisson counts (scaled to seconds), Gamma/Erlang waiting times,
+/// or a constant.
+fn latency_samples(dist: usize, n: usize, seed: u64, scale: f64) -> Vec<f64> {
+    let mut u = unit_stream(seed);
+    (0..n)
+        .map(|_| match dist {
+            // Poisson(λ=6) via Knuth, scaled — a discrete latency
+            // histogram with ties.
+            0 => {
+                let l = (-6.0f64).exp();
+                let mut k = 0u32;
+                let mut p = 1.0;
+                loop {
+                    p *= 1.0 - u();
+                    if p <= l {
+                        break;
+                    }
+                    k += 1;
+                }
+                k as f64 * scale
+            }
+            // Gamma(shape=3) as a sum of exponentials (Erlang) — a
+            // right-skewed queueing-delay shape.
+            1 => {
+                let mut s = 0.0;
+                for _ in 0..3 {
+                    s += -(1.0 - u()).ln();
+                }
+                s * scale
+            }
+            // Constant latency — every quantile must answer exactly.
+            _ => scale,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sketch quantiles stay within 1% relative error of the exact
+    /// nearest-rank percentile across Poisson / Gamma / constant
+    /// latency shapes (absolute tolerance near zero, where relative
+    /// error is ill-defined).
+    #[test]
+    fn sketch_quantiles_within_one_percent_of_exact(
+        dist in 0usize..3,
+        n in 1usize..800,
+        seed in 0u64..1_000,
+        scale in prop::sample::select(vec![0.001f64, 0.05, 1.0, 30.0]),
+    ) {
+        let xs = latency_samples(dist, n, seed, scale);
+        let sketch = LatencySketch::of(&xs);
+        prop_assert_eq!(sketch.count(), xs.len() as u64);
+        for p in [1.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
+            let exact = percentile(&xs, p).expect("non-empty");
+            let approx = sketch.quantile(p).expect("non-empty");
+            let tol = (exact.abs() * 0.01).max(1e-9);
+            prop_assert!(
+                (approx - exact).abs() <= tol,
+                "p{}: sketch {} vs exact {} (n={}, dist={})", p, approx, exact, n, dist
+            );
+        }
+        // The mean carries the same bucket-representative bound.
+        let exact_mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let tol = (exact_mean.abs() * 0.01).max(1e-9);
+        prop_assert!((sketch.mean().expect("non-empty") - exact_mean).abs() <= tol);
+    }
+
+    /// Merging is associative to the byte: `(a ⊕ b) ⊕ c` and
+    /// `a ⊕ (b ⊕ c)` render identical digests (and commutative:
+    /// `b ⊕ a` matches too).
+    #[test]
+    fn sketch_merge_is_associative(
+        dist_a in 0usize..3,
+        dist_b in 0usize..3,
+        dist_c in 0usize..3,
+        na in 0usize..300,
+        nb in 0usize..300,
+        nc in 0usize..300,
+        seed in 0u64..1_000,
+    ) {
+        let a = LatencySketch::of(&latency_samples(dist_a, na, seed, 0.4));
+        let b = LatencySketch::of(&latency_samples(dist_b, nb, seed ^ 0xb0b, 2.5));
+        let c = LatencySketch::of(&latency_samples(dist_c, nc, seed ^ 0xc0c, 0.02));
+        let left = {
+            let mut ab = a.clone();
+            ab.merge(&b);
+            ab.merge(&c);
+            ab
+        };
+        let right = {
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut abc = a.clone();
+            abc.merge(&bc);
+            abc
+        };
+        prop_assert_eq!(left.render(), right.render());
+        let flipped = {
+            let mut ba = b.clone();
+            ba.merge(&a);
+            ba.merge(&c);
+            ba
+        };
+        prop_assert_eq!(left.render(), flipped.render());
+        // The merged sketch equals sketching the concatenation.
+        let mut all = latency_samples(dist_a, na, seed, 0.4);
+        all.extend(latency_samples(dist_b, nb, seed ^ 0xb0b, 2.5));
+        all.extend(latency_samples(dist_c, nc, seed ^ 0xc0c, 0.02));
+        prop_assert_eq!(left.render(), LatencySketch::of(&all).render());
+    }
+
+    /// Streaming-vs-posthoc equivalence: in exact mode the
+    /// accumulator's windows equal `windowed_metrics` on the same
+    /// timeline — field for field, including empty-window `None`
+    /// attainment/TTFT (never NaN or a fabricated 0) — for random
+    /// traces, push orders, horizons, and boundary-landing
+    /// completions.
+    #[test]
+    fn accumulator_matches_posthoc_oracle(
+        n in 0usize..250,
+        seed in 0u64..1_000,
+        window_s in prop::sample::select(vec![0.5f64, 2.0, 10.0]),
+        horizon_mult in 0.0f64..3.0,
+        shuffle in 0u64..1_000,
+    ) {
+        let mut u = unit_stream(seed);
+        let mut timeline: Vec<RequestTiming> = (0..n)
+            .map(|i| {
+                let arrival = u() * 40.0;
+                // Occasionally land exactly on a window boundary —
+                // the oracle's clamp-into-last-window edge.
+                let arrival = if u() < 0.1 { (arrival / window_s).round() * window_s } else { arrival };
+                let ttft = u() * 3.0;
+                let extra = u() * 5.0;
+                let out = 1 + (u() * 30.0) as usize;
+                RequestTiming {
+                    id: i as u64,
+                    arrival_s: arrival,
+                    first_token_s: arrival + ttft,
+                    completion_s: arrival + ttft + extra,
+                    output_len: out,
+                    attempts: 1,
+                }
+            })
+            .collect();
+        let slo = SloSpec { ttft_s: 1.5, tpot_s: 0.2 };
+        let horizon_s = horizon_mult * 20.0;
+        let oracle = windowed_metrics(&timeline, slo, window_s, horizon_s);
+        // Push order must not matter: shuffle deterministically.
+        let mut x = shuffle.wrapping_mul(2).wrapping_add(1);
+        for i in (1..timeline.len()).rev() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            timeline.swap(i, (x >> 33) as usize % (i + 1));
+        }
+        let mut acc = WindowAccumulator::new(slo, window_s, SummaryMode::Exact);
+        acc.observe(&timeline);
+        let streamed = acc.finish(horizon_s);
+        prop_assert_eq!(streamed.len(), oracle.len());
+        for (s, o) in streamed.iter().zip(&oracle) {
+            prop_assert_eq!(s.t0, o.t0);
+            prop_assert_eq!(s.t1, o.t1);
+            prop_assert_eq!(s.arrivals, o.arrivals, "window [{}, {})", o.t0, o.t1);
+            prop_assert_eq!(s.completions, o.completions, "window [{}, {})", o.t0, o.t1);
+            prop_assert_eq!(s.attainment, o.attainment, "window [{}, {})", o.t0, o.t1);
+            prop_assert_eq!(s.goodput_rps, o.goodput_rps, "window [{}, {})", o.t0, o.t1);
+            prop_assert_eq!(s.ttft, o.ttft, "window [{}, {})", o.t0, o.t1);
+            if s.arrivals == 0 {
+                prop_assert_eq!(s.attainment, None);
+                prop_assert_eq!(s.ttft, None);
+            }
+            if let Some(a) = s.attainment {
+                prop_assert!(a.is_finite());
+            }
+        }
+    }
+
+    /// Sketch-mode windows share the exact counters (arrivals,
+    /// completions, attainment, goodput) with the oracle; only the
+    /// TTFT summary is sketched, within its error bound.
+    #[test]
+    fn sketch_windows_keep_exact_counters(
+        n in 1usize..200,
+        seed in 0u64..1_000,
+    ) {
+        let mut u = unit_stream(seed);
+        let timeline: Vec<RequestTiming> = (0..n)
+            .map(|i| {
+                let arrival = u() * 30.0;
+                let ttft = u() * 2.0;
+                RequestTiming {
+                    id: i as u64,
+                    arrival_s: arrival,
+                    first_token_s: arrival + ttft,
+                    completion_s: arrival + ttft + u() * 4.0,
+                    output_len: 8,
+                    attempts: 1,
+                }
+            })
+            .collect();
+        let slo = SloSpec { ttft_s: 1.0, tpot_s: 0.5 };
+        let oracle = windowed_metrics(&timeline, slo, 5.0, 30.0);
+        let mut acc = WindowAccumulator::new(slo, 5.0, SummaryMode::Sketch);
+        acc.observe(&timeline);
+        let streamed = acc.finish(30.0);
+        prop_assert_eq!(streamed.len(), oracle.len());
+        for (s, o) in streamed.iter().zip(&oracle) {
+            prop_assert_eq!(s.arrivals, o.arrivals);
+            prop_assert_eq!(s.completions, o.completions);
+            prop_assert_eq!(s.attainment, o.attainment);
+            prop_assert_eq!(s.goodput_rps, o.goodput_rps);
+            prop_assert_eq!(s.ttft.is_some(), o.ttft.is_some(), "sketch must not invent samples");
+            if let (Some(sk), Some(ex)) = (s.ttft, o.ttft) {
+                for (a, b) in [(sk.p50, ex.p50), (sk.p90, ex.p90), (sk.max, ex.max)] {
+                    prop_assert!((a - b).abs() <= (b.abs() * 0.01).max(1e-9));
+                }
+            }
+        }
+    }
+}

@@ -7,13 +7,18 @@
 #     rate "fleet", the same cell on the live-feedback global event
 #     loop "fleet_live", that cell with telemetry recording on
 #     "fleet_live_traced", the reactive-diurnal autoscale grid-cell
-#     rate "autoscale", or the seeded-kill fault-injection grid-cell
+#     rate "autoscale", the streaming-metrics pipeline rate
+#     "autoscale_sketch" (sketch windows + burn-rate evaluation over
+#     a precomputed day; also held to >= 1.5x "autoscale" inside
+#     perf_report), or the seeded-kill fault-injection grid-cell
 #     rate "chaos") regresses >20% vs the committed BENCH_sweep.json,
 #   * the telemetry-disabled instrumented path costs >5% vs plain
 #     fleet_live, or the controller self-profile explains <90% of
 #     wall time (both checked inside perf_report), or
 #   * the fleet bin's --trace-out export is not a well-formed
-#     Perfetto document with the expected tracks.
+#     Perfetto document with the expected tracks, or
+#   * the fleet bin's --metrics-out snapshot is not valid JSON
+#     carrying the recorder's dropped-event health counters.
 #
 # Usage: scripts/bench.sh [subsample] [--jobs N]
 #   subsample defaults to 8 (the committed artifact's setting).
@@ -30,12 +35,14 @@ cargo build --release -p seesaw-bench --bin perf_report --bin fleet
     --out target/BENCH_sweep.json \
     --baseline BENCH_sweep.json
 
-# Telemetry smoke test: export a small fleet trace and validate it.
+# Telemetry smoke test: export a small fleet trace plus its metric
+# snapshot and validate both.
 trace=target/fleet.trace.json
+metrics=target/fleet.metrics.json
 ./target/release/fleet 16 --replicas 1 --loads 0.5 --no-hetero \
-    --compare-replicas 2 --trace-out "$trace" > /dev/null
+    --compare-replicas 2 --trace-out "$trace" --metrics-out "$metrics" > /dev/null
 
-python3 - "$trace" <<'EOF'
+python3 - "$trace" "$metrics" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
@@ -46,6 +53,14 @@ assert len(tracks) == 4, f"expected 4 tracks, got {len(tracks)}"
 assert any(e.get("ph") == "X" for e in events), "no spans recorded"
 assert any(e.get("ph") == "i" for e in events), "no instants recorded"
 print(f"bench.sh: trace OK ({len(events)} events, {len(tracks)} tracks)")
+with open(sys.argv[2]) as f:
+    snap = json.load(f)
+for key in ("counters", "gauges", "histograms"):
+    assert key in snap, f"metrics snapshot missing {key!r}"
+for drop in ("telemetry.dropped_spans", "telemetry.dropped_instants"):
+    assert drop in snap["counters"], f"missing health counter {drop!r}"
+    assert snap["counters"][drop] == 0, f"{drop} nonzero on an uncapped run"
+print(f"bench.sh: metrics OK ({len(snap['counters'])} counters)")
 EOF
 
 echo "bench.sh: OK (fresh artifact at target/BENCH_sweep.json)"
